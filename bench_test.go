@@ -1,0 +1,377 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment and
+// reports the reproduced metrics through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the full paper-vs-measured record (also captured in
+// EXPERIMENTS.md). Absolute times are virtual ticks; the shapes and
+// ratios are the reproduction targets.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/mpi"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// BenchmarkFig3SGE regenerates Figure 3: work-request duration by number
+// of scatter/gather elements, on the IBM System p / eHCA system.
+func BenchmarkFig3SGE(b *testing.B) {
+	for _, sges := range []int{1, 2, 4, 8, 128} {
+		b.Run(fmt.Sprintf("sges=%d", sges), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := SGESweep(SystemP(), []int{sges}, []int{64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rs[0].PostTicks), "post-ticks")
+				b.ReportMetric(float64(rs[0].PollTicks), "poll-ticks")
+			}
+		})
+	}
+}
+
+// BenchmarkFig4Offset regenerates Figure 4: work-request duration by
+// buffer offset within a page (1 SGE, 64-byte buffers).
+func BenchmarkFig4Offset(b *testing.B) {
+	for _, off := range []int{0, 32, 64, 96, 128} {
+		b.Run(fmt.Sprintf("offset=%d", off), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := OffsetSweep(SystemP(), []int{off}, []int{64})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rs[0].Total()), "wr-ticks")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5IMB regenerates Figure 5: IMB SendRecv bandwidth for the
+// four page-size x lazy-deregistration configurations on the Opteron.
+func BenchmarkFig5IMB(b *testing.B) {
+	configs := []struct {
+		name string
+		a    mpi.AllocatorKind
+		lazy bool
+	}{
+		{"small-pages", mpi.AllocLibc, false},
+		{"hugepages", mpi.AllocHuge, false},
+		{"small-pages-lazy", mpi.AllocLibc, true},
+		{"hugepages-lazy", mpi.AllocHuge, true},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := IMBSendRecv(ClusterConfig{
+					Machine: Opteron(), Ranks: 2,
+					Allocator: c.a, LazyDereg: c.lazy, HugeATT: true,
+				}, []int{4 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rs[0].BandwidthMBs, "MB/s@4MiB")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5XeonATT regenerates the Section 5.1 Xeon experiment (E4):
+// lazy-deregistration bandwidth with and without hugepage translations
+// pushed to the adapter.
+func BenchmarkFig5XeonATT(b *testing.B) {
+	for _, patched := range []bool{false, true} {
+		name := "unpatched-driver"
+		if patched {
+			name = "hugepage-att-patch"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := IMBSendRecv(ClusterConfig{
+					Machine: Xeon(), Ranks: 2,
+					Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: patched,
+				}, []int{4 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rs[0].BandwidthMBs, "MB/s@4MiB")
+			}
+		})
+	}
+}
+
+// BenchmarkFig6NAS regenerates Figure 6: per-kernel communication /
+// other / overall improvement of the hugepage library over libc, plus the
+// Section 5.2 TLB-miss ratio (E5+E6), on the Opteron.
+func BenchmarkFig6NAS(b *testing.B) {
+	for _, k := range NASKernels() {
+		b.Run(k.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				small, err := RunNAS(Opteron(), 8, Baseline(Opteron()), k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				huge, err := RunNAS(Opteron(), 8, Recommended(Opteron()), k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pct := func(s, h Ticks) float64 {
+					return 100 * float64(s-h) / float64(s)
+				}
+				b.ReportMetric(pct(small.Comm, huge.Comm), "comm-impr-%")
+				b.ReportMetric(pct(small.Compute, huge.Compute), "other-impr-%")
+				b.ReportMetric(pct(small.Total, huge.Total), "overall-impr-%")
+				b.ReportMetric(float64(huge.TLB.TotalMisses())/float64(small.TLB.TotalMisses()), "tlb-miss-ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkRegistration regenerates the registration-cost premise (E9):
+// RegMR time for an 8 MiB buffer in 4 KiB pages vs 2 MiB hugepages.
+func BenchmarkRegistration(b *testing.B) {
+	for _, m := range Machines() {
+		b.Run(m.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := RegistrationSweep(m, []uint64{8 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(rows[0].SmallReg), "smallpage-ticks")
+				b.ReportMetric(float64(rows[0].HugeReg), "hugepage-ticks")
+				b.ReportMetric(100*rows[0].HugeFrac, "huge-vs-small-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAbinitAlloc regenerates the Section 2 allocator claim (E7):
+// alloc/free time of the hugepage library vs libc on the Abinit-style
+// trace ("allocation benefits of up to 10 times").
+func BenchmarkAbinitAlloc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		libc, huge, err := AbinitComparison(Opteron())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(libc), "libc-ticks")
+		b.ReportMetric(float64(huge), "hugelib-ticks")
+		b.ReportMetric(float64(libc)/float64(huge), "speedup-x")
+	}
+}
+
+// BenchmarkAllocAblations regenerates the Section 3 design-choice
+// ablations (E8): the library with single design points flipped, on the
+// Abinit trace.
+func BenchmarkAllocAblations(b *testing.B) {
+	variants := []struct {
+		name   string
+		mutate func(*alloc.HugeConfig)
+	}{
+		{"paper-design", func(c *alloc.HugeConfig) {}},
+		{"coalesce-on-free", func(c *alloc.HugeConfig) { c.CoalesceOnFree = true }},
+		{"in-band-metadata", func(c *alloc.HugeConfig) { c.InBandMetadata = true }},
+		{"chunk-64k", func(c *alloc.HugeConfig) { c.ChunkSize = 64 << 10 }},
+		{"threshold-4k", func(c *alloc.HugeConfig) { c.Threshold = 4 << 10 }},
+	}
+	ops, slots := workload.AbinitTrace(workload.DefaultAbinitParams())
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := alloc.DefaultHugeConfig()
+				v.mutate(&cfg)
+				a, err := alloc.NewHuge(vm.New(newNodeMemory(SystemP())), SystemP().Mem.SyscallTicks, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := alloc.Replay(a, ops, slots)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.AllocTime), "alloc-ticks")
+			}
+		})
+	}
+}
+
+// BenchmarkSGEAggregation regenerates the Section 4 proposal at the MPI
+// level: sending 8 x 96 B pieces via MPI_Pack copies versus one
+// scatter/gather work request.
+func BenchmarkSGEAggregation(b *testing.B) {
+	run := func(b *testing.B, gathered bool) Ticks {
+		w, err := NewCluster(Recommended(SystemP()), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var elapsed Ticks
+		err = w.Run(func(r *Rank) error {
+			base, err := r.Malloc(64 << 10)
+			if err != nil {
+				return err
+			}
+			pieces := make([]Piece, 8)
+			for i := range pieces {
+				pieces[i] = Piece{VA: base + VA(i*4096+64), Len: 96}
+			}
+			if r.ID() == 0 {
+				t0 := r.Now()
+				for it := 0; it < 50; it++ {
+					if gathered {
+						if err := r.SendGathered(1, it, pieces); err != nil {
+							return err
+						}
+					} else {
+						if err := r.SendPacked(1, it, pieces); err != nil {
+							return err
+						}
+					}
+				}
+				elapsed = r.Now() - t0
+				return nil
+			}
+			for it := 0; it < 50; it++ {
+				if err := r.RecvUnpack(0, it, pieces); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return elapsed / 50
+	}
+	b.Run("packed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(float64(run(b, false)), "send-ticks")
+		}
+	})
+	b.Run("gathered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.ReportMetric(float64(run(b, true)), "send-ticks")
+		}
+	})
+}
+
+// BenchmarkRendezvousProtocols is a design ablation DESIGN.md calls out:
+// the MVAPICH2-style RDMA-write rendezvous versus a receiver-driven RDMA
+// read, on the same 1 MiB pingpong.
+func BenchmarkRendezvousProtocols(b *testing.B) {
+	for _, proto := range []string{"write", "read"} {
+		b.Run(proto, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := NewClusterConfig(ClusterConfig{
+					Machine: Opteron(), Ranks: 2,
+					Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
+					RendezvousProtocol: proto,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var lat Ticks
+				err = w.Run(func(r *Rank) error {
+					const n = 1 << 20
+					va, _ := r.Malloc(n)
+					for it := 0; it < 10; it++ {
+						if r.ID() == 0 {
+							if err := r.Send(1, it, va, n); err != nil {
+								return err
+							}
+							if _, err := r.Recv(1, it, va, n); err != nil {
+								return err
+							}
+						} else {
+							if _, err := r.Recv(0, it, va, n); err != nil {
+								return err
+							}
+							if err := r.Send(0, it, va, n); err != nil {
+								return err
+							}
+						}
+					}
+					if r.ID() == 0 {
+						lat = r.Now() / 20
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(lat), "half-rtt-ticks@1MiB")
+			}
+		})
+	}
+}
+
+// BenchmarkProtocolLimits ablates the eager/RDMA switch points: the
+// 16 KiB message sits on the default rendezvous boundary; moving the
+// boundary above it turns the same traffic into copies.
+func BenchmarkProtocolLimits(b *testing.B) {
+	for _, rdmaLimit := range []int{16 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("rdma-limit=%dKiB", rdmaLimit/1024), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, err := IMBSendRecv(ClusterConfig{
+					Machine: Opteron(), Ranks: 2,
+					Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
+					RdmaLimit: rdmaLimit,
+				}, []int{32 << 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rs[0].BandwidthMBs, "MB/s@32KiB")
+			}
+		})
+	}
+}
+
+// BenchmarkRegCacheBound ablates the pin-down cache size: the smaller the
+// pinned-memory bound, the more re-registration traffic — and the more
+// hugepages help. This is the mechanism behind the Figure 6 communication
+// improvements.
+func BenchmarkRegCacheBound(b *testing.B) {
+	for _, bound := range []int64{0, 2 << 20} { // 0 = unbounded
+		name := "unbounded"
+		if bound > 0 {
+			name = "bound=2MiB"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := NewClusterConfig(ClusterConfig{
+					Machine: Opteron(), Ranks: 2,
+					Allocator: mpi.AllocLibc, LazyDereg: true, HugeATT: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var comm Ticks
+				err = w.Run(func(r *Rank) error {
+					r.Cache().MaxPinned = bound
+					const n, slices = 512 << 10, 8
+					va, _ := r.Malloc(n * slices)
+					peer := 1 - r.ID()
+					for it := 0; it < 6; it++ {
+						for s := 0; s < slices; s++ {
+							off := VA(s * n)
+							if _, err := r.Sendrecv(peer, s, va+off, n, peer, s, va+off, n); err != nil {
+								return err
+							}
+						}
+					}
+					if r.ID() == 0 {
+						comm = r.Profile().CommTime()
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(comm), "comm-ticks")
+			}
+		})
+	}
+}

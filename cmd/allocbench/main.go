@@ -1,0 +1,104 @@
+// Command allocbench regenerates the paper's allocator claims: the
+// Abinit-style trace comparison across all four allocation libraries
+// (Section 2: "allocation benefits of up to 10 times"), and the Section 3
+// design-choice ablations of the hugepage library (-ablate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/alloc"
+	"repro/internal/machine"
+	"repro/internal/phys"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+func newAS(m *machine.Machine) *vm.AddressSpace {
+	mem := phys.NewMemory(m)
+	mem.Scramble(4096)
+	return vm.New(mem)
+}
+
+func main() {
+	mach := flag.String("machine", "opteron", "machine (opteron|xeon|systemp)")
+	ablate := flag.Bool("ablate", false, "run the hugepage-library design ablations instead")
+	flag.Parse()
+	m := machine.ByName(*mach)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "allocbench: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+	ops, slots := workload.AbinitTrace(workload.DefaultAbinitParams())
+
+	if *ablate {
+		variants := []struct {
+			name   string
+			mutate func(*alloc.HugeConfig)
+		}{
+			{"paper design (address-ordered first fit, no coalesce, metadata cache, 4K chunks)", func(c *alloc.HugeConfig) {}},
+			{"ablation: coalesce on free", func(c *alloc.HugeConfig) { c.CoalesceOnFree = true }},
+			{"ablation: in-band metadata (headers)", func(c *alloc.HugeConfig) { c.InBandMetadata = true }},
+			{"ablation: 64K chunks", func(c *alloc.HugeConfig) { c.ChunkSize = 64 << 10 }},
+			{"ablation: 4K threshold (everything huge)", func(c *alloc.HugeConfig) { c.Threshold = 4 << 10 }},
+		}
+		fmt.Printf("hugepage library design ablations on the Abinit trace (%s)\n", m.Name)
+		var base float64
+		for i, v := range variants {
+			cfg := alloc.DefaultHugeConfig()
+			v.mutate(&cfg)
+			a, err := alloc.NewHuge(newAS(m), m.Mem.SyscallTicks, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
+				os.Exit(1)
+			}
+			res, err := alloc.Replay(a, ops, slots)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "allocbench: %s: %v\n", v.name, err)
+				os.Exit(1)
+			}
+			if i == 0 {
+				base = float64(res.AllocTime)
+			}
+			fmt.Printf("%-75s %12v  (%.2fx paper design)\n", v.name, res.AllocTime,
+				float64(res.AllocTime)/base)
+		}
+		return
+	}
+
+	fmt.Printf("allocator comparison on the Abinit-style trace (%s, %d ops)\n", m.Name, len(ops))
+	fmt.Printf("%-26s %14s %10s %12s %12s\n", "library", "alloc time", "speedup", "syscalls", "peak huge MB")
+	mk := []struct {
+		name  string
+		build func() (alloc.Allocator, error)
+	}{
+		{"libc", func() (alloc.Allocator, error) { return alloc.NewLibc(newAS(m), m.Mem.SyscallTicks), nil }},
+		{"hugepage-library", func() (alloc.Allocator, error) {
+			return alloc.NewHuge(newAS(m), m.Mem.SyscallTicks, alloc.DefaultHugeConfig())
+		}},
+		{"libhugetlbfs-morecore", func() (alloc.Allocator, error) { return alloc.NewMorecore(newAS(m), m.Mem.SyscallTicks), nil }},
+		{"libhugepagealloc", func() (alloc.Allocator, error) { return alloc.NewPageSep(newAS(m), m.Mem.SyscallTicks), nil }},
+	}
+	var libcTime float64
+	for i, entry := range mk {
+		a, err := entry.build()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
+			os.Exit(1)
+		}
+		res, err := alloc.Replay(a, ops, slots)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "allocbench: %s: %v\n", entry.name, err)
+			os.Exit(1)
+		}
+		if i == 0 {
+			libcTime = float64(res.AllocTime)
+		}
+		fmt.Printf("%-26s %14v %9.1fx %12d %12.1f\n", entry.name, res.AllocTime,
+			libcTime/float64(res.AllocTime), res.Stats.Syscalls,
+			float64(res.Stats.PeakLive)/float64(1<<20))
+	}
+	fmt.Println("\nnote: libhugepagealloc is additionally not thread safe (modelled; see DESIGN.md)")
+}

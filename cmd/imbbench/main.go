@@ -1,0 +1,142 @@
+// Command imbbench regenerates Figure 5 of the paper (IMB SendRecv
+// bandwidth under the four page-size x lazy-deregistration
+// configurations), the Xeon ATT experiment (E4), and the registration
+// cost sweep (E9).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/imb"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+func main() {
+	mach := flag.String("machine", "opteron", "machine (opteron|xeon|systemp)")
+	att := flag.Bool("att", false, "run the Xeon ATT experiment (patched vs unpatched driver) instead of Figure 5")
+	reg := flag.Bool("reg", false, "run the registration-cost sweep instead of Figure 5")
+	pingpong := flag.Bool("pingpong", false, "run the IMB PingPong latency test instead of Figure 5")
+	exchange := flag.Bool("exchange", false, "run the IMB Exchange test instead of Figure 5")
+	flag.Parse()
+
+	m := machine.ByName(*mach)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "imbbench: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+	switch {
+	case *reg:
+		runReg(m)
+	case *att:
+		runATT(m)
+	case *pingpong:
+		runPingPong(m)
+	case *exchange:
+		runExchange(m)
+	default:
+		runFig5(m)
+	}
+}
+
+func runPingPong(m *machine.Machine) {
+	sizes := []int{0, 1, 64, 1024, 8 << 10, 64 << 10, 1 << 20}
+	rs, err := imb.PingPong(mpi.Config{
+		Machine: m, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
+	}, sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("IMB PingPong (%s)\n%-12s %14s %14s\n", m.Name, "bytes", "latency [us]", "ticks")
+	for _, r := range rs {
+		fmt.Printf("%-12d %14.2f %14d\n", r.Bytes, r.LatencyUsec, r.LatencyTicks)
+	}
+}
+
+func runExchange(m *machine.Machine) {
+	sizes := []int{4 << 10, 64 << 10, 1 << 20}
+	rs, err := imb.Exchange(mpi.Config{
+		Machine: m, Ranks: 4, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
+	}, sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("IMB Exchange, 4 ranks (%s)\n%-12s %14s\n", m.Name, "bytes", "MB/s")
+	for _, r := range rs {
+		fmt.Printf("%-12d %14.1f\n", r.Bytes, r.BandwidthMBs)
+	}
+}
+
+func runFig5(m *machine.Machine) {
+	sizes := imb.DefaultSizes()
+	curves, err := imb.RunFig5(m, sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
+		os.Exit(1)
+	}
+	labels := make([]string, 0, len(curves))
+	for _, c := range imb.Fig5Configs() {
+		labels = append(labels, c.Label)
+	}
+	fmt.Printf("bandwidth comparison with different page sizes (%s)\n", m.Name)
+	fmt.Printf("%-14s", "size [KB]")
+	for _, l := range labels {
+		fmt.Printf("  %-32s", l)
+	}
+	fmt.Println()
+	for i, size := range sizes {
+		fmt.Printf("%-14d", size/1024)
+		for _, l := range labels {
+			fmt.Printf("  %-32.1f", curves[l][i].BandwidthMBs)
+		}
+		fmt.Println()
+	}
+}
+
+func runATT(m *machine.Machine) {
+	sizes := []int{1 << 20, 4 << 20, 16 << 20}
+	fmt.Printf("hugepage ATT-entry effect with lazy deregistration (%s)\n", m.Name)
+	fmt.Printf("%-12s %16s %16s %8s\n", "size [KB]", "4K entries MB/s", "2M entries MB/s", "gain")
+	run := func(patched bool) []imb.SendRecvResult {
+		rs, err := imb.SendRecv(mpi.Config{
+			Machine: m, Ranks: 2,
+			Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: patched,
+		}, sizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
+			os.Exit(1)
+		}
+		return rs
+	}
+	up, p := run(false), run(true)
+	for i, size := range sizes {
+		fmt.Printf("%-12d %16.1f %16.1f %+7.1f%%\n", size/1024,
+			up[i].BandwidthMBs, p[i].BandwidthMBs,
+			100*(p[i].BandwidthMBs/up[i].BandwidthMBs-1))
+	}
+}
+
+func runReg(m *machine.Machine) {
+	var sizes []uint64
+	for s := uint64(2 << 20); s <= 64<<20; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	rows, err := imb.RegistrationSweep(m, sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("memory registration cost by page size (%s)\n", m.Name)
+	fmt.Printf("%-12s %14s %14s %10s %10s %10s\n",
+		"size [KB]", "4K pages", "2M pages", "ratio", "4K MTTs", "2M MTTs")
+	for _, r := range rows {
+		fmt.Printf("%-12d %14v %14v %9.1f%% %10d %10d\n",
+			r.Bytes/1024, r.SmallReg, r.HugeReg, 100*r.HugeFrac, r.SmallMTTs, r.HugeMTTs)
+	}
+}

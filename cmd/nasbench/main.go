@@ -1,0 +1,63 @@
+// Command nasbench regenerates Figure 6 of the paper: the NAS benchmark
+// improvement split (communication / other / overall) with the hugepage
+// library versus libc, plus the Section 5.2 TLB-miss table.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/nas"
+)
+
+func main() {
+	machines := flag.String("machines", "opteron,systemp", "comma-separated machine list")
+	ranks := flag.Int("ranks", 8, "rank count (paper: 2 nodes x 4 processes)")
+	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all)")
+	counters := flag.Bool("counters", false, "print absolute PAPI TLB counters per kernel")
+	profile := flag.Bool("profile", false, "print the mpiP-style per-callsite profile of each hugepage run")
+	flag.Parse()
+
+	var ks []nas.Kernel
+	if *kernels != "" {
+		for _, n := range strings.Split(*kernels, ",") {
+			k := nas.ByName(strings.TrimSpace(n))
+			if k == nil {
+				fmt.Fprintf(os.Stderr, "nasbench: unknown kernel %q\n", n)
+				os.Exit(1)
+			}
+			ks = append(ks, k)
+		}
+	}
+	for _, name := range strings.Split(*machines, ",") {
+		m := machine.ByName(strings.TrimSpace(name))
+		if m == nil {
+			fmt.Fprintf(os.Stderr, "nasbench: unknown machine %q\n", name)
+			os.Exit(1)
+		}
+		rows, err := nas.RunFig6(m, *ranks, ks)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(nas.FormatFig6(m.Name, rows))
+		if *profile {
+			for _, r := range rows {
+				fmt.Printf("\n--- %s, hugepage-library run ---\n%s", strings.ToUpper(r.Kernel), r.Huge.MPIProfile)
+			}
+		}
+		if *counters {
+			for _, r := range rows {
+				fmt.Printf("%-4s libc: %s\n", strings.ToUpper(r.Kernel), r.Small.TLB)
+				fmt.Printf("%-4s huge: %s\n", strings.ToUpper(r.Kernel), r.Huge.TLB)
+				fmt.Printf("%-4s reg: libc=%v huge=%v  evict: libc=%d huge=%d  comm: libc=%v huge=%v\n",
+					strings.ToUpper(r.Kernel), r.Small.RegTicks, r.Huge.RegTicks,
+					r.Small.Evictions, r.Huge.Evictions, r.Small.Comm, r.Huge.Comm)
+			}
+		}
+		fmt.Println()
+	}
+}

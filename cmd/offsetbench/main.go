@@ -1,0 +1,47 @@
+// Command offsetbench regenerates Figure 4 of the paper: work-request
+// duration (TBR ticks) versus the buffer's start offset within a memory
+// page, for small buffer sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/wrbench"
+)
+
+func main() {
+	mach := flag.String("machine", "systemp", "machine (opteron|xeon|systemp)")
+	flag.Parse()
+	m := machine.ByName(*mach)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "offsetbench: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+	sizes := []int{8, 16, 32, 64}
+	offsets := wrbench.DefaultOffsets()
+	results, err := wrbench.OffsetSweep(m, offsets, sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("work request execution time with different offsets (%s)\n", m.Name)
+	fmt.Printf("%-8s", "offset")
+	for _, s := range sizes {
+		fmt.Printf("  buffersize=%-4d", s)
+	}
+	fmt.Println()
+	for _, off := range offsets {
+		fmt.Printf("%-8d", off)
+		for _, s := range sizes {
+			for _, r := range results {
+				if r.Offset == off && r.SGESize == s {
+					fmt.Printf("  %-15d", r.Total())
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

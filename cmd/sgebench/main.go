@@ -1,0 +1,59 @@
+// Command sgebench regenerates Figure 3 of the paper: send work-request
+// duration (in TBR ticks, split into post and poll) for different numbers
+// of scatter/gather elements over a ladder of SGE sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/wrbench"
+)
+
+func main() {
+	mach := flag.String("machine", "systemp", "machine (opteron|xeon|systemp); the paper used the IBM System p")
+	counts := flag.String("sges", "1,2,4,8", "comma-separated SGE counts (Figure 3 plots 1,2,4,8; the text also discusses 128)")
+	flag.Parse()
+
+	m := machine.ByName(*mach)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "sgebench: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+	var sgeCounts []int
+	for _, c := range strings.Split(*counts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "sgebench: bad SGE count %q\n", c)
+			os.Exit(1)
+		}
+		sgeCounts = append(sgeCounts, n)
+	}
+	sizes := wrbench.DefaultSGESizes()
+	results, err := wrbench.SGESweep(m, sgeCounts, sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("send operations with different number of scatter gather elements (%s)\n", m.Name)
+	fmt.Printf("%-10s", "SGE size")
+	for _, c := range sgeCounts {
+		fmt.Printf("%8d SGE%s post/poll", c, map[bool]string{true: "s", false: " "}[c > 1])
+	}
+	fmt.Println()
+	for _, size := range sizes {
+		fmt.Printf("%-10d", size)
+		for _, c := range sgeCounts {
+			for _, r := range results {
+				if r.SGEs == c && r.SGESize == size {
+					fmt.Printf("%12d /%9d", r.PostTicks, r.PollTicks)
+				}
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,65 @@
+// Latency: survey the three test systems with the IMB PingPong pattern
+// and show where the Section 4 effects live — the post/poll split of a
+// small work request, the offset sweet spot, and the protocol switch
+// points a message crosses as it grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	sizes := []int{0, 64, 1024, 8 << 10, 32 << 10, 1 << 20}
+
+	fmt.Println("IMB PingPong half-round-trip latency [us]")
+	fmt.Printf("%-10s", "bytes")
+	for _, m := range repro.Machines() {
+		fmt.Printf(" %26s", m.Name)
+	}
+	fmt.Println()
+	tables := make([][]float64, len(sizes))
+	for mi, m := range repro.Machines() {
+		rs, err := repro.IMBPingPong(repro.ClusterConfig{
+			Machine: m, Allocator: "huge", LazyDereg: true, HugeATT: true,
+		}, sizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for si, r := range rs {
+			if mi == 0 {
+				tables[si] = make([]float64, len(repro.Machines()))
+			}
+			tables[si][mi] = r.LatencyUsec
+		}
+	}
+	for si, size := range sizes {
+		fmt.Printf("%-10d", size)
+		for _, v := range tables[si] {
+			fmt.Printf(" %26.2f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nnote the step between 8 KiB (eager copy) and 32 KiB (rendezvous with")
+	fmt.Println("registration handshake) — the protocol switch MVAPICH2 makes at 16 KiB.")
+
+	// The Section 4 microscope: where does a small send's time go?
+	m := repro.SystemP()
+	rs, err := repro.SGESweep(m, []int{1, 4}, []int{64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n64 B work request on %s (TBR ticks):\n", m.Name)
+	for _, r := range rs {
+		fmt.Printf("  %d SGE(s): post %4d + poll %4d = %4d\n", r.SGEs, r.PostTicks, r.PollTicks, r.Total())
+	}
+	off, err := repro.OffsetSweep(m, []int{0, 64}, []int{64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  offset 0 vs 64: %d vs %d ticks (%.1f%% saved by the Figure 4 sweet spot)\n",
+		off[0].Total(), off[1].Total(),
+		100*(1-float64(off[1].Total())/float64(off[0].Total())))
+}

@@ -1,0 +1,70 @@
+package alloc
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+	"repro/internal/vm"
+)
+
+// TraceOp is one step of an allocation trace: either allocate Size bytes
+// into slot Slot, or free whatever slot Slot holds.
+type TraceOp struct {
+	Alloc bool
+	Size  uint64
+	Slot  int
+}
+
+// ReplayResult summarises one trace replay.
+type ReplayResult struct {
+	Ops       int
+	AllocTime simtime.Ticks // allocator CPU time consumed by the trace
+	Stats     Stats
+}
+
+// Replay drives an allocator through a trace. Slots model the
+// application's live pointers; replaying the same trace against different
+// allocators is how the Abinit claim (E7) and the design ablations (E8)
+// are measured. Any leftover live slots are freed at the end so repeated
+// replays start from the same state.
+func Replay(a Allocator, ops []TraceOp, slots int) (ReplayResult, error) {
+	live := make(map[int]vm.VA) // slot -> va
+	before := a.Stats().Ticks
+	for i, op := range ops {
+		if op.Slot < 0 || op.Slot >= slots {
+			return ReplayResult{}, fmt.Errorf("alloc: trace op %d: slot %d out of range", i, op.Slot)
+		}
+		if op.Alloc {
+			if va, ok := live[op.Slot]; ok {
+				if err := a.Free(va); err != nil {
+					return ReplayResult{}, fmt.Errorf("alloc: trace op %d implicit free: %w", i, err)
+				}
+			}
+			va, err := a.Alloc(op.Size)
+			if err != nil {
+				return ReplayResult{}, fmt.Errorf("alloc: trace op %d alloc %d: %w", i, op.Size, err)
+			}
+			live[op.Slot] = va
+		} else {
+			va, ok := live[op.Slot]
+			if !ok {
+				continue // free of an empty slot is a no-op in traces
+			}
+			delete(live, op.Slot)
+			if err := a.Free(va); err != nil {
+				return ReplayResult{}, fmt.Errorf("alloc: trace op %d free: %w", i, err)
+			}
+		}
+	}
+	for slot, va := range live {
+		if err := a.Free(va); err != nil {
+			return ReplayResult{}, fmt.Errorf("alloc: trace teardown slot %d: %w", slot, err)
+		}
+	}
+	st := a.Stats()
+	return ReplayResult{
+		Ops:       len(ops),
+		AllocTime: st.Ticks - before,
+		Stats:     st,
+	}, nil
+}

@@ -1,0 +1,166 @@
+// Package core is the paper's contribution assembled into one policy
+// object: efficient data placement strategies for InfiniBand
+// communication. A Strategy bundles
+//
+//   - transparent hugepage placement for large buffers (Section 3's
+//     library: requests >= 32 KiB go to hugepages),
+//   - lazy deregistration through the pin-down cache,
+//   - the driver patch that pushes hugepage-granularity translations to
+//     the adapter (fewer ATT misses),
+//   - scatter/gather aggregation for small non-contiguous buffers
+//     (Section 4: one work request, many SGEs),
+//   - the preferred buffer offset within a page (Figure 4: offset 64).
+//
+// Strategies turn into mpi.Config values for running applications, and
+// offer the cost advisors (aggregate-or-pack, placement-for-size) that a
+// communication library would consult.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/simtime"
+)
+
+// Strategy is one complete data-placement policy.
+type Strategy struct {
+	Machine *machine.Machine
+	// UseHugepages places large allocations in hugepages via the
+	// Section 3 library; false means plain libc placement.
+	UseHugepages bool
+	// Threshold is the smallest request placed in hugepages (32 KiB in
+	// the paper — below it small pages behave better and hugepage TLB
+	// entries are too precious).
+	Threshold uint64
+	// LazyDereg keeps registrations cached (pin-down cache).
+	LazyDereg bool
+	// HugeATT sends 2 MiB translations to the adapter (the OpenIB patch).
+	HugeATT bool
+	// AggregateSGEs maps non-contiguous sends onto scatter/gather lists
+	// instead of MPI_Pack copies when the cost model favours it.
+	AggregateSGEs bool
+	// PreferredOffset is the in-page start offset the DMA path likes
+	// best (Figure 4: 64).
+	PreferredOffset uint64
+}
+
+// Baseline is the do-nothing policy: libc placement, no registration
+// cache, no aggregation — the worst curve of Figure 5.
+func Baseline(m *machine.Machine) Strategy {
+	return Strategy{Machine: m, Threshold: 32 << 10, PreferredOffset: 64}
+}
+
+// Recommended is the paper's full recipe.
+func Recommended(m *machine.Machine) Strategy {
+	return Strategy{
+		Machine:         m,
+		UseHugepages:    true,
+		Threshold:       32 << 10,
+		LazyDereg:       true,
+		HugeATT:         m.HCA.SupportsHugeATT,
+		AggregateSGEs:   true,
+		PreferredOffset: 64,
+	}
+}
+
+// Validate rejects inconsistent policies.
+func (s Strategy) Validate() error {
+	if s.Machine == nil {
+		return fmt.Errorf("core: strategy needs a machine")
+	}
+	if s.Threshold == 0 {
+		return fmt.Errorf("core: zero hugepage threshold (use Baseline/Recommended)")
+	}
+	if s.HugeATT && !s.Machine.HCA.SupportsHugeATT {
+		return fmt.Errorf("core: %s cannot hold hugepage ATT entries", s.Machine.HCA.Name)
+	}
+	return nil
+}
+
+// MPIConfig turns the policy into a runnable job configuration.
+func (s Strategy) MPIConfig(ranks int) mpi.Config {
+	ak := mpi.AllocLibc
+	if s.UseHugepages {
+		ak = mpi.AllocHuge
+	}
+	return mpi.Config{
+		Machine:   s.Machine,
+		Ranks:     ranks,
+		Allocator: ak,
+		LazyDereg: s.LazyDereg,
+		HugeATT:   s.HugeATT,
+	}
+}
+
+// Placement is the advisor's verdict for one buffer.
+type Placement struct {
+	Huge bool
+	// RegisterOnce reports whether the buffer should be registered
+	// eagerly and kept (reused buffers under lazy deregistration).
+	RegisterOnce bool
+	// SuggestedOffset is the in-page offset to start small buffers at.
+	SuggestedOffset uint64
+}
+
+// PlaceBuffer recommends placement for a buffer of the given size that
+// will be reused `reuses` times for communication.
+func (s Strategy) PlaceBuffer(size uint64, reuses int) Placement {
+	return Placement{
+		Huge:            s.UseHugepages && size >= s.Threshold,
+		RegisterOnce:    s.LazyDereg && reuses > 1,
+		SuggestedOffset: s.PreferredOffset,
+	}
+}
+
+// EstimatePackCost models the classic MPI_Pack path for a non-contiguous
+// send: per-piece CPU copies into a staging buffer, then one 1-SGE work
+// request reading the staging buffer.
+func (s Strategy) EstimatePackCost(pieces, pieceLen int) simtime.Ticks {
+	total := int64(pieces) * int64(pieceLen)
+	copyCost := simtime.BandwidthTicks(total, s.Machine.Mem.CopyBandwidthMBs)
+	h := s.Machine.HCA
+	post := h.DoorbellTicks + h.WQEBaseTicks
+	dma := s.Machine.Bus.TxnTicks + simtime.BandwidthTicks(total, s.Machine.Bus.BandwidthMBs)
+	return copyCost + post + dma
+}
+
+// EstimateGatherCost models the Section 4 path: one work request with one
+// SGE per piece; the adapter fetches the pieces itself, pipelining the
+// per-transaction setup of all but the first.
+func (s Strategy) EstimateGatherCost(pieces, pieceLen int) simtime.Ticks {
+	h := s.Machine.HCA
+	post := h.DoorbellTicks + h.WQEBaseTicks + simtime.Ticks(pieces-1)*h.WQESGETicks
+	lines := simtime.Ticks((pieceLen + machine.CacheLineSize - 1) / machine.CacheLineSize)
+	lineCost := simtime.BandwidthTicks(machine.CacheLineSize, s.Machine.Bus.BandwidthMBs)
+	perPiece := lines * lineCost
+	dma := s.Machine.Bus.TxnTicks + simtime.Ticks(pieces)*perPiece
+	return post + dma
+}
+
+// ShouldAggregate decides pack-vs-gather for a non-contiguous send. With
+// AggregateSGEs disabled it always packs.
+func (s Strategy) ShouldAggregate(pieces, pieceLen int) bool {
+	if !s.AggregateSGEs || pieces < 2 {
+		return false
+	}
+	return s.EstimateGatherCost(pieces, pieceLen) < s.EstimatePackCost(pieces, pieceLen)
+}
+
+// AlignOffset shifts a proposed in-page offset to the preferred one when
+// the move is free (the buffer has slack); otherwise returns the input.
+func (s Strategy) AlignOffset(off, slack uint64) uint64 {
+	if s.PreferredOffset == 0 {
+		return off
+	}
+	pref := s.PreferredOffset
+	if off%machine.SmallPageSize == pref {
+		return off
+	}
+	delta := (pref + machine.SmallPageSize - off%machine.SmallPageSize) % machine.SmallPageSize
+	if delta <= slack {
+		return off + delta
+	}
+	return off
+}

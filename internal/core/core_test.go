@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+func TestRecommendedIsValidEverywhere(t *testing.T) {
+	for _, m := range machine.All() {
+		s := Recommended(m)
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if !s.UseHugepages || !s.LazyDereg || !s.AggregateSGEs {
+			t.Errorf("%s: recommended strategy missing a paper feature: %+v", m.Name, s)
+		}
+		if s.Threshold != 32<<10 {
+			t.Errorf("%s: threshold %d, want 32 KiB", m.Name, s.Threshold)
+		}
+		if s.PreferredOffset != 64 {
+			t.Errorf("%s: preferred offset %d, want 64", m.Name, s.PreferredOffset)
+		}
+	}
+}
+
+func TestValidateRejectsBadStrategies(t *testing.T) {
+	if err := (Strategy{}).Validate(); err == nil {
+		t.Error("machineless strategy accepted")
+	}
+	s := Recommended(machine.Opteron())
+	s.Threshold = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	s2 := Recommended(machine.Opteron())
+	s2.Machine = &machine.Machine{Name: "noatt", HCA: machine.Opteron().HCA}
+	s2.Machine.HCA.SupportsHugeATT = false
+	s2.HugeATT = true
+	if err := s2.Validate(); err == nil {
+		t.Error("HugeATT on unsupporting adapter accepted")
+	}
+}
+
+func TestMPIConfigMapping(t *testing.T) {
+	m := machine.Opteron()
+	cfg := Recommended(m).MPIConfig(8)
+	if cfg.Allocator != mpi.AllocHuge || !cfg.LazyDereg || !cfg.HugeATT || cfg.Ranks != 8 {
+		t.Fatalf("recommended config wrong: %+v", cfg)
+	}
+	base := Baseline(m).MPIConfig(2)
+	if base.Allocator != mpi.AllocLibc || base.LazyDereg || base.HugeATT {
+		t.Fatalf("baseline config wrong: %+v", base)
+	}
+}
+
+func TestPlaceBufferThreshold(t *testing.T) {
+	s := Recommended(machine.Opteron())
+	if s.PlaceBuffer(16<<10, 1).Huge {
+		t.Error("16 KiB buffer placed in hugepages")
+	}
+	if !s.PlaceBuffer(64<<10, 1).Huge {
+		t.Error("64 KiB buffer not placed in hugepages")
+	}
+	if s.PlaceBuffer(64<<10, 1).RegisterOnce {
+		t.Error("single-use buffer marked register-once")
+	}
+	if !s.PlaceBuffer(64<<10, 100).RegisterOnce {
+		t.Error("reused buffer not marked register-once")
+	}
+}
+
+func TestShouldAggregateSmallPieces(t *testing.T) {
+	// Section 4's sweet spot: several small pieces -> gather beats pack.
+	s := Recommended(machine.SystemP())
+	if !s.ShouldAggregate(4, 128) {
+		t.Error("4 x 128B should aggregate (Figure 3's case)")
+	}
+	if s.ShouldAggregate(1, 128) {
+		t.Error("a single piece never aggregates")
+	}
+	// Disabled policy never aggregates.
+	s.AggregateSGEs = false
+	if s.ShouldAggregate(4, 128) {
+		t.Error("disabled policy aggregated")
+	}
+}
+
+func TestCostModelsCrossOver(t *testing.T) {
+	// Packing wins for many tiny pieces: the per-SGE descriptor and
+	// line-granular fetch overheads exceed the cost of just copying the
+	// few bytes (cf. Wu/Wyckoff/Panda on non-contiguous access). The
+	// advisor must flip to packing as pieces shrink and multiply.
+	s := Recommended(machine.SystemP())
+	if !s.ShouldAggregate(8, 64) {
+		t.Error("8 x 64B should aggregate")
+	}
+	if s.ShouldAggregate(128, 4) {
+		t.Error("128 x 4B should pack: copy is cheaper than 128 SGE fetches")
+	}
+	flipped := false
+	for pieces := 2; pieces <= 512; pieces *= 2 {
+		if !s.ShouldAggregate(pieces, 8) {
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Error("advisor never flips to packing for tiny pieces")
+	}
+}
+
+func TestAlignOffset(t *testing.T) {
+	s := Recommended(machine.Opteron())
+	if got := s.AlignOffset(0, 4096); got != 64 {
+		t.Errorf("AlignOffset(0) = %d, want 64", got)
+	}
+	if got := s.AlignOffset(64, 0); got != 64 {
+		t.Errorf("already-aligned offset moved to %d", got)
+	}
+	// No slack: cannot move.
+	if got := s.AlignOffset(10, 3); got != 10 {
+		t.Errorf("AlignOffset without slack moved to %d", got)
+	}
+	// Offset past 64 within the page: moves to 64 of the NEXT page.
+	if got := s.AlignOffset(100, 4096); got != 100+(64+4096-100) {
+		t.Errorf("AlignOffset(100) = %d", got)
+	}
+}

@@ -1,0 +1,77 @@
+package hca
+
+// attCache is the on-adapter address translation table: a set-associative
+// cache over MTT entries, keyed by (lkey, page index). A miss forces the
+// adapter to fetch the translation from host memory across the IO bus,
+// which is the effect behind the paper's Xeon result: pushing 2 MiB
+// translations (1/512th the entries) raises SendRecv bandwidth by ≈ 6 %
+// on the PCI-X system, where those fetches compete with payload DMA.
+
+type attKey struct {
+	lkey uint32
+	page int
+}
+
+type attEntry struct {
+	valid bool
+	key   attKey
+	age   uint64
+}
+
+type attCache struct {
+	sets [][]attEntry
+	tick uint64
+}
+
+func newATTCache(entries, ways int) *attCache {
+	if ways <= 0 {
+		ways = 1
+	}
+	if entries < ways {
+		entries = ways
+	}
+	nsets := entries / ways
+	c := &attCache{sets: make([][]attEntry, nsets)}
+	for i := range c.sets {
+		c.sets[i] = make([]attEntry, ways)
+	}
+	return c
+}
+
+// access looks up (lkey,page), installing it on miss; reports hit.
+func (c *attCache) access(lkey uint32, page int) bool {
+	c.tick++
+	k := attKey{lkey, page}
+	h := (uint64(lkey)*0x9E3779B97F4A7C15 + uint64(page)*0xBF58476D1CE4E5B9)
+	set := c.sets[h%uint64(len(c.sets))]
+	for i := range set {
+		if set[i].valid && set[i].key == k {
+			set[i].age = c.tick
+			return true
+		}
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].age < set[victim].age {
+			victim = i
+		}
+	}
+	set[victim] = attEntry{valid: true, key: k, age: c.tick}
+	return false
+}
+
+// invalidate drops every entry belonging to one memory region (MR
+// deregistration shoots its translations down).
+func (c *attCache) invalidate(lkey uint32) {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].key.lkey == lkey {
+				set[i] = attEntry{}
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package hca
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/phys"
+	"repro/internal/vm"
+)
+
+// rig builds an address space + adapter pair on one machine.
+func rig(t *testing.T, m *machine.Machine) (*vm.AddressSpace, *HCA) {
+	t.Helper()
+	mem := phys.NewMemory(m)
+	as := vm.New(mem)
+	return as, New(m, mem)
+}
+
+// reg maps, pins and installs a buffer, returning VA and MR.
+func reg(t *testing.T, as *vm.AddressSpace, h *HCA, size uint64, huge, hugeATT bool) (vm.VA, *MR) {
+	t.Helper()
+	var va vm.VA
+	var err error
+	if huge {
+		va, err = as.MapHuge(size)
+	} else {
+		va, err = as.MapSmall(size)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := as.Pin(va, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := h.InstallMR(va, size, pages, hugeATT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return va, mr
+}
+
+func TestMTTEntryCounts(t *testing.T) {
+	m := machine.Opteron()
+	as, h := rig(t, m)
+	// 1 MiB small-page buffer: 256 entries.
+	_, mr := reg(t, as, h, 1<<20, false, false)
+	if mr.NumEntries() != 256 {
+		t.Fatalf("small 1MiB: %d entries, want 256", mr.NumEntries())
+	}
+	// 4 MiB hugepage buffer without the patch: driver pretends 4K -> 1024.
+	_, mr2 := reg(t, as, h, 4<<20, true, false)
+	if mr2.NumEntries() != 1024 {
+		t.Fatalf("huge unpatched: %d entries, want 1024", mr2.NumEntries())
+	}
+	// Same with the patch: 2 entries.
+	_, mr3 := reg(t, as, h, 4<<20, true, true)
+	if mr3.NumEntries() != 2 {
+		t.Fatalf("huge patched: %d entries, want 2", mr3.NumEntries())
+	}
+	if mr3.PageShift != 21 || mr2.PageShift != 12 {
+		t.Fatal("page shifts wrong")
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	m := machine.Opteron()
+	as, h := rig(t, m)
+	va, mr := reg(t, as, h, 64<<10, false, false)
+
+	in := make([]byte, 9000) // crosses pages
+	for i := range in {
+		in[i] = byte(i * 13)
+	}
+	if err := as.Write(va+100, in); err != nil {
+		t.Fatal(err)
+	}
+	data, cost, err := h.Gather([]SGE{{Addr: va + 100, Length: uint32(len(in)), LKey: mr.LKey}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("gather must cost time")
+	}
+	for i := range in {
+		if data[i] != in[i] {
+			t.Fatalf("gather corrupted byte %d", i)
+		}
+	}
+	// Scatter into a second buffer and verify.
+	va2, mr2 := reg(t, as, h, 64<<10, false, false)
+	if _, err := h.Scatter([]SGE{{Addr: va2 + 5, Length: uint32(len(in)), LKey: mr2.LKey}}, data); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := as.Read(va2+5, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("scatter corrupted byte %d", i)
+		}
+	}
+}
+
+func TestMultiSGEGatherOrder(t *testing.T) {
+	m := machine.SystemP()
+	as, h := rig(t, m)
+	va, mr := reg(t, as, h, 16<<10, false, false)
+	_ = as.Write(va, []byte("AAAA"))
+	_ = as.Write(va+8192, []byte("BBBB"))
+	data, _, err := h.Gather([]SGE{
+		{Addr: va + 8192, Length: 4, LKey: mr.LKey},
+		{Addr: va, Length: 4, LKey: mr.LKey},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "BBBBAAAA" {
+		t.Fatalf("gather order wrong: %q", data)
+	}
+}
+
+func TestScatterAcrossSGEs(t *testing.T) {
+	m := machine.Opteron()
+	as, h := rig(t, m)
+	va, mr := reg(t, as, h, 16<<10, false, false)
+	payload := []byte("0123456789")
+	if _, err := h.Scatter([]SGE{
+		{Addr: va, Length: 4, LKey: mr.LKey},
+		{Addr: va + 4096, Length: 6, LKey: mr.LKey},
+	}, payload); err != nil {
+		t.Fatal(err)
+	}
+	a := make([]byte, 4)
+	b := make([]byte, 6)
+	_ = as.Read(va, a)
+	_ = as.Read(va+4096, b)
+	if string(a) != "0123" || string(b) != "456789" {
+		t.Fatalf("scatter split wrong: %q %q", a, b)
+	}
+}
+
+func TestScatterOverflowRejected(t *testing.T) {
+	m := machine.Opteron()
+	as, h := rig(t, m)
+	va, mr := reg(t, as, h, 4096, false, false)
+	_, err := h.Scatter([]SGE{{Addr: va, Length: 8, LKey: mr.LKey}}, make([]byte, 16))
+	if !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("got %v, want ErrOutOfBounds", err)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	m := machine.Opteron()
+	as, h := rig(t, m)
+	va, mr := reg(t, as, h, 8192, false, false)
+	if _, _, err := h.Gather([]SGE{{Addr: va + 8000, Length: 500, LKey: mr.LKey}}); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("overrun: got %v", err)
+	}
+	if _, _, err := h.Gather([]SGE{{Addr: va, Length: 8, LKey: 0xdead}}); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("bad key: got %v", err)
+	}
+}
+
+func TestRKeyScatterRDMA(t *testing.T) {
+	m := machine.Opteron()
+	as, h := rig(t, m)
+	va, mr := reg(t, as, h, 1<<20, false, false)
+	payload := make([]byte, 300000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if _, err := h.ScatterRDMA(mr.RKey, va+7, payload); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(payload))
+	_ = as.Read(va+7, out)
+	for i := range payload {
+		if out[i] != payload[i] {
+			t.Fatalf("RDMA write corrupted byte %d", i)
+		}
+	}
+}
+
+func TestPostCostSublinearInSGEs(t *testing.T) {
+	// Figure 3 text: 128 SGEs cost only ~3x one SGE.
+	m := machine.SystemP()
+	_, h := rig(t, m)
+	c1 := h.PostCost(1)
+	c128 := h.PostCost(128)
+	ratio := float64(c128) / float64(c1)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("post(128)/post(1) = %.2f, want ~3", ratio)
+	}
+	// Paper: post overhead 450-650 ticks for small WRs.
+	if c1 < 400 || c1 > 700 {
+		t.Fatalf("post(1) = %d ticks, want 450-650", c1)
+	}
+}
+
+func TestATTMissesDropWithHugeEntries(t *testing.T) {
+	m := machine.Xeon()
+	as, h := rig(t, m)
+	// Buffer far larger than the ATT reach in 4K entries.
+	const size = 8 << 20
+	va, mr := reg(t, as, h, size, true, false) // unpatched: 2048 entries
+	sge := []SGE{{Addr: va, Length: size, LKey: mr.LKey}}
+	for i := 0; i < 3; i++ {
+		if _, _, err := h.Gather(sge); err != nil {
+			t.Fatal(err)
+		}
+	}
+	unpatchedMisses := h.Stats().ATTMisses
+
+	h.ResetATT()
+	va2, mr2 := reg(t, as, h, size, true, true) // patched: 4 entries
+	sge2 := []SGE{{Addr: va2, Length: size, LKey: mr2.LKey}}
+	for i := 0; i < 3; i++ {
+		if _, _, err := h.Gather(sge2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	patchedMisses := h.Stats().ATTMisses
+	if patchedMisses*50 > unpatchedMisses {
+		t.Fatalf("huge ATT entries should slash misses: %d vs %d", patchedMisses, unpatchedMisses)
+	}
+}
+
+func TestRemoveMRInvalidatesKey(t *testing.T) {
+	m := machine.Opteron()
+	as, h := rig(t, m)
+	va, mr := reg(t, as, h, 4096, false, false)
+	if err := h.RemoveMR(mr.LKey); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.Gather([]SGE{{Addr: va, Length: 8, LKey: mr.LKey}}); !errors.Is(err, ErrBadKey) {
+		t.Fatalf("stale key accepted: %v", err)
+	}
+	if err := h.RemoveMR(mr.LKey); !errors.Is(err, ErrBadKey) {
+		t.Fatal("double remove accepted")
+	}
+	if h.Stats().MTTEntries != 0 {
+		t.Fatal("MTT accounting leaked")
+	}
+}
+
+func TestWireCostShape(t *testing.T) {
+	m := machine.Opteron()
+	_, h := rig(t, m)
+	small := h.WireCost(1)
+	big := h.WireCost(4 << 20)
+	if small <= 0 || big <= small {
+		t.Fatal("wire cost shape wrong")
+	}
+	// Large messages approach wire bandwidth: doubling size ~doubles cost.
+	r := float64(h.WireCost(8<<20)) / float64(big)
+	if r < 1.8 || r > 2.2 {
+		t.Fatalf("large-message scaling %f, want ~2", r)
+	}
+}
+
+func TestTotalLen(t *testing.T) {
+	if TotalLen([]SGE{{Length: 3}, {Length: 5}}) != 8 {
+		t.Fatal("TotalLen broken")
+	}
+	if TotalLen(nil) != 0 {
+		t.Fatal("TotalLen(nil) != 0")
+	}
+}

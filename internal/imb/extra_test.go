@@ -1,0 +1,79 @@
+package imb
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+)
+
+func lazyHugeCfg(m *machine.Machine, ranks int) mpi.Config {
+	return mpi.Config{
+		Machine: m, Ranks: ranks,
+		Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
+	}
+}
+
+func TestPingPongLatencyShape(t *testing.T) {
+	sizes := []int{0, 64, 1024, 8 << 10, 64 << 10, 1 << 20}
+	rs, err := PingPong(lazyHugeCfg(machine.Opteron(), 2), sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		t.Logf("%8dB: %7.2f us", r.Bytes, r.LatencyUsec)
+		if i > 0 && r.LatencyTicks < rs[i-1].LatencyTicks {
+			t.Errorf("latency not monotone at %d bytes", r.Bytes)
+		}
+	}
+	// Zero-byte latency is the wire+software floor: single-digit us.
+	if rs[0].LatencyUsec < 1 || rs[0].LatencyUsec > 20 {
+		t.Errorf("0-byte half-RTT %.2f us outside plausible band", rs[0].LatencyUsec)
+	}
+	// Large messages approach wire bandwidth: 1 MiB at ~880 MB/s ≈ 1.2 ms.
+	if got := rs[len(rs)-1].LatencyUsec; got < 900 || got > 2500 {
+		t.Errorf("1 MiB half-RTT %.0f us outside wire-bandwidth band", got)
+	}
+}
+
+func TestPingPongEagerRendezvousStep(t *testing.T) {
+	// Crossing the 16 KiB RDMA threshold adds the rendezvous handshake:
+	// latency must jump more than the size ratio alone explains.
+	rs, err := PingPong(lazyHugeCfg(machine.Opteron(), 2), []int{8 << 10, 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jump := float64(rs[1].LatencyTicks) / float64(rs[0].LatencyTicks)
+	if jump < 1.5 {
+		t.Errorf("eager->rendezvous step only %.2fx", jump)
+	}
+}
+
+func TestExchangeBandwidth(t *testing.T) {
+	rs, err := Exchange(lazyHugeCfg(machine.Opteron(), 4), []int{256 << 10, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		t.Logf("%8dB: %7.1f MB/s per rank", r.Bytes, r.BandwidthMBs)
+		if r.BandwidthMBs <= 0 {
+			t.Fatal("non-positive bandwidth")
+		}
+	}
+	// Exchange moves 4x the bytes of one transfer per iteration but the
+	// two directions share the NIC: aggregate must exceed the SendRecv
+	// plateau slightly, not quadruple it.
+	if rs[1].BandwidthMBs < 1000 || rs[1].BandwidthMBs > 4000 {
+		t.Errorf("exchange bandwidth %.0f MB/s implausible", rs[1].BandwidthMBs)
+	}
+}
+
+func TestExchangeAllAllocators(t *testing.T) {
+	for _, ak := range []mpi.AllocatorKind{mpi.AllocLibc, mpi.AllocHuge} {
+		cfg := lazyHugeCfg(machine.Opteron(), 4)
+		cfg.Allocator = ak
+		if _, err := Exchange(cfg, []int{64 << 10}); err != nil {
+			t.Fatalf("%s: %v", ak, err)
+		}
+	}
+}

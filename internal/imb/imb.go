@@ -1,0 +1,232 @@
+// Package imb reimplements the Intel MPI Benchmarks SendRecv test the
+// paper uses for Figure 5, plus the registration-cost sweep (E9) behind
+// its Section 5.1 discussion.
+//
+// IMB SendRecv forms a periodic chain: every rank sends to its right
+// neighbour and receives from its left neighbour simultaneously, and the
+// reported bandwidth counts both directions (2 x message size per
+// iteration), which is how the paper's ~1750 MB/s on a PCIe InfiniHost
+// (unidirectional wire ~950 MB/s) comes about.
+package imb
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/simtime"
+	"repro/internal/verbs"
+	"repro/internal/vm"
+)
+
+// SendRecvResult is one row of the Figure 5 series.
+type SendRecvResult struct {
+	Bytes        int
+	Iters        int
+	TicksPerIter simtime.Ticks
+	// BandwidthMBs is the IMB-style bidirectional bandwidth.
+	BandwidthMBs float64
+	// RegTicks is total registration time spent during the timed phase
+	// (separates the two regimes of Figure 5).
+	RegTicks simtime.Ticks
+	// ATTMissRate is the adapter translation-cache miss rate during the
+	// timed phase (the Xeon effect, E4).
+	ATTMissRate float64
+}
+
+// DefaultSizes is the IMB size ladder used for Figure 5 (4 KiB–16 MiB).
+func DefaultSizes() []int {
+	var s []int
+	for n := 4 << 10; n <= 16<<20; n *= 2 {
+		s = append(s, n)
+	}
+	return s
+}
+
+// iterationsFor scales iteration counts down with size like IMB does.
+func iterationsFor(bytes int) int {
+	switch {
+	case bytes <= 64<<10:
+		return 40
+	case bytes <= 1<<20:
+		return 16
+	default:
+		return 6
+	}
+}
+
+// SendRecv runs the benchmark under one MPI configuration and returns a
+// row per message size.
+func SendRecv(cfg mpi.Config, sizes []int) ([]SendRecvResult, error) {
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 2
+	}
+	w, err := mpi.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]SendRecvResult, len(sizes))
+	maxBytes := 0
+	for _, s := range sizes {
+		if s > maxBytes {
+			maxBytes = s
+		}
+	}
+	err = w.Run(func(r *mpi.Rank) error {
+		// One send and one receive buffer, reused across all sizes and
+		// iterations — exactly IMB's allocation pattern, and what makes
+		// lazy deregistration shine.
+		sva, err := r.Malloc(uint64(maxBytes))
+		if err != nil {
+			return err
+		}
+		rva, err := r.Malloc(uint64(maxBytes))
+		if err != nil {
+			return err
+		}
+		fill := make([]byte, maxBytes)
+		for i := range fill {
+			fill[i] = byte(i)
+		}
+		if err := r.WriteBytes(sva, fill); err != nil {
+			return err
+		}
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() - 1 + r.Size()) % r.Size()
+
+		for si, bytes := range sizes {
+			iters := iterationsFor(bytes)
+			if err := r.Barrier(); err != nil {
+				return err
+			}
+			// Warmup iteration (IMB does this; it also populates the
+			// registration cache so the timed phase measures the regime,
+			// not the cold start).
+			if _, err := r.Sendrecv(right, si, sva, bytes, left, si, rva, bytes); err != nil {
+				return err
+			}
+			if err := r.Barrier(); err != nil {
+				return err
+			}
+			regBefore := r.Verbs().Stats().RegTicks
+			attBefore := r.Verbs().HW.Stats()
+			t0 := r.Now()
+			for it := 0; it < iters; it++ {
+				if _, err := r.Sendrecv(right, si, sva, bytes, left, si, rva, bytes); err != nil {
+					return err
+				}
+			}
+			elapsed := r.Now() - t0
+			if r.ID() == 0 {
+				att := r.Verbs().HW.Stats()
+				hits := att.ATTHits - attBefore.ATTHits
+				miss := att.ATTMisses - attBefore.ATTMisses
+				var missRate float64
+				if hits+miss > 0 {
+					missRate = float64(miss) / float64(hits+miss)
+				}
+				per := elapsed / simtime.Ticks(iters)
+				results[si] = SendRecvResult{
+					Bytes:        bytes,
+					Iters:        iters,
+					TicksPerIter: per,
+					BandwidthMBs: 2 * float64(bytes) / (float64(per.Nanos()) / 1000.0), // MB/s with 1e6 B/MB
+					RegTicks:     r.Verbs().Stats().RegTicks - regBefore,
+					ATTMissRate:  missRate,
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Fig5Config names one of the four Figure 5 configurations.
+type Fig5Config struct {
+	Label     string
+	Allocator mpi.AllocatorKind
+	LazyDereg bool
+}
+
+// Fig5Configs returns the four curves of Figure 5 in the paper's order:
+// small pages, hugepages, small pages + lazy deregistration, hugepages +
+// lazy deregistration.
+func Fig5Configs() []Fig5Config {
+	return []Fig5Config{
+		{Label: "small pages", Allocator: mpi.AllocLibc, LazyDereg: false},
+		{Label: "hugepages", Allocator: mpi.AllocHuge, LazyDereg: false},
+		{Label: "small pages lazy deregistration", Allocator: mpi.AllocLibc, LazyDereg: true},
+		{Label: "hugepages lazy deregistration", Allocator: mpi.AllocHuge, LazyDereg: true},
+	}
+}
+
+// RunFig5 runs all four curves on a machine.
+func RunFig5(m *machine.Machine, sizes []int) (map[string][]SendRecvResult, error) {
+	out := make(map[string][]SendRecvResult, 4)
+	for _, c := range Fig5Configs() {
+		res, err := SendRecv(mpi.Config{
+			Machine:   m,
+			Ranks:     2,
+			Allocator: c.Allocator,
+			LazyDereg: c.LazyDereg,
+			HugeATT:   true,
+		}, sizes)
+		if err != nil {
+			return nil, fmt.Errorf("imb: %s: %w", c.Label, err)
+		}
+		out[c.Label] = res
+	}
+	return out, nil
+}
+
+// RegResult is one row of the registration-cost sweep (E9).
+type RegResult struct {
+	Bytes     uint64
+	SmallReg  simtime.Ticks
+	HugeReg   simtime.Ticks
+	HugeFrac  float64 // huge/small
+	SmallMTTs int
+	HugeMTTs  int
+}
+
+// RegistrationSweep measures RegMR cost versus buffer size for 4 KiB and
+// 2 MiB placements on one machine (driver patch enabled, as in the
+// paper's modified OpenIB stack).
+func RegistrationSweep(m *machine.Machine, sizes []uint64) ([]RegResult, error) {
+	out := make([]RegResult, 0, len(sizes))
+	for _, size := range sizes {
+		mem := newNodeMem(m)
+		as := vm.New(mem)
+		ctx := verbs.Open(m, as)
+		ctx.HugeATT = true
+
+		vaS, err := as.MapSmall(size)
+		if err != nil {
+			return nil, err
+		}
+		mrS, tS, err := ctx.RegMR(vaS, size)
+		if err != nil {
+			return nil, err
+		}
+		vaH, err := as.MapHuge(size)
+		if err != nil {
+			return nil, err
+		}
+		mrH, tH, err := ctx.RegMR(vaH, size)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RegResult{
+			Bytes:     size,
+			SmallReg:  tS,
+			HugeReg:   tH,
+			HugeFrac:  float64(tH) / float64(tS),
+			SmallMTTs: mrS.Entries,
+			HugeMTTs:  mrH.Entries,
+		})
+	}
+	return out, nil
+}

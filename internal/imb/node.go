@@ -1,0 +1,15 @@
+package imb
+
+import (
+	"repro/internal/machine"
+	"repro/internal/phys"
+)
+
+// newNodeMem builds a fresh node memory with a warmed (scrambled) frame
+// pool, matching the MPI world's setup so registration sweeps see the
+// same physical scatter.
+func newNodeMem(m *machine.Machine) *phys.Memory {
+	mem := phys.NewMemory(m)
+	mem.Scramble(4096)
+	return mem
+}

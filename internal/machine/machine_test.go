@@ -1,0 +1,88 @@
+package machine
+
+import "testing"
+
+func TestPaperQuotedParameters(t *testing.T) {
+	// Section 2 quotes the Opteron TLB split explicitly: 544 entries for
+	// 4 KB pages but only 8 for hugepages.
+	op := Opteron()
+	if op.CPU.TLB4K.Entries != 544 {
+		t.Errorf("Opteron 4K TLB entries = %d, want 544", op.CPU.TLB4K.Entries)
+	}
+	if op.CPU.TLB2M.Entries != 8 {
+		t.Errorf("Opteron 2M TLB entries = %d, want 8", op.CPU.TLB2M.Entries)
+	}
+	// Figure 5 tops out near 1750 MB/s bidirectional on the PCIe
+	// InfiniHost; the per-direction wire rate must be ~half that.
+	if agg := 2 * op.HCA.WireBandwidthMBs; agg < 1700 || agg > 1900 {
+		t.Errorf("Opteron bidirectional wire = %v MB/s, want ~1750", agg)
+	}
+}
+
+func TestGeometriesAreValid(t *testing.T) {
+	for _, m := range All() {
+		for _, g := range []TLBGeometry{m.CPU.TLB4K, m.CPU.TLB2M} {
+			if g.Entries <= 0 || g.Ways <= 0 || g.Entries%g.Ways != 0 {
+				t.Errorf("%s: bad TLB geometry %+v", m.Name, g)
+			}
+		}
+		if m.HCA.ATTEntries%m.HCA.ATTWays != 0 {
+			t.Errorf("%s: ATT entries %d not divisible by ways %d",
+				m.Name, m.HCA.ATTEntries, m.HCA.ATTWays)
+		}
+		if m.Mem.TotalBytes < int64(m.Mem.HugePool)*HugePageSize {
+			t.Errorf("%s: hugepage pool larger than memory", m.Name)
+		}
+		if m.HCA.MTTPushBatch <= 0 {
+			t.Errorf("%s: MTT push batch must be positive", m.Name)
+		}
+		if m.RanksPerNode <= 0 {
+			t.Errorf("%s: ranks per node must be positive", m.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"opteron", "amd"} {
+		if m := ByName(alias); m == nil || m.Name != Opteron().Name {
+			t.Errorf("ByName(%q) failed", alias)
+		}
+	}
+	if m := ByName("xeon"); m == nil || m.Name != Xeon().Name {
+		t.Error("ByName(xeon) failed")
+	}
+	if m := ByName("systemp"); m == nil || m.Name != SystemP().Name {
+		t.Error("ByName(systemp) failed")
+	}
+	if ByName("cray") != nil {
+		t.Error("ByName(cray) should be nil")
+	}
+}
+
+func TestPageConstants(t *testing.T) {
+	if SmallPerHuge != 512 {
+		t.Fatalf("SmallPerHuge = %d, want 512", SmallPerHuge)
+	}
+	if HugePageSize != 2*1024*1024 || SmallPageSize != 4096 {
+		t.Fatal("page size constants wrong")
+	}
+}
+
+func TestXeonIsBusBottlenecked(t *testing.T) {
+	// The Xeon/PCI-X system is where the ATT effect is visible: its bus
+	// round-trip cost must dominate the PCIe system's, and its wire must
+	// be capped below the Opteron's.
+	x, o := Xeon(), Opteron()
+	if x.Bus.BandwidthMBs >= x.HCA.WireBandwidthMBs {
+		t.Error("Xeon DMA path must be the bottleneck (bus below wire) for the ATT effect to show")
+	}
+	if o.Bus.BandwidthMBs <= o.HCA.WireBandwidthMBs {
+		t.Error("Opteron PCIe must outrun the wire (ATT effect hidden)")
+	}
+	if x.HCA.WireBandwidthMBs >= o.HCA.WireBandwidthMBs {
+		t.Error("Xeon wire bandwidth should be below Opteron")
+	}
+	if x.HCA.ATTEntries >= o.HCA.ATTEntries {
+		t.Error("Xeon ATT should be smaller than Opteron's")
+	}
+}

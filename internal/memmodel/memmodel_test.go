@@ -1,0 +1,125 @@
+package memmodel
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/tlb"
+	"repro/internal/vm"
+)
+
+func opteronCPU() *machine.CPU {
+	cpu := machine.Opteron().CPU
+	return &cpu
+}
+
+func region(class vm.PageClass, bytes uint64) Region {
+	base := vm.VA(0x2000_0000_0000)
+	if class == vm.Huge {
+		base = vm.VA(0x4000_0000_0000)
+	}
+	return Region{VA: base, Bytes: bytes, Class: class}
+}
+
+func TestSeqScanHugepagesReduceMissesAndTime(t *testing.T) {
+	cpu := opteronCPU()
+	// 64 MiB scanned: far beyond both TLB reaches, so per-page cold
+	// misses dominate: 16384 small pages vs 32 hugepages per pass.
+	small := SeqScan{Passes: 4}.Apply(cpu, tlb.New(cpu), region(vm.Small, 64<<20))
+	huge := SeqScan{Passes: 4}.Apply(cpu, tlb.New(cpu), region(vm.Huge, 64<<20))
+	if huge.TLBMisses*100 > small.TLBMisses {
+		t.Fatalf("hugepage seq misses %d should be ~1/512 of small %d", huge.TLBMisses, small.TLBMisses)
+	}
+	if huge.Ticks >= small.Ticks {
+		t.Fatalf("hugepage scan %v not faster than small-page scan %v", huge.Ticks, small.Ticks)
+	}
+	improvement := 1 - float64(huge.Ticks)/float64(small.Ticks)
+	if improvement < 0.01 || improvement > 0.30 {
+		t.Fatalf("seq-scan compute improvement %.1f%% outside the plausible band", improvement*100)
+	}
+}
+
+func TestScatteredTablesHugepageBlowup(t *testing.T) {
+	// The Section 5.2 effect: EP's scattered small tables fit the 544
+	// 4 KiB entries but thrash the 8 hugepage entries — misses increase
+	// "up to eight times", so require >= 4x here.
+	cpu := opteronCPU()
+	pat := ScatteredTables{NumTables: 48, TableBytes: 2048, Count: 400_000}
+	small := pat.Apply(cpu, tlb.New(cpu), region(vm.Small, 48*machine.HugePageSize))
+	huge := pat.Apply(cpu, tlb.New(cpu), region(vm.Huge, 48*machine.HugePageSize))
+	if small.TLBMisses == 0 {
+		t.Fatal("expected some cold misses on small pages")
+	}
+	ratio := float64(huge.TLBMisses) / float64(small.TLBMisses)
+	if ratio < 4 {
+		t.Fatalf("hugepage miss blowup %.1fx, want >= 4x", ratio)
+	}
+	t.Logf("scattered tables: small=%d huge=%d (%.1fx)", small.TLBMisses, huge.TLBMisses, ratio)
+}
+
+func TestRandomWorkingSetVsReach(t *testing.T) {
+	cpu := opteronCPU()
+	// Working set inside the 4K reach (544*4K ~ 2.1 MiB): warm misses ~ 0.
+	d := tlb.New(cpu)
+	fit := Random{Count: 200_000, Seed: 1}.Apply(cpu, d, region(vm.Small, 1<<20))
+	if rate := float64(fit.TLBMisses) / float64(fit.Accesses); rate > 0.05 {
+		t.Fatalf("in-reach random miss rate %.3f, want ~0", rate)
+	}
+	// Working set 64 MiB >> reach: high miss rate.
+	d2 := tlb.New(cpu)
+	spill := Random{Count: 200_000, Seed: 1}.Apply(cpu, d2, region(vm.Small, 64<<20))
+	if rate := float64(spill.TLBMisses) / float64(spill.Accesses); rate < 0.5 {
+		t.Fatalf("over-reach random miss rate %.3f, want > 0.5", rate)
+	}
+	// The same 64 MiB in hugepages fits in 32 entries... but the Opteron
+	// has only 8, so it still misses — yet far less than 4K.
+	d3 := tlb.New(cpu)
+	hspill := Random{Count: 200_000, Seed: 1}.Apply(cpu, d3, region(vm.Huge, 64<<20))
+	if hspill.TLBMisses >= spill.TLBMisses {
+		t.Fatal("hugepages should cut random-access misses on a 64MiB set")
+	}
+}
+
+func TestStridedPrefetchCutoff(t *testing.T) {
+	cpu := opteronCPU()
+	short := Strided{Stride: 256, Passes: 2}.Apply(cpu, tlb.New(cpu), region(vm.Small, 8<<20))
+	long := Strided{Stride: 4096, Passes: 2}.Apply(cpu, tlb.New(cpu), region(vm.Small, 8<<20))
+	if short.Hidden == 0 {
+		t.Fatal("short stride should get prefetch help")
+	}
+	if long.Hidden != 0 {
+		t.Fatal("page-sized stride should get no prefetch help")
+	}
+}
+
+func TestZeroInputsAreSafe(t *testing.T) {
+	cpu := opteronCPU()
+	d := tlb.New(cpu)
+	for _, p := range []Pattern{SeqScan{}, Strided{}, Random{}, ScatteredTables{}} {
+		res := p.Apply(cpu, d, region(vm.Small, 1<<20))
+		if res.Accesses != 0 || res.Ticks != 0 {
+			t.Fatalf("%s: zero pattern produced work", p.Name())
+		}
+	}
+}
+
+func TestResultsAreDeterministic(t *testing.T) {
+	cpu := opteronCPU()
+	a := Random{Count: 100_000, Seed: 9}.Apply(cpu, tlb.New(cpu), region(vm.Huge, 32<<20))
+	b := Random{Count: 100_000, Seed: 9}.Apply(cpu, tlb.New(cpu), region(vm.Huge, 32<<20))
+	if a != b {
+		t.Fatalf("nondeterministic results: %+v vs %+v", a, b)
+	}
+}
+
+func TestDTLBCountersAdvance(t *testing.T) {
+	cpu := opteronCPU()
+	d := tlb.New(cpu)
+	SeqScan{Passes: 1}.Apply(cpu, d, region(vm.Huge, 16<<20))
+	if d.Large.Stats().Accesses() == 0 {
+		t.Fatal("pattern did not drive the hugepage TLB file")
+	}
+	if d.Small.Stats().Accesses() != 0 {
+		t.Fatal("hugepage pattern touched the 4K file")
+	}
+}

@@ -1,0 +1,145 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// Additional collective tag space.
+const (
+	tagAllgather = 6 << 20
+	tagGather    = 7 << 20
+	tagScatter   = 8 << 20
+	tagScan      = 9 << 20
+)
+
+// Allgather collects every rank's block of `block` bytes at sendVA into
+// recvVA (p blocks, ordered by rank) on every rank, using the ring
+// algorithm (bandwidth-optimal for large blocks, the MVAPICH2 default).
+func (r *Rank) Allgather(sendVA, recvVA vm.VA, block int) error {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	defer func() { r.exitMPI("Allgather", start, outer) }()
+	p := r.Size()
+	// Copy the local block into place.
+	if block > 0 {
+		buf := make([]byte, block)
+		if err := r.as.Read(sendVA, buf); err != nil {
+			return err
+		}
+		if err := r.as.Write(recvVA+vm.VA(r.id*block), buf); err != nil {
+			return err
+		}
+		r.clock.Advance(r.memcpyTicks(block))
+	}
+	if p == 1 {
+		return nil
+	}
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	sendSeg := r.id
+	for step := 0; step < p-1; step++ {
+		recvSeg := (sendSeg - 1 + p) % p
+		if _, err := r.Sendrecv(
+			right, tagAllgather+step, recvVA+vm.VA(sendSeg*block), block,
+			left, tagAllgather+step, recvVA+vm.VA(recvSeg*block), block); err != nil {
+			return fmt.Errorf("mpi: allgather step %d: %w", step, err)
+		}
+		sendSeg = recvSeg
+	}
+	return nil
+}
+
+// Gather collects every rank's block at the root: block i of the root's
+// receive buffer comes from rank i. Non-roots pass recvVA=0.
+func (r *Rank) Gather(root int, sendVA, recvVA vm.VA, block int) error {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	defer func() { r.exitMPI("Gather", start, outer) }()
+	p := r.Size()
+	if r.id != root {
+		return r.sendOn(&r.clock, root, tagGather+r.id, sendVA, block)
+	}
+	// Root: own block is a copy; others arrive tagged by source.
+	if block > 0 {
+		buf := make([]byte, block)
+		if err := r.as.Read(sendVA, buf); err != nil {
+			return err
+		}
+		if err := r.as.Write(recvVA+vm.VA(r.id*block), buf); err != nil {
+			return err
+		}
+		r.clock.Advance(r.memcpyTicks(block))
+	}
+	for src := 0; src < p; src++ {
+		if src == root {
+			continue
+		}
+		if _, err := r.recvOn(&r.clock, src, tagGather+src, recvVA+vm.VA(src*block), block); err != nil {
+			return fmt.Errorf("mpi: gather from %d: %w", src, err)
+		}
+	}
+	return nil
+}
+
+// Scatter distributes block i of the root's send buffer to rank i.
+// Non-roots pass sendVA=0.
+func (r *Rank) Scatter(root int, sendVA, recvVA vm.VA, block int) error {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	defer func() { r.exitMPI("Scatter", start, outer) }()
+	p := r.Size()
+	if r.id != root {
+		_, err := r.recvOn(&r.clock, root, tagScatter+r.id, recvVA, block)
+		return err
+	}
+	for dst := 0; dst < p; dst++ {
+		if dst == root {
+			continue
+		}
+		if err := r.sendOn(&r.clock, dst, tagScatter+dst, sendVA+vm.VA(dst*block), block); err != nil {
+			return fmt.Errorf("mpi: scatter to %d: %w", dst, err)
+		}
+	}
+	if block > 0 {
+		buf := make([]byte, block)
+		if err := r.as.Read(sendVA+vm.VA(root*block), buf); err != nil {
+			return err
+		}
+		if err := r.as.Write(recvVA, buf); err != nil {
+			return err
+		}
+		r.clock.Advance(r.memcpyTicks(block))
+	}
+	return nil
+}
+
+// ScanF64 computes the inclusive prefix reduction: rank i ends with
+// op(x_0, ..., x_i) elementwise over count float64s at va (linear chain,
+// as in small-cluster MPICH).
+func (r *Rank) ScanF64(va vm.VA, count int, op ReduceOp) error {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	defer func() { r.exitMPI("Scan", start, outer) }()
+	bytes := 8 * count
+	if r.id > 0 {
+		tmp, err := r.scratch(uint64(bytes))
+		if err != nil {
+			return err
+		}
+		if _, err := r.recvOn(&r.clock, r.id-1, tagScan, tmp, bytes); err != nil {
+			return fmt.Errorf("mpi: scan recv: %w", err)
+		}
+		// Combine with predecessor prefix: va = op(prefix, va).
+		if err := r.combineF64(va, tmp, count, op); err != nil {
+			return err
+		}
+	}
+	if r.id < r.Size()-1 {
+		if err := r.sendOn(&r.clock, r.id+1, tagScan, va, bytes); err != nil {
+			return fmt.Errorf("mpi: scan send: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,609 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/simtime"
+	"repro/internal/vm"
+)
+
+func defaultCfg(ranks int) Config {
+	return Config{
+		Machine:   machine.Opteron(),
+		Ranks:     ranks,
+		Allocator: AllocHuge,
+		LazyDereg: true,
+		HugeATT:   true,
+	}
+}
+
+func mustWorld(t testing.TB, cfg Config) *World {
+	t.Helper()
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// pingpong sends a payload of n bytes 0->1 and back, verifying content.
+func pingpong(t *testing.T, cfg Config, n int) {
+	t.Helper()
+	w := mustWorld(t, cfg)
+	want := make([]byte, n)
+	for i := range want {
+		want[i] = byte(i*7 + 3)
+	}
+	err := w.Run(func(r *Rank) error {
+		va, err := r.Malloc(uint64(n) + 64)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			if err := r.WriteBytes(va, want); err != nil {
+				return err
+			}
+			if err := r.Send(1, 1, va, n); err != nil {
+				return err
+			}
+			got := make([]byte, n)
+			if _, err := r.Recv(1, 2, va, n); err != nil {
+				return err
+			}
+			if err := r.ReadBytes(va, got); err != nil {
+				return err
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("echo mismatch")
+			}
+		} else {
+			if _, err := r.Recv(0, 1, va, n); err != nil {
+				return err
+			}
+			got := make([]byte, n)
+			if err := r.ReadBytes(va, got); err != nil {
+				return err
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("payload mismatch at receiver")
+			}
+			if err := r.Send(0, 2, va, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MaxTime() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestPingPongEager(t *testing.T)      { pingpong(t, defaultCfg(2), 1024) }
+func TestPingPongMid(t *testing.T)        { pingpong(t, defaultCfg(2), 12<<10) }
+func TestPingPongRendezvous(t *testing.T) { pingpong(t, defaultCfg(2), 256<<10) }
+func TestPingPongZeroLen(t *testing.T)    { pingpong(t, defaultCfg(2), 0) }
+
+func TestPingPongAllAllocators(t *testing.T) {
+	for _, a := range []AllocatorKind{AllocLibc, AllocHuge, AllocMorecore} {
+		t.Run(string(a), func(t *testing.T) {
+			cfg := defaultCfg(2)
+			cfg.Allocator = a
+			pingpong(t, cfg, 100<<10)
+		})
+	}
+}
+
+func TestPingPongEagerDereg(t *testing.T) {
+	cfg := defaultCfg(2)
+	cfg.LazyDereg = false
+	pingpong(t, cfg, 256<<10)
+}
+
+func TestHeadToHeadSendrecv(t *testing.T) {
+	// Both ranks Sendrecv large (rendezvous) messages simultaneously —
+	// the pattern that deadlocks naive blocking implementations.
+	w := mustWorld(t, defaultCfg(2))
+	const n = 512 << 10
+	err := w.Run(func(r *Rank) error {
+		sva, err := r.Malloc(n)
+		if err != nil {
+			return err
+		}
+		rva, err := r.Malloc(n)
+		if err != nil {
+			return err
+		}
+		fill := bytes.Repeat([]byte{byte(r.ID() + 1)}, n)
+		if err := r.WriteBytes(sva, fill); err != nil {
+			return err
+		}
+		peer := 1 - r.ID()
+		if _, err := r.Sendrecv(peer, 9, sva, n, peer, 9, rva, n); err != nil {
+			return err
+		}
+		got := make([]byte, n)
+		if err := r.ReadBytes(rva, got); err != nil {
+			return err
+		}
+		want := byte(peer + 1)
+		for i, b := range got {
+			if b != want {
+				return fmt.Errorf("byte %d: got %d want %d", i, b, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageOrderingSameTag(t *testing.T) {
+	w := mustWorld(t, defaultCfg(2))
+	const k = 20
+	err := w.Run(func(r *Rank) error {
+		va, err := r.Malloc(4096)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			for i := 0; i < k; i++ {
+				if err := r.WriteBytes(va, []byte{byte(i)}); err != nil {
+					return err
+				}
+				if err := r.Send(1, 5, va, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < k; i++ {
+			if _, err := r.Recv(0, 5, va, 1); err != nil {
+				return err
+			}
+			b := make([]byte, 1)
+			if err := r.ReadBytes(va, b); err != nil {
+				return err
+			}
+			if b[0] != byte(i) {
+				return fmt.Errorf("message %d arrived out of order (got %d)", i, b[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatchingOutOfOrder(t *testing.T) {
+	// Receiver asks for tag 2 first although tag 1 was sent first; the
+	// unexpected queue must hold tag 1.
+	w := mustWorld(t, defaultCfg(2))
+	err := w.Run(func(r *Rank) error {
+		va, err := r.Malloc(4096)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			_ = r.WriteBytes(va, []byte{11})
+			if err := r.Send(1, 1, va, 1); err != nil {
+				return err
+			}
+			_ = r.WriteBytes(va, []byte{22})
+			return r.Send(1, 2, va, 1)
+		}
+		b := make([]byte, 1)
+		if _, err := r.Recv(0, 2, va, 1); err != nil {
+			return err
+		}
+		_ = r.ReadBytes(va, b)
+		if b[0] != 22 {
+			return fmt.Errorf("tag 2 payload wrong: %d", b[0])
+		}
+		if _, err := r.Recv(0, 1, va, 1); err != nil {
+			return err
+		}
+		_ = r.ReadBytes(va, b)
+		if b[0] != 11 {
+			return fmt.Errorf("tag 1 payload wrong: %d", b[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockMonotonicAndCausal(t *testing.T) {
+	// A receiver can never complete a receive before the sender started
+	// sending it (causality across clocks).
+	w := mustWorld(t, defaultCfg(2))
+	err := w.Run(func(r *Rank) error {
+		va, _ := r.Malloc(64 << 10)
+		if r.ID() == 0 {
+			r.Compute(1_000_000) // sender is busy first
+			return r.Send(1, 1, va, 64<<10)
+		}
+		before := r.Now()
+		if _, err := r.Recv(0, 1, va, 64<<10); err != nil {
+			return err
+		}
+		if r.Now() < 1_000_000 {
+			return fmt.Errorf("receive completed at %d, before sender even started", r.Now())
+		}
+		if r.Now() <= before {
+			return fmt.Errorf("clock did not advance")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+			w := mustWorld(t, defaultCfg(p))
+			err := w.Run(func(r *Rank) error {
+				// Stagger arrival times.
+				r.Compute(simtime_Ticks(r.ID()) * 100_000)
+				if err := r.Barrier(); err != nil {
+					return err
+				}
+				if r.Now() < simtime_Ticks(p-1)*100_000 {
+					return fmt.Errorf("rank %d left barrier at %d, before last arrival", r.ID(), r.Now())
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range []int{2, 3, 5, 8} {
+		w := mustWorld(t, defaultCfg(p))
+		err := w.Run(func(r *Rank) error {
+			va, _ := r.Malloc(64 << 10)
+			for root := 0; root < p; root++ {
+				if r.ID() == root {
+					_ = r.WriteBytes(va, bytes.Repeat([]byte{byte(root + 1)}, 1000))
+				}
+				if err := r.Bcast(root, va, 1000); err != nil {
+					return err
+				}
+				got := make([]byte, 1000)
+				_ = r.ReadBytes(va, got)
+				for _, b := range got {
+					if b != byte(root+1) {
+						return fmt.Errorf("rank %d: bcast from %d corrupted", r.ID(), root)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllreduceSumAndMax(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 8} {
+		w := mustWorld(t, defaultCfg(p))
+		const count = 257
+		err := w.Run(func(r *Rank) error {
+			va, _ := r.Malloc(count * 8)
+			xs := make([]float64, count)
+			for i := range xs {
+				xs[i] = float64(r.ID()+1) * float64(i+1)
+			}
+			if err := r.WriteF64(va, xs); err != nil {
+				return err
+			}
+			if err := r.AllreduceF64(va, count, Sum); err != nil {
+				return err
+			}
+			got, err := r.ReadF64(va, count)
+			if err != nil {
+				return err
+			}
+			sumRanks := float64(p*(p+1)) / 2
+			for i := range got {
+				want := sumRanks * float64(i+1)
+				if math.Abs(got[i]-want) > 1e-9*math.Abs(want) {
+					return fmt.Errorf("rank %d elem %d: got %g want %g", r.ID(), i, got[i], want)
+				}
+			}
+			// Max reduction.
+			for i := range xs {
+				xs[i] = float64(r.ID())
+			}
+			if err := r.WriteF64(va, xs); err != nil {
+				return err
+			}
+			if err := r.AllreduceF64(va, count, Max); err != nil {
+				return err
+			}
+			got, _ = r.ReadF64(va, count)
+			for i := range got {
+				if got[i] != float64(p-1) {
+					return fmt.Errorf("max elem %d: got %g want %d", i, got[i], p-1)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestReduceToRoot(t *testing.T) {
+	w := mustWorld(t, defaultCfg(4))
+	err := w.Run(func(r *Rank) error {
+		va, _ := r.Malloc(80)
+		xs := []float64{float64(r.ID() + 1)}
+		if err := r.WriteF64(va, xs); err != nil {
+			return err
+		}
+		if err := r.ReduceF64(2, va, 1, Sum); err != nil {
+			return err
+		}
+		if r.ID() == 2 {
+			got, _ := r.ReadF64(va, 1)
+			if got[0] != 10 {
+				return fmt.Errorf("reduce sum = %g, want 10", got[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallPermutation(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		w := mustWorld(t, defaultCfg(p))
+		const block = 4096
+		err := w.Run(func(r *Rank) error {
+			sva, _ := r.Malloc(uint64(p * block))
+			rva, _ := r.Malloc(uint64(p * block))
+			for i := 0; i < p; i++ {
+				pattern := bytes.Repeat([]byte{byte(r.ID()*16 + i)}, block)
+				if err := r.WriteBytes(sva+vm.VA(i*block), pattern); err != nil {
+					return err
+				}
+			}
+			if err := r.Alltoall(sva, rva, block); err != nil {
+				return err
+			}
+			for j := 0; j < p; j++ {
+				got := make([]byte, block)
+				_ = r.ReadBytes(rva+vm.VA(j*block), got)
+				want := byte(j*16 + r.ID())
+				for _, b := range got {
+					if b != want {
+						return fmt.Errorf("rank %d block %d: got %d want %d", r.ID(), j, b, want)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAlltoallvVariableCounts(t *testing.T) {
+	const p = 4
+	w := mustWorld(t, defaultCfg(p))
+	err := w.Run(func(r *Rank) error {
+		// Rank i sends (i+1)*(j+1)*100 bytes to rank j.
+		sc := make([]int, p)
+		sd := make([]int, p)
+		rc := make([]int, p)
+		rd := make([]int, p)
+		stot, rtot := 0, 0
+		for j := 0; j < p; j++ {
+			sc[j] = (r.ID() + 1) * (j + 1) * 100
+			sd[j] = stot
+			stot += sc[j]
+			rc[j] = (j + 1) * (r.ID() + 1) * 100
+			rd[j] = rtot
+			rtot += rc[j]
+		}
+		sva, _ := r.Malloc(uint64(stot))
+		rva, _ := r.Malloc(uint64(rtot))
+		for j := 0; j < p; j++ {
+			if err := r.WriteBytes(sva+vm.VA(sd[j]), bytes.Repeat([]byte{byte(r.ID()*8 + j)}, sc[j])); err != nil {
+				return err
+			}
+		}
+		if err := r.Alltoallv(sva, sc, sd, rva, rc, rd); err != nil {
+			return err
+		}
+		for j := 0; j < p; j++ {
+			got := make([]byte, rc[j])
+			_ = r.ReadBytes(rva+vm.VA(rd[j]), got)
+			want := byte(j*8 + r.ID())
+			for _, b := range got {
+				if b != want {
+					return fmt.Errorf("rank %d from %d corrupted", r.ID(), j)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLazyDeregSpeedsUpRepeatedSends(t *testing.T) {
+	// Figure 5's mechanism at the MPI level: the second large send on the
+	// same buffer is much cheaper with lazy deregistration on.
+	timeFor := func(lazy bool) (first, second simtime_Ticks) {
+		cfg := defaultCfg(2)
+		cfg.Allocator = AllocLibc
+		cfg.LazyDereg = lazy
+		w := mustWorld(t, cfg)
+		var f, s simtime_Ticks
+		err := w.Run(func(r *Rank) error {
+			const n = 1 << 20
+			va, _ := r.Malloc(n)
+			if r.ID() == 0 {
+				t0 := r.Now()
+				if err := r.Send(1, 1, va, n); err != nil {
+					return err
+				}
+				t1 := r.Now()
+				if err := r.Send(1, 2, va, n); err != nil {
+					return err
+				}
+				f, s = t1-t0, r.Now()-t1
+				return nil
+			}
+			if _, err := r.Recv(0, 1, va, n); err != nil {
+				return err
+			}
+			_, err := r.Recv(0, 2, va, n)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f, s
+	}
+	_, lazySecond := timeFor(true)
+	_, eagerSecond := timeFor(false)
+	if float64(lazySecond) > 0.9*float64(eagerSecond) {
+		t.Fatalf("lazy second send %d not faster than eager %d", lazySecond, eagerSecond)
+	}
+}
+
+func TestPinnedMemoryRemainsWithLazyDereg(t *testing.T) {
+	// The drawback the paper highlights: "memory remains allocated to the
+	// application during their whole runtime".
+	cfg := defaultCfg(2)
+	cfg.LazyDereg = true
+	w := mustWorld(t, cfg)
+	err := w.Run(func(r *Rank) error {
+		const n = 1 << 20
+		va, _ := r.Malloc(n)
+		if r.ID() == 0 {
+			return r.Send(1, 1, va, n)
+		}
+		_, err := r.Recv(0, 1, va, n)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if w.Rank(i).Cache().Stats().PinnedBytes == 0 {
+			t.Fatalf("rank %d: lazy dereg should keep memory pinned", i)
+		}
+	}
+}
+
+func TestPackedVsGatheredEquivalence(t *testing.T) {
+	for _, mode := range []string{"packed", "gathered"} {
+		t.Run(mode, func(t *testing.T) {
+			w := mustWorld(t, defaultCfg(2))
+			const pieceLen, npieces = 96, 8
+			err := w.Run(func(r *Rank) error {
+				base, _ := r.Malloc(64 << 10)
+				pieces := make([]Piece, npieces)
+				for i := range pieces {
+					pieces[i] = Piece{VA: base + vm.VA(i*1024), Len: pieceLen}
+				}
+				if r.ID() == 0 {
+					for i := range pieces {
+						_ = r.WriteBytes(pieces[i].VA, bytes.Repeat([]byte{byte(i + 1)}, pieceLen))
+					}
+					if mode == "packed" {
+						return r.SendPacked(1, 3, pieces)
+					}
+					return r.SendGathered(1, 3, pieces)
+				}
+				if err := r.RecvUnpack(0, 3, pieces); err != nil {
+					return err
+				}
+				for i := range pieces {
+					got := make([]byte, pieceLen)
+					_ = r.ReadBytes(pieces[i].VA, got)
+					for _, b := range got {
+						if b != byte(i+1) {
+							return fmt.Errorf("piece %d corrupted", i)
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(Config{Ranks: 2}); err == nil {
+		t.Fatal("missing machine accepted")
+	}
+	if _, err := NewWorld(Config{Machine: machine.Opteron(), Ranks: 0}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if _, err := NewWorld(Config{Machine: machine.Opteron(), Ranks: 1, Allocator: "bogus"}); err == nil {
+		t.Fatal("bogus allocator accepted")
+	}
+}
+
+func TestProfileRecordsCalls(t *testing.T) {
+	w := mustWorld(t, defaultCfg(2))
+	err := w.Run(func(r *Rank) error {
+		va, _ := r.Malloc(4096)
+		r.Compute(1000)
+		if r.ID() == 0 {
+			return r.Send(1, 1, va, 128)
+		}
+		_, err := r.Recv(0, 1, va, 128)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Profile()
+	if p.CommTime() <= 0 {
+		t.Fatal("no comm time recorded")
+	}
+	if p.ComputeTime() < 2000 {
+		t.Fatalf("compute time %d, want >= 2000", p.ComputeTime())
+	}
+	found := false
+	for _, cs := range p.Calls() {
+		if cs.Name == "Send" && cs.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Send call not profiled")
+	}
+}
+
+// simtime_Ticks is a local alias to keep test call sites short.
+type simtime_Ticks = simtime.Ticks

@@ -1,0 +1,352 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/hca"
+	"repro/internal/simtime"
+	"repro/internal/vm"
+)
+
+// message kinds.
+const (
+	kindEager = iota
+	kindRTS
+)
+
+// message is one wire-level unit between two ranks. Eager messages carry
+// their payload; rendezvous starts with an RTS carrying reply channels.
+type message struct {
+	kind int
+	src  int
+	tag  int
+
+	// eager
+	data   []byte
+	arrive simtime.Ticks // arrival instant at the receiver's NIC
+
+	// rendezvous
+	size  int
+	ctsCh chan ctsMsg
+	finCh chan finMsg
+
+	// read-rendezvous (RGET): the sender's exposed region plus a channel
+	// on which the receiver announces read completion.
+	srcRKey uint32
+	srcVA   vm.VA
+	doneCh  chan simtime.Ticks
+	srcHW   *hca.HCA
+}
+
+// ctsMsg is the receiver's clear-to-send: target rkey/address plus the
+// receiver clock at which it was issued.
+type ctsMsg struct {
+	rkey uint32
+	va   vm.VA
+	t    simtime.Ticks
+}
+
+// finMsg announces the RDMA write: the payload plus the timing components
+// the receiver needs to finish the pipeline model.
+type finMsg struct {
+	data      []byte
+	start     simtime.Ticks // sender clock when the RDMA WR was posted
+	gather    simtime.Ticks // sender-side DMA gather cost
+	serialize simtime.Ticks // wire serialisation cost
+}
+
+// eagerPipelineTicks is the fixed software overhead of the eager path
+// (header build, channel progress) beyond copies and HCA costs.
+const eagerPipelineTicks = simtime.Ticks(220)
+
+// Send transmits n bytes starting at va to rank dst with a tag. Protocol
+// selection follows MVAPICH2: eager/copy up to the RDMA limit, RDMA-write
+// rendezvous above it.
+func (r *Rank) Send(dst, tag int, va vm.VA, n int) error {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	err := r.sendOn(&r.clock, dst, tag, va, n)
+	r.exitMPI("Send", start, outer)
+	return err
+}
+
+// sendOn is Send against an explicit clock (Sendrecv forks a send half).
+func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
+	if err := r.checkPeer(dst); err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("mpi: negative send length %d", n)
+	}
+	if n > r.world.cfg.RdmaLimit {
+		if r.world.cfg.RendezvousProtocol == "read" {
+			return r.sendRendezvousRead(clk, dst, tag, va, n)
+		}
+		return r.sendRendezvous(clk, dst, tag, va, n)
+	}
+	return r.sendEager(clk, dst, tag, va, n)
+}
+
+// sendEager copies the payload through the preregistered bounce path and
+// returns as soon as the local work is done (true eager semantics).
+func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
+	// Flow control: consume one eager buffer credit for this peer; if the
+	// receiver has not drained its bounce buffers we block here, and our
+	// clock advances to the instant the credit was freed.
+	select {
+	case freed := <-r.credits[dst]:
+		clk.AdvanceTo(freed)
+	case <-r.world.abort:
+		return fmt.Errorf("mpi: rank %d awaiting eager credit for %d: %w", r.id, dst, ErrAborted)
+	}
+	var data []byte
+	if n > 0 {
+		data = make([]byte, n)
+		if err := r.as.Read(va, data); err != nil {
+			return err
+		}
+	}
+	// CPU copy into the registered bounce buffer, then post + doorbell.
+	clk.Advance(r.memcpyTicks(n) + eagerPipelineTicks)
+	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1)))
+	// The adapter gathers from the hot bounce buffer and serialises.
+	arrive := clk.Now() + r.ctx.HW.WireCost(n)
+	clk.Advance(r.ctx.PollCQ()) // local completion (inline/bounce: immediate)
+	r.world.ranks[dst].inbox[r.id] <- &message{
+		kind: kindEager, src: r.id, tag: tag, data: data, arrive: arrive,
+	}
+	return nil
+}
+
+// sendRendezvousRead runs the receiver-driven RGET protocol: the sender
+// exposes its registered buffer in the RTS; the receiver issues an RDMA
+// read and reports completion. One control hop shorter for the receiver
+// than write-rendezvous, one wire round trip longer for the data.
+func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
+	mr, cost, err := r.cache.Acquire(va, uint64(n))
+	if err != nil {
+		return fmt.Errorf("mpi: read-rendezvous register: %w", err)
+	}
+	clk.Advance(cost)
+	m := &message{
+		kind: kindRTS, src: r.id, tag: tag, size: n,
+		srcRKey: mr.RKey, srcVA: va,
+		doneCh: make(chan simtime.Ticks, 1),
+		srcHW:  r.ctx.HW,
+	}
+	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1)))
+	m.arrive = clk.Now() + r.ctrlWire()
+	r.world.ranks[dst].inbox[r.id] <- m
+
+	var done simtime.Ticks
+	select {
+	case done = <-m.doneCh:
+	case <-r.world.abort:
+		return fmt.Errorf("mpi: rank %d awaiting RDMA-read completion from %d: %w", r.id, dst, ErrAborted)
+	}
+	// The FIN arrives one control hop after the receiver finished.
+	clk.AdvanceTo(done + r.ctrlWire())
+	clk.Advance(r.ctx.PollCQ())
+	relCost, err := r.cache.Release(mr)
+	if err != nil {
+		return err
+	}
+	clk.Advance(relCost)
+	return nil
+}
+
+// sendRendezvous runs the registration + RDMA-write protocol.
+func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
+	mr, cost, err := r.cache.Acquire(va, uint64(n))
+	if err != nil {
+		return fmt.Errorf("mpi: rendezvous register: %w", err)
+	}
+	clk.Advance(cost)
+
+	m := &message{
+		kind: kindRTS, src: r.id, tag: tag, size: n,
+		ctsCh: make(chan ctsMsg, 1),
+		finCh: make(chan finMsg, 1),
+	}
+	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1)))
+	m.arrive = clk.Now() + r.ctrlWire()
+	r.world.ranks[dst].inbox[r.id] <- m
+
+	var cts ctsMsg
+	select {
+	case cts = <-m.ctsCh:
+	case <-r.world.abort:
+		return fmt.Errorf("mpi: rank %d awaiting CTS from %d: %w", r.id, dst, ErrAborted)
+	}
+	clk.AdvanceTo(cts.t + r.ctrlWire())
+	clk.Advance(r.ctx.PollCQ()) // CTS completion
+
+	// Post the RDMA write; the adapter gathers the user buffer (real
+	// bytes) while the wire serialises — the two stages pipeline.
+	data, gather, err := r.ctx.HW.Gather([]hca.SGE{{Addr: va, Length: uint32(n), LKey: mr.LKey}})
+	if err != nil {
+		return fmt.Errorf("mpi: rendezvous gather: %w", err)
+	}
+	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1)))
+	start := clk.Now()
+	serialize := simtime.BandwidthTicks(int64(n), r.world.cfg.Machine.HCA.WireBandwidthMBs)
+	m.finCh <- finMsg{data: data, start: start, gather: gather, serialize: serialize}
+
+	// Local completion: RC ack after remote placement of the last packet.
+	wire := r.world.cfg.Machine.HCA.WireLatency
+	clk.AdvanceTo(start + wire + simtime.Max(gather, serialize) + wire)
+	clk.Advance(r.ctx.PollCQ())
+
+	relCost, err := r.cache.Release(mr)
+	if err != nil {
+		return err
+	}
+	clk.Advance(relCost)
+	// The CTS target is unused on the send side beyond addressing; the
+	// receiver already validated it. Keep the variable meaningful:
+	_ = cts.rkey
+	return nil
+}
+
+// Recv receives up to cap bytes into va from rank src with a tag,
+// returning the actual message size.
+func (r *Rank) Recv(src, tag int, va vm.VA, capacity int) (int, error) {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	n, err := r.recvOn(&r.clock, src, tag, va, capacity)
+	r.exitMPI("Recv", start, outer)
+	return n, err
+}
+
+// recvOn matches and completes one incoming message. It must run on the
+// rank's main goroutine (it owns the pending queues).
+func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int) (int, error) {
+	if err := r.checkPeer(src); err != nil {
+		return 0, err
+	}
+	m := r.matchRecv(src, tag)
+	if m == nil {
+		return 0, fmt.Errorf("mpi: rank %d receiving from %d: %w", r.id, src, ErrAborted)
+	}
+	switch m.kind {
+	case kindEager:
+		n := len(m.data)
+		if n > capacity {
+			return 0, fmt.Errorf("mpi: eager truncation: got %d bytes, capacity %d", n, capacity)
+		}
+		clk.AdvanceTo(m.arrive)
+		clk.Advance(r.ctx.PollCQ())
+		if n > 0 {
+			clk.Advance(r.memcpyTicks(n) + eagerPipelineTicks)
+			if err := r.as.Write(va, m.data); err != nil {
+				return 0, err
+			}
+		}
+		// Return the eager buffer credit to the sender, stamped with the
+		// time the bounce buffer became free again.
+		select {
+		case r.world.ranks[src].credits[r.id] <- clk.Now():
+		default: // pool already full (e.g. duplicated teardown) — drop
+		}
+		return n, nil
+
+	case kindRTS:
+		n := m.size
+		if n > capacity {
+			return 0, fmt.Errorf("mpi: rendezvous truncation: got %d bytes, capacity %d", n, capacity)
+		}
+		clk.AdvanceTo(m.arrive)
+		clk.Advance(r.ctx.PollCQ()) // RTS completion
+		if m.doneCh != nil {
+			return r.recvRendezvousRead(clk, m, va)
+		}
+		mr, cost, err := r.cache.Acquire(va, uint64(n))
+		if err != nil {
+			return 0, fmt.Errorf("mpi: rendezvous recv register: %w", err)
+		}
+		clk.Advance(cost)
+		clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1))) // CTS post
+		m.ctsCh <- ctsMsg{rkey: mr.RKey, va: va, t: clk.Now()}
+
+		var fin finMsg
+		select {
+		case fin = <-m.finCh:
+		case <-r.world.abort:
+			return 0, fmt.Errorf("mpi: rank %d awaiting data from %d: %w", r.id, src, ErrAborted)
+		}
+		scatter, err := r.ctx.HW.ScatterRDMA(mr.RKey, va, fin.data)
+		if err != nil {
+			return 0, fmt.Errorf("mpi: rendezvous scatter: %w", err)
+		}
+		wire := r.world.cfg.Machine.HCA.WireLatency
+		done := fin.start + wire + simtime.Max(simtime.Max(fin.gather, fin.serialize), scatter)
+		clk.AdvanceTo(done)
+		clk.Advance(r.ctx.PollCQ()) // FIN completion
+		relCost, err := r.cache.Release(mr)
+		if err != nil {
+			return 0, err
+		}
+		clk.Advance(relCost)
+		return n, nil
+	}
+	return 0, fmt.Errorf("mpi: unknown message kind %d", m.kind)
+}
+
+// recvRendezvousRead completes a read-rendezvous: register the local
+// buffer, RDMA-read from the sender's exposed region, notify the sender.
+func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA) (int, error) {
+	n := m.size
+	mr, cost, err := r.cache.Acquire(va, uint64(n))
+	if err != nil {
+		return 0, fmt.Errorf("mpi: read-rendezvous recv register: %w", err)
+	}
+	clk.Advance(cost)
+	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1))) // RDMA READ WR
+
+	// The read request crosses the wire, the sender's adapter gathers,
+	// the response streams back, our adapter scatters. Data and request
+	// both traverse the link: one extra one-way latency vs RDMA write.
+	data, gather, err := m.srcHW.Gather([]hca.SGE{{Addr: m.srcVA, Length: uint32(n), LKey: m.srcRKey}})
+	if err != nil {
+		return 0, fmt.Errorf("mpi: RDMA read gather: %w", err)
+	}
+	scatter, err := r.ctx.HW.ScatterRDMA(mr.RKey, va, data)
+	if err != nil {
+		return 0, fmt.Errorf("mpi: RDMA read scatter: %w", err)
+	}
+	wire := r.world.cfg.Machine.HCA.WireLatency
+	serialize := simtime.BandwidthTicks(int64(n), r.world.cfg.Machine.HCA.WireBandwidthMBs)
+	done := clk.Now() + 2*wire + simtime.Max(simtime.Max(gather, serialize), scatter)
+	clk.AdvanceTo(done)
+	clk.Advance(r.ctx.PollCQ())
+	m.doneCh <- clk.Now()
+	relCost, err := r.cache.Release(mr)
+	if err != nil {
+		return 0, err
+	}
+	clk.Advance(relCost)
+	return n, nil
+}
+
+// Sendrecv performs the simultaneous send+receive used by IMB SendRecv
+// and the NAS exchange patterns. The send half runs concurrently so two
+// ranks may Sendrecv each other without deadlock, exactly as in MPI.
+func (r *Rank) Sendrecv(dst, sendTag int, sendVA vm.VA, sendN int,
+	src, recvTag int, recvVA vm.VA, recvCap int) (int, error) {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	sendClk := simtime.Clock{}
+	sendClk.AdvanceTo(start)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- r.sendOn(&sendClk, dst, sendTag, sendVA, sendN)
+	}()
+	n, recvErr := r.recvOn(&r.clock, src, recvTag, recvVA, recvCap)
+	sendErr := <-errCh
+	r.clock.AdvanceTo(sendClk.Now())
+	r.exitMPI("Sendrecv", start, outer)
+	if sendErr != nil {
+		return n, sendErr
+	}
+	return n, recvErr
+}

@@ -1,0 +1,146 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/hca"
+	"repro/internal/simtime"
+	"repro/internal/vm"
+)
+
+// Piece is one element of a non-contiguous buffer (Section 4: "sending
+// multiple buffers with only one work request").
+type Piece struct {
+	VA  vm.VA
+	Len int
+}
+
+func totalPieces(ps []Piece) int {
+	n := 0
+	for _, p := range ps {
+		n += p.Len
+	}
+	return n
+}
+
+// SendPacked transmits a non-contiguous buffer the classic way: MPI_Pack
+// copies every piece into a contiguous staging buffer, then one ordinary
+// send moves it. This is the baseline the SGE path is compared against.
+func (r *Rank) SendPacked(dst, tag int, pieces []Piece) error {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	defer func() { r.exitMPI("SendPacked", start, outer) }()
+	total := totalPieces(pieces)
+	stage, err := r.scratch(uint64(total))
+	if err != nil {
+		return err
+	}
+	// MPI_Pack: one CPU copy per piece.
+	off := 0
+	for _, p := range pieces {
+		buf := make([]byte, p.Len)
+		if err := r.as.Read(p.VA, buf); err != nil {
+			return err
+		}
+		if err := r.as.Write(stage+vm.VA(off), buf); err != nil {
+			return err
+		}
+		r.clock.Advance(r.memcpyTicks(p.Len))
+		off += p.Len
+	}
+	return r.sendOn(&r.clock, dst, tag, stage, total)
+}
+
+// SendGathered transmits a non-contiguous buffer the way Section 4
+// proposes: one work request whose scatter/gather list references every
+// piece in place. The consumer posts a single WR, the adapter fetches the
+// pieces without CPU copies, and one completion is polled.
+func (r *Rank) SendGathered(dst, tag int, pieces []Piece) error {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	defer func() { r.exitMPI("SendGathered", start, outer) }()
+	if len(pieces) == 0 {
+		return fmt.Errorf("mpi: empty gather list")
+	}
+	// Register the span covering all pieces (they come from one user
+	// buffer region in practice); one MR covers every SGE.
+	lo, hi := pieces[0].VA, pieces[0].VA+vm.VA(pieces[0].Len)
+	for _, p := range pieces[1:] {
+		if p.VA < lo {
+			lo = p.VA
+		}
+		if end := p.VA + vm.VA(p.Len); end > hi {
+			hi = end
+		}
+	}
+	mr, cost, err := r.cache.Acquire(lo, uint64(hi-lo))
+	if err != nil {
+		return fmt.Errorf("mpi: gather register: %w", err)
+	}
+	r.clock.Advance(cost)
+
+	sges := make([]hca.SGE, len(pieces))
+	for i, p := range pieces {
+		sges[i] = hca.SGE{Addr: p.VA, Length: uint32(p.Len), LKey: mr.LKey}
+	}
+	// One post, covering all SGEs (the sub-linear Figure 3 cost).
+	r.clock.Advance(r.ctx.PostSend(sges))
+	data, gather, err := r.ctx.HW.Gather(sges)
+	if err != nil {
+		return fmt.Errorf("mpi: gather DMA: %w", err)
+	}
+	arrive := r.clock.Now() + gather + r.ctx.HW.WireCost(len(data))
+	r.clock.Advance(r.ctx.PollCQ())
+	r.world.ranks[dst].inbox[r.id] <- &message{
+		kind: kindEager, src: r.id, tag: tag, data: data, arrive: arrive,
+	}
+	if relCost, err := r.cache.Release(mr); err != nil {
+		return err
+	} else {
+		r.clock.Advance(relCost)
+	}
+	return nil
+}
+
+// RecvUnpack receives a message sent by SendPacked or SendGathered and
+// scatters it into the given pieces (MPI_Unpack).
+func (r *Rank) RecvUnpack(src, tag int, pieces []Piece) error {
+	start := r.clock.Now()
+	outer := r.enterMPI()
+	defer func() { r.exitMPI("RecvUnpack", start, outer) }()
+	total := totalPieces(pieces)
+	stage, err := r.scratch(uint64(total))
+	if err != nil {
+		return err
+	}
+	n, err := r.recvOn(&r.clock, src, tag, stage, total)
+	if err != nil {
+		return err
+	}
+	if n != total {
+		return fmt.Errorf("mpi: unpack size mismatch: got %d, want %d", n, total)
+	}
+	off := 0
+	for _, p := range pieces {
+		buf := make([]byte, p.Len)
+		if err := r.as.Read(stage+vm.VA(off), buf); err != nil {
+			return err
+		}
+		if err := r.as.Write(p.VA, buf); err != nil {
+			return err
+		}
+		r.clock.Advance(r.memcpyTicks(p.Len))
+		off += p.Len
+	}
+	return nil
+}
+
+// GatherCostEstimate reports the modelled post+gather cost of an n-piece
+// send at the given piece size, without sending (used by the SGE planner
+// in internal/core to decide between packing and gathering).
+func (r *Rank) GatherCostEstimate(pieceLen, pieces int) simtime.Ticks {
+	post := r.world.cfg.Machine.HCA.DoorbellTicks +
+		r.world.cfg.Machine.HCA.WQEBaseTicks +
+		simtime.Ticks(pieces-1)*r.world.cfg.Machine.HCA.WQESGETicks
+	return post + simtime.Ticks(pieces)*r.world.cfg.Machine.Bus.TxnTicks/2
+}

@@ -1,0 +1,182 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/simtime"
+)
+
+func TestReadRendezvousMovesBytes(t *testing.T) {
+	cfg := defaultCfg(2)
+	cfg.RendezvousProtocol = "read"
+	pingpong(t, cfg, 512<<10)
+}
+
+func TestReadRendezvousHeadToHead(t *testing.T) {
+	cfg := defaultCfg(2)
+	cfg.RendezvousProtocol = "read"
+	w := mustWorld(t, cfg)
+	const n = 256 << 10
+	err := w.Run(func(r *Rank) error {
+		sva, _ := r.Malloc(n)
+		rva, _ := r.Malloc(n)
+		_ = r.WriteBytes(sva, bytes.Repeat([]byte{byte(r.ID() + 5)}, n))
+		peer := 1 - r.ID()
+		if _, err := r.Sendrecv(peer, 3, sva, n, peer, 3, rva, n); err != nil {
+			return err
+		}
+		got := make([]byte, n)
+		_ = r.ReadBytes(rva, got)
+		for i, b := range got {
+			if b != byte(peer+5) {
+				return fmt.Errorf("byte %d corrupted", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRendezvousProtocolValidation(t *testing.T) {
+	cfg := defaultCfg(2)
+	cfg.RendezvousProtocol = "teleport"
+	if _, err := NewWorld(cfg); err == nil {
+		t.Fatal("bogus rendezvous protocol accepted")
+	}
+}
+
+func TestReadVsWriteLatencyShape(t *testing.T) {
+	// RDMA read pays an extra one-way wire latency for the request but
+	// skips the CTS exchange; for a receiver that is already waiting the
+	// two protocols should land within ~25% of each other, with read not
+	// beating write by much (it cannot skip the data transfer).
+	timeFor := func(proto string) simtime.Ticks {
+		cfg := defaultCfg(2)
+		cfg.RendezvousProtocol = proto
+		w := mustWorld(t, cfg)
+		var elapsed simtime.Ticks
+		err := w.Run(func(r *Rank) error {
+			const n = 1 << 20
+			va, _ := r.Malloc(n)
+			if r.ID() == 0 {
+				return r.Send(1, 1, va, n)
+			}
+			t0 := r.Now()
+			if _, err := r.Recv(0, 1, va, n); err != nil {
+				return err
+			}
+			elapsed = r.Now() - t0
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	write, read := timeFor("write"), timeFor("read")
+	ratio := float64(read) / float64(write)
+	t.Logf("1MiB recv latency: write-rendezvous %v, read-rendezvous %v (%.2fx)", write, read, ratio)
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Fatalf("protocols diverge too much: %.2fx", ratio)
+	}
+}
+
+func TestEagerCreditsThrottleFloods(t *testing.T) {
+	// With a tiny credit pool, a sender flooding eager messages must
+	// block until the receiver drains — and its clock must reflect the
+	// receiver's pace rather than racing ahead.
+	cfg := defaultCfg(2)
+	cfg.EagerCredits = 2
+	cfg.ChannelDepth = 8192
+	w := mustWorld(t, cfg)
+	const msgs = 40
+	err := w.Run(func(r *Rank) error {
+		va, _ := r.Malloc(8 << 10)
+		if r.ID() == 0 {
+			for i := 0; i < msgs; i++ {
+				if err := r.Send(1, 5, va, 4<<10); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Slow receiver: compute between receives.
+		for i := 0; i < msgs; i++ {
+			r.Compute(100_000)
+			if _, err := r.Recv(0, 5, va, 4<<10); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sender cannot have finished much before the receiver's pace:
+	// with 2 credits it is at most 2 messages ahead.
+	sender, receiver := w.Rank(0).Now(), w.Rank(1).Now()
+	if float64(sender) < 0.8*float64(receiver) {
+		t.Fatalf("sender finished at %d, receiver at %d: flow control not engaged", sender, receiver)
+	}
+}
+
+func TestEagerCreditsDefaultDoesNotThrottlePingPong(t *testing.T) {
+	cfg := defaultCfg(2) // default 64 credits
+	w := mustWorld(t, cfg)
+	err := w.Run(func(r *Rank) error {
+		va, _ := r.Malloc(4 << 10)
+		for i := 0; i < 10; i++ {
+			if r.ID() == 0 {
+				if err := r.Send(1, i, va, 1024); err != nil {
+					return err
+				}
+				if _, err := r.Recv(1, i, va, 1024); err != nil {
+					return err
+				}
+			} else {
+				if _, err := r.Recv(0, i, va, 1024); err != nil {
+					return err
+				}
+				if err := r.Send(0, i, va, 1024); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNASKernelsUnderReadRendezvous(t *testing.T) {
+	// The whole application stack must work under the alternative
+	// protocol too (ablation sanity).
+	cfg := Config{
+		Machine: machine.Opteron(), Ranks: 4,
+		Allocator: AllocHuge, LazyDereg: true, HugeATT: true,
+		RendezvousProtocol: "read",
+	}
+	w := mustWorld(t, cfg)
+	err := w.Run(func(r *Rank) error {
+		const n = 128 << 10
+		sva, _ := r.Malloc(n)
+		rva, _ := r.Malloc(n)
+		right := (r.ID() + 1) % r.Size()
+		left := (r.ID() - 1 + r.Size()) % r.Size()
+		for i := 0; i < 5; i++ {
+			if _, err := r.Sendrecv(right, i, sva, n, left, i, rva, n); err != nil {
+				return err
+			}
+		}
+		return r.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

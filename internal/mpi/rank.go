@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/alloc"
+	"repro/internal/mpip"
+	"repro/internal/regcache"
+	"repro/internal/simtime"
+	"repro/internal/tlb"
+	"repro/internal/verbs"
+	"repro/internal/vm"
+)
+
+// Rank is one MPI process. All methods must be called from the rank's own
+// goroutine (the body passed to World.Run); Sendrecv internally forks a
+// send half, which is the one sanctioned exception and only touches
+// thread-safe components.
+type Rank struct {
+	id    int
+	world *World
+	clock simtime.Clock
+
+	as    *vm.AddressSpace
+	ctx   *verbs.Context
+	cache *regcache.Cache
+	alloc alloc.Allocator
+	dtlb  *tlb.DTLB
+	prof  *mpip.Profile
+
+	inbox   []chan *message // indexed by source rank
+	pending [][]*message    // unexpected-message queues, per source
+	// credits[d] holds eager-buffer tokens for sending to rank d; each
+	// token carries the virtual time at which the receiver freed it.
+	credits []chan simtime.Ticks
+
+	// Persistent collective scratch buffer (allocated via the rank's own
+	// allocation library, so it follows the placement policy).
+	scratchVA   vm.VA
+	scratchSize uint64
+
+	// mpiDepth tracks nesting of profiled MPI entry points so that a
+	// collective's internal point-to-point calls are not double-counted
+	// (mpiP attributes time to the outermost call site).
+	mpiDepth int32
+}
+
+// enterMPI marks entry into a profiled MPI call; it reports whether this
+// is the outermost call (the one that should be recorded). Sendrecv's
+// forked send half runs on another goroutine, hence the atomic.
+func (r *Rank) enterMPI() bool {
+	return atomic.AddInt32(&r.mpiDepth, 1) == 1
+}
+
+// exitMPI leaves a profiled MPI call, recording d against name if this
+// was the outermost frame.
+func (r *Rank) exitMPI(name string, start simtime.Ticks, outer bool) {
+	atomic.AddInt32(&r.mpiDepth, -1)
+	if outer {
+		r.prof.AddCall(name, r.clock.Now()-start)
+	}
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the job's rank count.
+func (r *Rank) Size() int { return len(r.world.ranks) }
+
+// Now returns the rank's virtual clock.
+func (r *Rank) Now() simtime.Ticks { return r.clock.Now() }
+
+// AS exposes the rank's address space.
+func (r *Rank) AS() *vm.AddressSpace { return r.as }
+
+// Verbs exposes the rank's verbs context.
+func (r *Rank) Verbs() *verbs.Context { return r.ctx }
+
+// Cache exposes the rank's registration cache.
+func (r *Rank) Cache() *regcache.Cache { return r.cache }
+
+// Allocator exposes the rank's allocation library.
+func (r *Rank) Allocator() alloc.Allocator { return r.alloc }
+
+// DTLB exposes the rank's TLB simulator (the memmodel charges through it).
+func (r *Rank) DTLB() *tlb.DTLB { return r.dtlb }
+
+// Profile exposes the rank's mpiP profile.
+func (r *Rank) Profile() *mpip.Profile { return r.prof }
+
+// Compute advances the rank's clock by application time and records it.
+func (r *Rank) Compute(d simtime.Ticks) {
+	r.clock.Advance(d)
+	r.prof.AddCompute(d)
+}
+
+// Malloc allocates through the rank's allocation library, charging the
+// allocator's own time to the compute side of the profile (that is where
+// the Abinit +1.5 % lives).
+func (r *Rank) Malloc(n uint64) (vm.VA, error) {
+	before := r.alloc.Stats().Ticks
+	va, err := r.alloc.Alloc(n)
+	if err != nil {
+		return 0, err
+	}
+	d := r.alloc.Stats().Ticks - before
+	r.clock.Advance(d)
+	r.prof.AddAlloc(d)
+	return va, nil
+}
+
+// Free releases a buffer, invalidating any cached registration over it
+// first (a correctness requirement of lazy deregistration).
+func (r *Rank) Free(va vm.VA) error {
+	inv, err := r.cache.Invalidate(va, r.alloc.UsableSize(va))
+	if err != nil {
+		return err
+	}
+	before := r.alloc.Stats().Ticks
+	if err := r.alloc.Free(va); err != nil {
+		return err
+	}
+	d := r.alloc.Stats().Ticks - before
+	r.clock.Advance(d + inv)
+	r.prof.AddAlloc(d + inv)
+	return nil
+}
+
+// WriteBytes stores p at va.
+func (r *Rank) WriteBytes(va vm.VA, p []byte) error { return r.as.Write(va, p) }
+
+// ReadBytes loads len(p) bytes from va.
+func (r *Rank) ReadBytes(va vm.VA, p []byte) error { return r.as.Read(va, p) }
+
+// WriteF64 stores a float64 slice at va (little-endian).
+func (r *Rank) WriteF64(va vm.VA, xs []float64) error {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return r.as.Write(va, buf)
+}
+
+// ReadF64 loads n float64s from va.
+func (r *Rank) ReadF64(va vm.VA, n int) ([]float64, error) {
+	buf := make([]byte, 8*n)
+	if err := r.as.Read(va, buf); err != nil {
+		return nil, err
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return xs, nil
+}
+
+// memcpyTicks is the CPU cost of copying n bytes (eager bounce copies).
+func (r *Rank) memcpyTicks(n int) simtime.Ticks {
+	return simtime.BandwidthTicks(int64(n), r.world.cfg.Machine.Mem.CopyBandwidthMBs)
+}
+
+// ctrlWire is the wire cost of a small control message (RTS/CTS).
+func (r *Rank) ctrlWire() simtime.Ticks { return r.ctx.HW.WireCost(64) }
+
+// checkPeer validates a peer rank number.
+func (r *Rank) checkPeer(peer int) error {
+	if peer < 0 || peer >= r.Size() || peer == r.id {
+		return fmt.Errorf("mpi: rank %d: bad peer %d", r.id, peer)
+	}
+	return nil
+}
+
+// matchRecv pops the next message from src with the given tag, keeping
+// unexpected messages queued in arrival order. It returns nil if the job
+// aborted while waiting (a peer rank failed).
+func (r *Rank) matchRecv(src, tag int) *message {
+	q := r.pending[src]
+	for i, m := range q {
+		if m.tag == tag {
+			r.pending[src] = append(q[:i], q[i+1:]...)
+			return m
+		}
+	}
+	for {
+		select {
+		case m := <-r.inbox[src]:
+			if m.tag == tag {
+				return m
+			}
+			r.pending[src] = append(r.pending[src], m)
+		case <-r.world.abort:
+			return nil
+		}
+	}
+}
+
+// acquire registers [va,va+n) through the rank's registration cache and
+// charges the time.
+func (r *Rank) acquire(va vm.VA, n uint64) (*verbs.MR, error) {
+	mr, cost, err := r.cache.Acquire(va, n)
+	if err != nil {
+		return nil, err
+	}
+	r.clock.Advance(cost)
+	return mr, nil
+}
+
+// release returns a registration, charging deregistration time when lazy
+// deregistration is off.
+func (r *Rank) release(mr *verbs.MR) error {
+	cost, err := r.cache.Release(mr)
+	if err != nil {
+		return err
+	}
+	r.clock.Advance(cost)
+	return nil
+}

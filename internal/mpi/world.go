@@ -1,0 +1,243 @@
+// Package mpi is a miniature MPI runtime over the simulated InfiniBand
+// stack, modelled on MVAPICH2 0.9.x as used in the paper's Section 5:
+// eager protocol up to 8 KiB, a copy-based pipeline to 16 KiB, and an
+// RDMA-write rendezvous above 16 KiB whose buffers are registered through
+// the pin-down cache (lazy deregistration on or off). Collectives are
+// built from point-to-point. Each rank runs as a goroutine with its own
+// virtual clock; message timestamps synchronise the clocks pairwise.
+//
+// Placement enters through the per-rank allocator: buffers allocated with
+// the hugepage library land in hugepages, which changes registration
+// cost, ATT behaviour and (via internal/memmodel) compute time — the full
+// causal chain of the paper.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/machine"
+	"repro/internal/mpip"
+	"repro/internal/phys"
+	"repro/internal/regcache"
+	"repro/internal/simtime"
+	"repro/internal/tlb"
+	"repro/internal/verbs"
+	"repro/internal/vm"
+)
+
+// AllocatorKind selects the per-rank allocation library — the variable of
+// the whole experiment.
+type AllocatorKind string
+
+// Allocator kinds.
+const (
+	AllocLibc     AllocatorKind = "libc"
+	AllocHuge     AllocatorKind = "huge"
+	AllocMorecore AllocatorKind = "morecore"
+	AllocPageSep  AllocatorKind = "pagesep"
+)
+
+// Config describes one job.
+type Config struct {
+	Machine *machine.Machine
+	Ranks   int
+	// Allocator is the allocation library preloaded into every rank.
+	Allocator AllocatorKind
+	// LazyDereg enables the registration cache (Figure 5's two regimes).
+	LazyDereg bool
+	// HugeATT enables the OpenIB driver patch (2 MiB translations).
+	HugeATT bool
+	// EagerLimit and RdmaLimit are the protocol switch points.
+	// Zero values take the MVAPICH2 defaults (8 KiB / 16 KiB).
+	EagerLimit int
+	RdmaLimit  int
+	// RendezvousProtocol selects "write" (RDMA-write with RTS/CTS, the
+	// MVAPICH2 default) or "read" (receiver-driven RDMA read). An
+	// ablation knob; both move the same bytes.
+	RendezvousProtocol string
+	// EagerCredits is the per-peer eager buffer (vbuf) count; senders
+	// block when the receiver has not drained its bounce buffers.
+	EagerCredits int
+	// ChannelDepth is the per-peer unexpected-message queue depth.
+	ChannelDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.EagerLimit == 0 {
+		c.EagerLimit = 8 << 10
+	}
+	if c.RdmaLimit == 0 {
+		c.RdmaLimit = 16 << 10
+	}
+	if c.ChannelDepth == 0 {
+		c.ChannelDepth = 4096
+	}
+	if c.RendezvousProtocol == "" {
+		c.RendezvousProtocol = "write"
+	}
+	if c.EagerCredits == 0 {
+		c.EagerCredits = 64
+	}
+	if c.Allocator == "" {
+		c.Allocator = AllocLibc
+	}
+	return c
+}
+
+// World is one running job.
+type World struct {
+	cfg   Config
+	ranks []*Rank
+
+	// abort is closed when any rank's body returns an error, so ranks
+	// blocked in message matching fail fast instead of deadlocking the
+	// job (the simulator's equivalent of MPI_Abort).
+	abort     chan struct{}
+	abortOnce sync.Once
+}
+
+// NewWorld builds a job: one node (physical memory + HCA + address space
+// + allocator + registration cache) per rank. The paper runs 2 nodes with
+// 4 processes each; we give every rank its own node and route all traffic
+// through the HCA — a documented deviation (DESIGN.md §7) that removes
+// shared-memory shortcuts without changing who wins.
+func NewWorld(cfg Config) (*World, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("mpi: config needs a machine")
+	}
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("mpi: need at least 1 rank, got %d", cfg.Ranks)
+	}
+	if cfg.RendezvousProtocol != "write" && cfg.RendezvousProtocol != "read" {
+		return nil, fmt.Errorf("mpi: unknown rendezvous protocol %q", cfg.RendezvousProtocol)
+	}
+	w := &World{cfg: cfg, abort: make(chan struct{})}
+	for i := 0; i < cfg.Ranks; i++ {
+		mem := phys.NewMemory(cfg.Machine)
+		// Warm the frame pool so small-page buffers are physically
+		// scattered, as on a real long-running node.
+		mem.Scramble(4096)
+		as := vm.New(mem)
+		ctx := verbs.Open(cfg.Machine, as)
+		ctx.HugeATT = cfg.HugeATT
+
+		var a alloc.Allocator
+		var err error
+		switch cfg.Allocator {
+		case AllocLibc:
+			a = alloc.NewLibc(as, cfg.Machine.Mem.SyscallTicks)
+		case AllocHuge:
+			a, err = alloc.NewHuge(as, cfg.Machine.Mem.SyscallTicks, alloc.DefaultHugeConfig())
+		case AllocMorecore:
+			a = alloc.NewMorecore(as, cfg.Machine.Mem.SyscallTicks)
+		case AllocPageSep:
+			a = alloc.NewPageSep(as, cfg.Machine.Mem.SyscallTicks)
+		default:
+			err = fmt.Errorf("mpi: unknown allocator %q", cfg.Allocator)
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		r := &Rank{
+			id:    i,
+			world: w,
+			as:    as,
+			ctx:   ctx,
+			cache: regcache.New(ctx, cfg.LazyDereg),
+			alloc: a,
+			dtlb:  tlb.New(&cfg.Machine.CPU),
+			prof:  mpip.New(),
+		}
+		w.ranks = append(w.ranks, r)
+	}
+	// Wire the all-to-all mailboxes and eager credit pools.
+	for _, r := range w.ranks {
+		r.inbox = make([]chan *message, cfg.Ranks)
+		r.pending = make([][]*message, cfg.Ranks)
+		r.credits = make([]chan simtime.Ticks, cfg.Ranks)
+		for j := 0; j < cfg.Ranks; j++ {
+			r.inbox[j] = make(chan *message, cfg.ChannelDepth)
+			// credits[j] holds tokens for SENDING to rank j from r.
+			r.credits[j] = make(chan simtime.Ticks, cfg.EagerCredits)
+			for k := 0; k < cfg.EagerCredits; k++ {
+				r.credits[j] <- 0
+			}
+		}
+	}
+	return w, nil
+}
+
+// Config returns the job configuration (defaults resolved).
+func (w *World) Config() Config { return w.cfg }
+
+// Rank returns rank i (for post-run inspection).
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Run executes body once per rank, concurrently, and returns when all
+// ranks finish. The first error aborts the result (but all goroutines are
+// joined first).
+func (w *World) Run(body func(r *Rank) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(w.ranks))
+	for i, r := range w.ranks {
+		wg.Add(1)
+		go func(i int, r *Rank) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[i] = fmt.Errorf("mpi: rank %d panic: %v", i, p)
+				}
+				if errs[i] != nil {
+					w.abortOnce.Do(func() { close(w.abort) })
+				}
+			}()
+			errs[i] = body(r)
+		}(i, r)
+	}
+	wg.Wait()
+	// Prefer reporting a root-cause error over the secondary "job
+	// aborted" errors of ranks that were merely cut off mid-receive.
+	var fallback error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrAborted) {
+			if fallback == nil {
+				fallback = fmt.Errorf("mpi: rank %d: %w", i, err)
+			}
+			continue
+		}
+		return fmt.Errorf("mpi: rank %d: %w", i, err)
+	}
+	return fallback
+}
+
+// ErrAborted marks errors caused by another rank's failure.
+var ErrAborted = errors.New("job aborted by peer failure")
+
+// MaxTime reports the latest rank clock — the job's makespan.
+func (w *World) MaxTime() simtime.Ticks {
+	var t simtime.Ticks
+	for _, r := range w.ranks {
+		t = simtime.Max(t, r.clock.Now())
+	}
+	return t
+}
+
+// Profile aggregates all ranks' mpiP profiles.
+func (w *World) Profile() *mpip.Profile {
+	p := mpip.New()
+	for _, r := range w.ranks {
+		p.Merge(r.prof)
+	}
+	return p
+}

@@ -1,0 +1,51 @@
+// Package papi is the performance-counter facade of the reproduction,
+// standing in for the PAPI library the paper uses on the AMD Opteron
+// ("we instrumented an AMD Opteron system with PAPI to read the processor
+// performance counters"). Counters come from the per-rank TLB simulator
+// and the memory model, not formulas.
+package papi
+
+import (
+	"fmt"
+
+	"repro/internal/tlb"
+)
+
+// Counters is one snapshot of the hardware counters the paper reads.
+type Counters struct {
+	DTLB4KAccesses int64
+	DTLB4KMisses   int64
+	DTLB2MAccesses int64
+	DTLB2MMisses   int64
+}
+
+// TotalMisses sums both entry files — PAPI_TLB_DM.
+func (c Counters) TotalMisses() int64 { return c.DTLB4KMisses + c.DTLB2MMisses }
+
+// Sub returns the counter delta c - o (end minus start of a region of
+// interest).
+func (c Counters) Sub(o Counters) Counters {
+	return Counters{
+		DTLB4KAccesses: c.DTLB4KAccesses - o.DTLB4KAccesses,
+		DTLB4KMisses:   c.DTLB4KMisses - o.DTLB4KMisses,
+		DTLB2MAccesses: c.DTLB2MAccesses - o.DTLB2MAccesses,
+		DTLB2MMisses:   c.DTLB2MMisses - o.DTLB2MMisses,
+	}
+}
+
+// String formats the snapshot PAPI-style.
+func (c Counters) String() string {
+	return fmt.Sprintf("DTLB_4K[acc=%d miss=%d] DTLB_2M[acc=%d miss=%d] PAPI_TLB_DM=%d",
+		c.DTLB4KAccesses, c.DTLB4KMisses, c.DTLB2MAccesses, c.DTLB2MMisses, c.TotalMisses())
+}
+
+// Read snapshots a DTLB's counters.
+func Read(d *tlb.DTLB) Counters {
+	s4, s2 := d.Small.Stats(), d.Large.Stats()
+	return Counters{
+		DTLB4KAccesses: s4.Accesses(),
+		DTLB4KMisses:   s4.Misses,
+		DTLB2MAccesses: s2.Accesses(),
+		DTLB2MMisses:   s2.Misses,
+	}
+}

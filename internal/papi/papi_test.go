@@ -1,0 +1,50 @@
+package papi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/tlb"
+	"repro/internal/vm"
+)
+
+func TestReadReflectsTLBActivity(t *testing.T) {
+	cpu := machine.Opteron().CPU
+	d := tlb.New(&cpu)
+	before := Read(d)
+	if before.TotalMisses() != 0 {
+		t.Fatal("fresh DTLB has misses")
+	}
+	d.Access(0x1000, vm.Small)
+	d.Access(0x1000, vm.Small)
+	d.Access(0x4000_0000_0000, vm.Huge)
+	after := Read(d)
+	if after.DTLB4KAccesses != 2 || after.DTLB4KMisses != 1 {
+		t.Fatalf("4K counters wrong: %+v", after)
+	}
+	if after.DTLB2MAccesses != 1 || after.DTLB2MMisses != 1 {
+		t.Fatalf("2M counters wrong: %+v", after)
+	}
+	if after.TotalMisses() != 2 {
+		t.Fatalf("PAPI_TLB_DM = %d, want 2", after.TotalMisses())
+	}
+}
+
+func TestSubDelta(t *testing.T) {
+	a := Counters{DTLB4KAccesses: 10, DTLB4KMisses: 3, DTLB2MAccesses: 5, DTLB2MMisses: 2}
+	b := Counters{DTLB4KAccesses: 4, DTLB4KMisses: 1, DTLB2MAccesses: 2, DTLB2MMisses: 2}
+	d := a.Sub(b)
+	if d.DTLB4KAccesses != 6 || d.DTLB4KMisses != 2 || d.DTLB2MAccesses != 3 || d.DTLB2MMisses != 0 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Counters{DTLB4KMisses: 7}.String()
+	for _, want := range []string{"DTLB_4K", "DTLB_2M", "PAPI_TLB_DM=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package phys models physical memory as seen by the registration path:
+// a pool of 4 KiB frames plus a hugetlbfs-style pool of 2 MiB hugepages
+// that must be set aside at boot.
+//
+// Two properties matter for the paper and are modelled here:
+//
+//  1. Small-page allocations fragment. After any realistic allocation
+//     history, consecutive virtual pages map to scattered physical frames,
+//     so a buffer of N small pages needs N distinct address translations.
+//  2. Hugepages are physically contiguous by construction, so one 2 MiB
+//     buffer needs one translation, and the hardware prefetcher can stream
+//     across the whole extent.
+//
+// The pool also implements the reservation the paper's library keeps for
+// fork/Copy-on-Write ("it must leave a reserve of hugepages that are needed
+// when forking processes").
+package phys
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Frame is a physical frame number (4 KiB units). The physical byte
+// address of a frame f is f * machine.SmallPageSize.
+type Frame uint64
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Errors returned by the allocator.
+var (
+	ErrOutOfMemory    = errors.New("phys: out of physical memory")
+	ErrOutOfHugepages = errors.New("phys: hugepage pool exhausted")
+	ErrReserveHeld    = errors.New("phys: request would dip into the CoW reserve")
+	ErrDoubleFree     = errors.New("phys: double free")
+)
+
+// Memory is the physical memory of one node. It is safe for concurrent use
+// by multiple simulated processes.
+type Memory struct {
+	mu sync.Mutex
+
+	totalFrames int64
+	// next is the bump pointer for never-used frames.
+	next Frame
+	// free holds recycled small frames in LIFO order. LIFO is deliberate:
+	// it maximises temporal locality like a real page allocator's per-CPU
+	// lists, and it also guarantees that a warmed-up system hands out
+	// physically *discontiguous* frame sequences, which is the property
+	// the registration path cares about.
+	free []Frame
+
+	// hugeFree holds the indices of free hugepages in the boot-time pool.
+	// Hugepage i covers frames [hugeBase + i*512, hugeBase + (i+1)*512).
+	hugeBase  Frame
+	hugeTotal int
+	hugeFree  []int
+	hugeBusy  map[int]bool
+	// hugeReserved is the number of pool pages a process holds back for
+	// fork/CoW; AllocHuge refuses to hand them out.
+	hugeReserved int
+
+	stats Stats
+
+	data dataStore
+}
+
+// Stats reports allocator activity.
+type Stats struct {
+	SmallAllocated int64 // currently allocated small frames
+	SmallPeak      int64
+	HugeAllocated  int // currently allocated hugepages
+	HugePeak       int
+	HugeFailures   int64 // AllocHuge calls refused
+}
+
+// NewMemory builds the physical memory of one machine: the hugepage pool
+// is carved from the top of memory, everything below is the small-frame
+// zone.
+func NewMemory(m *machine.Machine) *Memory {
+	totalFrames := m.Mem.TotalBytes / machine.SmallPageSize
+	hugeFrames := int64(m.Mem.HugePool) * machine.SmallPerHuge
+	if hugeFrames >= totalFrames {
+		panic(fmt.Sprintf("phys: hugepage pool (%d pages) exceeds memory", m.Mem.HugePool))
+	}
+	mem := &Memory{
+		totalFrames: totalFrames,
+		hugeBase:    Frame(totalFrames - hugeFrames),
+		hugeTotal:   m.Mem.HugePool,
+		hugeBusy:    make(map[int]bool),
+	}
+	for i := m.Mem.HugePool - 1; i >= 0; i-- {
+		mem.hugeFree = append(mem.hugeFree, i)
+	}
+	return mem
+}
+
+// AllocFrame hands out one small frame.
+func (m *Memory) AllocFrame() (Frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var f Frame
+	switch {
+	case len(m.free) > 0:
+		f = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+	case m.next < m.hugeBase:
+		f = m.next
+		m.next++
+	default:
+		return 0, ErrOutOfMemory
+	}
+	m.stats.SmallAllocated++
+	if m.stats.SmallAllocated > m.stats.SmallPeak {
+		m.stats.SmallPeak = m.stats.SmallAllocated
+	}
+	return f, nil
+}
+
+// FreeFrame returns one small frame to the pool.
+func (m *Memory) FreeFrame(f Frame) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f >= m.hugeBase {
+		return fmt.Errorf("phys: frame %d belongs to the hugepage zone", f)
+	}
+	m.free = append(m.free, f)
+	m.stats.SmallAllocated--
+	if m.stats.SmallAllocated < 0 {
+		return ErrDoubleFree
+	}
+	return nil
+}
+
+// AllocHuge hands out one hugepage and returns its first frame. The
+// returned extent of machine.SmallPerHuge frames is physically contiguous.
+// It fails with ErrReserveHeld if only reserved pages remain.
+func (m *Memory) AllocHuge() (Frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.hugeFree) == 0 {
+		m.stats.HugeFailures++
+		return 0, ErrOutOfHugepages
+	}
+	if len(m.hugeFree) <= m.hugeReserved {
+		m.stats.HugeFailures++
+		return 0, ErrReserveHeld
+	}
+	idx := m.hugeFree[len(m.hugeFree)-1]
+	m.hugeFree = m.hugeFree[:len(m.hugeFree)-1]
+	m.hugeBusy[idx] = true
+	m.stats.HugeAllocated++
+	if m.stats.HugeAllocated > m.stats.HugePeak {
+		m.stats.HugePeak = m.stats.HugeAllocated
+	}
+	return m.hugeBase + Frame(idx)*machine.SmallPerHuge, nil
+}
+
+// FreeHuge returns a hugepage (identified by its first frame) to the pool.
+func (m *Memory) FreeHuge(f Frame) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f < m.hugeBase || (f-m.hugeBase)%machine.SmallPerHuge != 0 {
+		return fmt.Errorf("phys: frame %d is not a hugepage base", f)
+	}
+	idx := int((f - m.hugeBase) / machine.SmallPerHuge)
+	if !m.hugeBusy[idx] {
+		return ErrDoubleFree
+	}
+	delete(m.hugeBusy, idx)
+	m.hugeFree = append(m.hugeFree, idx)
+	m.stats.HugeAllocated--
+	return nil
+}
+
+// AllocHugeCoW hands out one hugepage for a copy-on-write break. Unlike
+// AllocHuge it may dig into the reserve — satisfying fork/CoW demand is
+// exactly what the reserve is held back for.
+func (m *Memory) AllocHugeCoW() (Frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.hugeFree) == 0 {
+		m.stats.HugeFailures++
+		return 0, ErrOutOfHugepages
+	}
+	idx := m.hugeFree[len(m.hugeFree)-1]
+	m.hugeFree = m.hugeFree[:len(m.hugeFree)-1]
+	m.hugeBusy[idx] = true
+	m.stats.HugeAllocated++
+	if m.stats.HugeAllocated > m.stats.HugePeak {
+		m.stats.HugePeak = m.stats.HugeAllocated
+	}
+	return m.hugeBase + Frame(idx)*machine.SmallPerHuge, nil
+}
+
+// Reserve sets aside n hugepages that AllocHuge may not hand out; this is
+// the fork/CoW reserve of the paper's mapping layer. Raising the reserve
+// above the currently free count is allowed: it simply means all remaining
+// free pages are held back.
+func (m *Memory) Reserve(n int) {
+	if n < 0 {
+		panic("phys: negative reserve")
+	}
+	m.mu.Lock()
+	m.hugeReserved = n
+	m.mu.Unlock()
+}
+
+// HugeAvailable reports how many hugepages AllocHuge could currently
+// satisfy (free minus reserve).
+func (m *Memory) HugeAvailable() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := len(m.hugeFree) - m.hugeReserved
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// HugeTotal reports the boot-time pool size.
+func (m *Memory) HugeTotal() int { return m.hugeTotal }
+
+// Stats returns a snapshot of allocator statistics.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Scramble warms up the small-frame pool so that subsequent allocations
+// are physically discontiguous, as on a long-running host. It allocates
+// n frames and frees every other one.
+func (m *Memory) Scramble(n int) {
+	frames := make([]Frame, 0, n)
+	for i := 0; i < n; i++ {
+		f, err := m.AllocFrame()
+		if err != nil {
+			break
+		}
+		frames = append(frames, f)
+	}
+	for i := 0; i < len(frames); i += 2 {
+		_ = m.FreeFrame(frames[i])
+	}
+	for i := 1; i < len(frames); i += 2 {
+		_ = m.FreeFrame(frames[i])
+	}
+}

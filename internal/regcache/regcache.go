@@ -1,0 +1,284 @@
+// Package regcache implements the pin-down cache / lazy deregistration
+// strategy of MPICH2-CH3-IB and MVAPICH2 that the paper uses as its
+// baseline optimisation: "a pool of already registered memory is hold, so
+// that memory registration is done only once for each virtual address".
+//
+// It also models the drawback the paper calls out — pinned memory
+// "remains allocated to the application during their whole runtime" — by
+// tracking the pinned-byte gauge and supporting an eviction bound.
+package regcache
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/simtime"
+	"repro/internal/verbs"
+	"repro/internal/vm"
+)
+
+// lookupTicks is the cost of probing the registration cache (a small
+// tree/hash walk in the MPI library).
+const lookupTicks = simtime.Ticks(40)
+
+// Stats counts cache behaviour.
+type Stats struct {
+	Hits, Misses int64
+	Evictions    int64
+	PinnedBytes  int64 // current gauge: the paper's "less available physical memory" drawback
+	PeakPinned   int64
+	RegTicks     simtime.Ticks // time spent registering on misses
+	DeregTicks   simtime.Ticks
+}
+
+type entry struct {
+	mr  *verbs.MR
+	ele *list.Element
+	// refs counts Acquires not yet Released; an entry in use is never
+	// deregistered, only marked zombie and torn down on final Release.
+	refs   int
+	zombie bool
+}
+
+// Cache is one rank's registration cache over a verbs context.
+type Cache struct {
+	ctx *verbs.Context
+	// Lazy enables lazy deregistration. When false every Acquire
+	// registers and every Release deregisters — the paper's
+	// "deactivated lazy deregistration" configuration of Figure 5.
+	Lazy bool
+	// MaxPinned bounds pinned bytes; 0 means unbounded. Exceeding it
+	// evicts least-recently-used regions.
+	MaxPinned int64
+
+	mu      sync.Mutex
+	entries map[vm.VA]*entry     // keyed by region base
+	byMR    map[*verbs.MR]*entry // every live entry, incl. zombies
+	lru     *list.List           // front = most recent; values are vm.VA
+	stats   Stats
+}
+
+// New builds a cache over a verbs context.
+func New(ctx *verbs.Context, lazy bool) *Cache {
+	return &Cache{
+		ctx:     ctx,
+		Lazy:    lazy,
+		entries: make(map[vm.VA]*entry),
+		byMR:    make(map[*verbs.MR]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Acquire returns a registration covering [va, va+length) plus the
+// virtual time the call consumed. With lazy deregistration a previously
+// registered region containing the range is reused.
+//
+// Requests are rounded to page boundaries of the underlying mapping
+// before registration — the kernel pins whole pages regardless, and this
+// is what lets byte-level message-length jitter (IS's varying partition
+// sizes) reuse a cached registration.
+func (c *Cache) Acquire(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, error) {
+	if _, class, err := c.ctx.AS.Translate(va); err == nil {
+		ps := class.Size()
+		end := (uint64(va) + length + ps - 1) / ps * ps
+		va = vm.VA(uint64(va) / ps * ps)
+		length = end - uint64(va)
+	}
+	if !c.Lazy {
+		mr, cost, err := c.ctx.RegMR(va, length)
+		if err != nil {
+			return nil, 0, err
+		}
+		c.mu.Lock()
+		c.stats.Misses++
+		c.stats.RegTicks += cost
+		c.mu.Unlock()
+		return mr, cost, nil
+	}
+	c.mu.Lock()
+	cost := lookupTicks
+	// Exact-base fast path, then containment scan.
+	if e, ok := c.entries[va]; ok && e.mr.Length >= length {
+		c.lru.MoveToFront(e.ele)
+		e.refs++
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.mr, cost, nil
+	}
+	for _, e := range c.entries {
+		if e.mr.VA <= va && uint64(va)+length <= uint64(e.mr.VA)+e.mr.Length {
+			c.lru.MoveToFront(e.ele)
+			e.refs++
+			c.stats.Hits++
+			c.mu.Unlock()
+			return e.mr, cost, nil
+		}
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	mr, regCost, err := c.ctx.RegMR(va, length)
+	if err != nil {
+		return nil, 0, err
+	}
+	cost += regCost
+	c.mu.Lock()
+	c.stats.RegTicks += regCost
+	// A re-registration at the same base (e.g. a longer slice of the
+	// same buffer) supersedes the old entry; the old registration is
+	// torn down — immediately if idle, on final Release if in use — so
+	// pins and pinned-byte accounting cannot leak.
+	var stale []*verbs.MR
+	if old, ok := c.entries[va]; ok {
+		stale = append(stale, c.retireLocked(old)...)
+	}
+	e := &entry{mr: mr, refs: 1}
+	e.ele = c.lru.PushFront(mr.VA)
+	c.entries[mr.VA] = e
+	c.byMR[mr] = e
+	c.stats.PinnedBytes += int64(mr.Length)
+	if c.stats.PinnedBytes > c.stats.PeakPinned {
+		c.stats.PeakPinned = c.stats.PinnedBytes
+	}
+	stale = append(stale, c.evictLocked()...)
+	c.mu.Unlock()
+	// Deregistration of superseded/evicted regions happens off the
+	// critical path (MVAPICH2 defers it to a garbage list), so no time
+	// is charged to this Acquire.
+	for _, victim := range stale {
+		if _, err := c.ctx.DeregMR(victim); err != nil {
+			return nil, 0, err
+		}
+	}
+	return mr, cost, nil
+}
+
+// retireLocked removes an entry from the cache index. It returns the MR
+// to deregister now if the entry is idle; an in-use entry becomes a
+// zombie deregistered on final Release. Callers hold the lock.
+func (c *Cache) retireLocked(e *entry) []*verbs.MR {
+	c.lru.Remove(e.ele)
+	delete(c.entries, e.mr.VA)
+	c.stats.PinnedBytes -= int64(e.mr.Length)
+	if e.refs > 0 {
+		e.zombie = true
+		return nil
+	}
+	delete(c.byMR, e.mr)
+	return []*verbs.MR{e.mr}
+}
+
+// evictLocked enforces MaxPinned and returns the victims to deregister.
+// In-use entries are skipped (their pins cannot be dropped mid-transfer).
+// Callers hold the lock.
+func (c *Cache) evictLocked() []*verbs.MR {
+	if c.MaxPinned <= 0 {
+		return nil
+	}
+	var victims []*verbs.MR
+	ele := c.lru.Back()
+	for c.stats.PinnedBytes > c.MaxPinned && ele != nil {
+		prev := ele.Prev()
+		e := c.entries[ele.Value.(vm.VA)]
+		if e != nil && e.refs == 0 {
+			c.stats.Evictions++
+			victims = append(victims, c.retireLocked(e)...)
+		}
+		ele = prev
+	}
+	return victims
+}
+
+// Release returns a registration after use. Lazy mode keeps it pinned
+// (deregistering only zombies whose last user just left); otherwise it
+// deregisters immediately and returns that cost.
+func (c *Cache) Release(mr *verbs.MR) (simtime.Ticks, error) {
+	if c.Lazy {
+		c.mu.Lock()
+		e := c.byMR[mr]
+		var dead *verbs.MR
+		if e != nil {
+			if e.refs > 0 {
+				e.refs--
+			}
+			if e.zombie && e.refs == 0 {
+				delete(c.byMR, mr)
+				dead = mr
+			}
+		}
+		c.mu.Unlock()
+		if dead != nil {
+			if _, err := c.ctx.DeregMR(dead); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	}
+	cost, err := c.ctx.DeregMR(mr)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.stats.DeregTicks += cost
+	c.mu.Unlock()
+	return cost, nil
+}
+
+// Invalidate removes any cached registration whose region intersects
+// [va, va+length) — required when the application frees or unmaps memory,
+// otherwise the cache would hand out stale translations. Regions still in
+// use become zombies and are torn down on final Release.
+func (c *Cache) Invalidate(va vm.VA, length uint64) (simtime.Ticks, error) {
+	c.mu.Lock()
+	var victims []*verbs.MR
+	for _, e := range c.entries {
+		if va < e.mr.VA+vm.VA(e.mr.Length) && e.mr.VA < va+vm.VA(length) {
+			victims = append(victims, c.retireLocked(e)...)
+		}
+	}
+	c.mu.Unlock()
+	var cost simtime.Ticks
+	for _, mr := range victims {
+		d, err := c.ctx.DeregMR(mr)
+		if err != nil {
+			return cost, err
+		}
+		cost += d
+	}
+	return cost, nil
+}
+
+// Flush deregisters everything, including zombies (rank teardown; no
+// transfers may be in flight).
+func (c *Cache) Flush() error {
+	c.mu.Lock()
+	var all []*verbs.MR
+	for mr := range c.byMR {
+		all = append(all, mr)
+	}
+	c.entries = make(map[vm.VA]*entry)
+	c.byMR = make(map[*verbs.MR]*entry)
+	c.lru.Init()
+	c.stats.PinnedBytes = 0
+	c.mu.Unlock()
+	for _, mr := range all {
+		if _, err := c.ctx.DeregMR(mr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len reports the number of cached registrations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,116 @@
+package simtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTickConversions(t *testing.T) {
+	if Microsecond != 512 {
+		t.Fatalf("1us = %d ticks, want 512", Microsecond)
+	}
+	if got := FromMicros(3); got != 1536 {
+		t.Fatalf("FromMicros(3) = %d, want 1536", got)
+	}
+	if got := FromNanos(1953); got != 1000 {
+		t.Fatalf("FromNanos(1953) = %d, want 1000", got)
+	}
+	if got := Ticks(512).Micros(); got != 1.0 {
+		t.Fatalf("512 ticks = %vus, want 1", got)
+	}
+	if got := FromDuration(time.Millisecond); got != Millisecond {
+		t.Fatalf("FromDuration(1ms) = %d, want %d", got, Millisecond)
+	}
+}
+
+func TestNanosRoundTrip(t *testing.T) {
+	f := func(n uint16) bool {
+		tk := Ticks(n)
+		// ns per tick is not integral, so allow 1 tick of rounding.
+		back := FromNanos(tk.Nanos())
+		d := back - tk
+		return d >= -1 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthTicks(t *testing.T) {
+	// 1750 MB/s, 1 MB -> 571.4 us -> ~292571 ticks
+	got := BandwidthTicks(1_000_000, 1750)
+	ns := 1_000_000_000 / 1750.0
+	want := FromNanos(int64(ns))
+	if diff := got - want; diff < -2 || diff > 2 {
+		t.Fatalf("BandwidthTicks = %d, want ~%d", got, want)
+	}
+	if BandwidthTicks(0, 100) != 0 {
+		t.Fatal("zero bytes should cost zero ticks")
+	}
+}
+
+func TestBandwidthTicksPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bandwidth")
+		}
+	}()
+	BandwidthTicks(1, 0)
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatal("zero clock must start at 0")
+	}
+	c.Advance(100)
+	c.AdvanceTo(50) // must not rewind
+	if c.Now() != 100 {
+		t.Fatalf("AdvanceTo(50) rewound clock to %d", c.Now())
+	}
+	c.AdvanceTo(250)
+	if c.Now() != 250 {
+		t.Fatalf("AdvanceTo(250) = %d", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestClockPanicsOnNegativeAdvance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative advance")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Fatal("Max broken")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatal("Min broken")
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Ticks
+		want string
+	}{
+		{100, "100ticks"},
+		{512, "1.000us"},
+		{Millisecond, "1.000ms"},
+		{Second, "1.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}

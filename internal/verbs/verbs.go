@@ -1,0 +1,170 @@
+// Package verbs is the user-level verbs layer of the simulated stack: it
+// owns memory registration and exposes the work-request primitives the
+// communication library builds on.
+//
+// Registration follows the paper's three steps exactly (Section 3):
+//
+//  1. all pages of the communication buffer are pinned,
+//  2. each page's virtual start address is translated to a physical one,
+//  3. the translations are pushed to the NIC (MTT update commands).
+//
+// Every step is charged per page, so a 2 MiB buffer costs 512 pin +
+// translate + push units in small pages but just 1 in hugepages — this is
+// why "the effect of hugepage utilization is enormous, as memory
+// registration time decreased extremely (down to 1 % of the time as with
+// small pages)".
+//
+// HugeATT models the paper's OpenIB driver patch ("we modified it in a way
+// to send hugepages to the adapter when those are used"): when false, the
+// driver pretends 4 KiB pages and expands each hugepage into 512 MTT
+// entries; when true it installs one 2 MiB entry per hugepage.
+package verbs
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hca"
+	"repro/internal/machine"
+	"repro/internal/simtime"
+	"repro/internal/vm"
+)
+
+// MR is a user-visible registered memory region.
+type MR struct {
+	VA     vm.VA
+	Length uint64
+	LKey   uint32
+	RKey   uint32
+	Huge   bool // backed by hugepages
+	// Entries is the number of MTT entries the registration pushed.
+	Entries int
+
+	hw *hca.MR
+}
+
+// Stats counts registration activity and time, so benchmarks can separate
+// registration overhead from transfer time (the two cases of Figure 5).
+type Stats struct {
+	Registrations   int64
+	Deregistrations int64
+	RegTicks        simtime.Ticks
+	DeregTicks      simtime.Ticks
+	PagesPinned     int64
+}
+
+// Context is one process's verbs context.
+type Context struct {
+	AS *vm.AddressSpace
+	HW *hca.HCA
+	// HugeATT enables the hugepage-translation driver patch.
+	HugeATT bool
+
+	mach *machine.Machine
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open creates a verbs context for an address space on a machine's HCA.
+func Open(m *machine.Machine, as *vm.AddressSpace) *Context {
+	return &Context{
+		AS:   as,
+		HW:   hca.New(m, as.Mem()),
+		mach: m,
+	}
+}
+
+// RegMR registers [va, va+length) and returns the MR plus the time the
+// registration took.
+func (c *Context) RegMR(va vm.VA, length uint64) (*MR, simtime.Ticks, error) {
+	if length == 0 {
+		return nil, 0, fmt.Errorf("verbs: zero-length registration at %#x", uint64(va))
+	}
+	cost := c.mach.Mem.SyscallTicks
+	pages, err := c.AS.Pin(va, length)
+	if err != nil {
+		return nil, 0, fmt.Errorf("verbs: pin: %w", err)
+	}
+	// Steps 1+2: pin and translate, per actual page.
+	cost += simtime.Ticks(len(pages)) * (c.mach.Mem.PinTicks + c.mach.Mem.TranslateTicks)
+
+	hw, err := c.HW.InstallMR(va, length, pages, c.HugeATT)
+	if err != nil {
+		_ = c.AS.Unpin(va, length)
+		return nil, 0, fmt.Errorf("verbs: install: %w", err)
+	}
+	// Step 3: push translations to the NIC, batched.
+	batches := (hw.NumEntries() + c.mach.HCA.MTTPushBatch - 1) / c.mach.HCA.MTTPushBatch
+	cost += simtime.Ticks(batches) * c.mach.HCA.MTTPushTicks
+
+	mr := &MR{
+		VA:      va,
+		Length:  length,
+		LKey:    hw.LKey,
+		RKey:    hw.RKey,
+		Huge:    pages[0].Class == vm.Huge,
+		Entries: hw.NumEntries(),
+		hw:      hw,
+	}
+	c.mu.Lock()
+	c.stats.Registrations++
+	c.stats.RegTicks += cost
+	c.stats.PagesPinned += int64(len(pages))
+	c.mu.Unlock()
+	return mr, cost, nil
+}
+
+// DeregMR releases a region: MTT teardown, unpin.
+func (c *Context) DeregMR(mr *MR) (simtime.Ticks, error) {
+	cost := c.mach.Mem.SyscallTicks
+	if err := c.HW.RemoveMR(mr.LKey); err != nil {
+		return 0, err
+	}
+	if err := c.AS.Unpin(mr.VA, mr.Length); err != nil {
+		return 0, fmt.Errorf("verbs: unpin: %w", err)
+	}
+	// Unpinning is cheaper than pinning; charge half the pin rate.
+	pages := int64(mr.Length+machine.SmallPageSize-1) / machine.SmallPageSize
+	if mr.Huge {
+		pages = int64(mr.Length+machine.HugePageSize-1) / machine.HugePageSize
+	}
+	cost += simtime.Ticks(pages) * c.mach.Mem.PinTicks / 2
+	c.mu.Lock()
+	c.stats.Deregistrations++
+	c.stats.DeregTicks += cost
+	c.mu.Unlock()
+	return cost, nil
+}
+
+// PostSend charges for posting a send work request with the given gather
+// list and returns the post cost. The actual data motion is performed by
+// Execute* on the coordinating layer.
+func (c *Context) PostSend(sges []hca.SGE) simtime.Ticks {
+	return c.HW.PostCost(len(sges))
+}
+
+// PostRecv charges for posting a receive work request.
+func (c *Context) PostRecv(sges []hca.SGE) simtime.Ticks {
+	return c.HW.PostCost(len(sges))
+}
+
+// PollCQ charges for reaping one completion.
+func (c *Context) PollCQ() simtime.Ticks { return c.HW.PollCost() }
+
+// Stats returns a snapshot.
+func (c *Context) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the registration counters (between benchmark phases).
+func (c *Context) ResetStats() {
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.mu.Unlock()
+}
+
+// Machine exposes the context's machine description.
+func (c *Context) Machine() *machine.Machine { return c.mach }

@@ -1,0 +1,101 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/phys"
+)
+
+// Fork and copy-on-write. The paper's mapping layer "must leave a reserve
+// of hugepages that are needed when forking processes for Copy-on-Write
+// reasons": a forked child initially shares all hugepages with its parent,
+// and the first write to a shared hugepage needs a whole fresh hugepage
+// from the pool — if the allocator has handed every pool page out, that
+// write has nowhere to go. The reserve (phys.Memory.Reserve) is the pages
+// the allocator refuses to touch so CoW breaks can always be satisfied:
+// CoW allocation deliberately digs into it (phys.Memory.AllocHugeCoW).
+
+// Fork clones the address space. Small-page and hugepage mappings are
+// shared copy-on-write; pinned pages are copied eagerly (DMA-registered
+// memory cannot fault, exactly like get_user_pages pages on Linux).
+// Pin state itself does not transfer: the child holds no registrations.
+func (as *AddressSpace) Fork() (*AddressSpace, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	child := &AddressSpace{
+		mem:      as.mem,
+		small:    make(map[uint64]*pte, len(as.small)),
+		huge:     make(map[uint64]*pte, len(as.huge)),
+		brk:      as.brk,
+		mmapNext: as.mmapNext,
+		hugeNext: as.hugeNext,
+		regions:  append([]region(nil), as.regions...),
+	}
+	copyPage := func(src *pte, huge bool) (*pte, error) {
+		if src.pins == 0 {
+			// Share CoW: both sides now fault on write.
+			src.cow = true
+			return &pte{frame: src.frame, class: src.class, cow: true}, nil
+		}
+		// Pinned in the parent: copy the contents eagerly.
+		var f phys.Frame
+		var err error
+		if huge {
+			f, err = as.mem.AllocHugeCoW()
+		} else {
+			f, err = as.mem.AllocFrame()
+		}
+		if err != nil {
+			return nil, err
+		}
+		as.mem.CopyPhys(
+			phys.Addr(uint64(f)*machine.SmallPageSize),
+			phys.Addr(uint64(src.frame)*machine.SmallPageSize),
+			int(src.class.Size()))
+		return &pte{frame: f, class: src.class}, nil
+	}
+	for vpn, p := range as.small {
+		np, err := copyPage(p, false)
+		if err != nil {
+			return nil, fmt.Errorf("vm: fork: %w", err)
+		}
+		child.small[vpn] = np
+		child.stats.MappedSmall++
+	}
+	for vpn, p := range as.huge {
+		np, err := copyPage(p, true)
+		if err != nil {
+			return nil, fmt.Errorf("vm: fork: %w", err)
+		}
+		child.huge[vpn] = np
+		child.stats.MappedHuge++
+	}
+	return child, nil
+}
+
+// breakCoW gives the pte a private copy of its page. Callers hold as.mu.
+func (as *AddressSpace) breakCoW(p *pte) error {
+	var f phys.Frame
+	var err error
+	if p.class == Huge {
+		// This is the allocation the reserve exists for.
+		f, err = as.mem.AllocHugeCoW()
+	} else {
+		f, err = as.mem.AllocFrame()
+	}
+	if err != nil {
+		return fmt.Errorf("vm: copy-on-write: %w", err)
+	}
+	as.mem.CopyPhys(
+		phys.Addr(uint64(f)*machine.SmallPageSize),
+		phys.Addr(uint64(p.frame)*machine.SmallPageSize),
+		int(p.class.Size()))
+	// The old frame stays with whichever other space references it; the
+	// simulator does not refcount frames, matching the accounting focus
+	// of the model (pool pressure), not exact RSS.
+	p.frame = f
+	p.cow = false
+	as.stats.CoWBreaks++
+	return nil
+}

@@ -1,0 +1,536 @@
+// Package vm models one process's virtual address space: page tables for
+// 4 KiB and 2 MiB pages, mmap/brk-style region management, address
+// translation, and page pinning.
+//
+// This is the substrate under memory registration. Registering a buffer
+// for InfiniBand means (paper, Section 3): (1) pin every page, (2)
+// translate every virtual page to a physical address, (3) push the
+// translations to the NIC. Steps 1 and 2 are implemented here; step 3 in
+// internal/verbs. The number of pages — hence the cost — depends on how
+// the buffer was placed, which is the whole point of the paper.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/phys"
+)
+
+// VA is a virtual byte address within one address space.
+type VA uint64
+
+// Page size classes.
+type PageClass int
+
+const (
+	Small PageClass = iota // 4 KiB
+	Huge                   // 2 MiB
+)
+
+// Size returns the byte size of the page class.
+func (c PageClass) Size() uint64 {
+	if c == Huge {
+		return machine.HugePageSize
+	}
+	return machine.SmallPageSize
+}
+
+func (c PageClass) String() string {
+	if c == Huge {
+		return "2M"
+	}
+	return "4K"
+}
+
+// Errors.
+var (
+	ErrUnmapped     = errors.New("vm: address not mapped")
+	ErrNotPinned    = errors.New("vm: page not pinned")
+	ErrBadUnmap     = errors.New("vm: unmap does not match a mapping")
+	ErrPinnedUnmap  = errors.New("vm: cannot unmap pinned pages")
+	ErrMixedClasses = errors.New("vm: range spans mixed page classes")
+)
+
+// pte is one page-table entry.
+type pte struct {
+	frame phys.Frame // first frame of the page
+	class PageClass
+	pins  int
+	cow   bool // shared copy-on-write after a fork
+}
+
+// region records one mapping for unmap bookkeeping.
+type region struct {
+	start VA
+	size  uint64
+	class PageClass
+}
+
+// Virtual address layout. Hugepage mappings live in their own window so a
+// single lookup classifies an address; the layout mirrors the split
+// brk-heap / mmap / hugetlbfs layout of a Linux process.
+const (
+	brkBase   VA = 0x0000_1000_0000
+	brkLimit  VA = 0x0FFF_F000_0000
+	mmapBase  VA = 0x2000_0000_0000
+	mmapLimit VA = 0x3FFF_F000_0000
+	hugeBase  VA = 0x4000_0000_0000
+	hugeLimit VA = 0x7FFF_F000_0000
+)
+
+// AddressSpace is one simulated process image. It is safe for concurrent
+// use; the MPI runtime may touch it from the progress goroutine while the
+// rank computes.
+type AddressSpace struct {
+	mu  sync.Mutex
+	mem *phys.Memory
+
+	small map[uint64]*pte // key: va / 4K
+	huge  map[uint64]*pte // key: va / 2M
+
+	brk      VA
+	mmapNext VA
+	hugeNext VA
+
+	regions []region
+
+	stats Stats
+}
+
+// Stats counts translation activity for the PAPI facade and tests.
+type Stats struct {
+	MappedSmall   int64 // currently mapped small pages
+	MappedHuge    int64 // currently mapped hugepages
+	Pins, Unpins  int64
+	Translations  int64
+	HugeFallbacks int64 // MapHuge requests satisfied with small pages
+	CoWBreaks     int64 // private copies made on write after a fork
+}
+
+// New creates an empty address space backed by the node's physical memory.
+func New(mem *phys.Memory) *AddressSpace {
+	return &AddressSpace{
+		mem:      mem,
+		small:    make(map[uint64]*pte),
+		huge:     make(map[uint64]*pte),
+		brk:      brkBase,
+		mmapNext: mmapBase,
+		hugeNext: hugeBase,
+	}
+}
+
+// Mem exposes the backing physical memory (for the DMA engine).
+func (as *AddressSpace) Mem() *phys.Memory { return as.mem }
+
+func roundUp(n, to uint64) uint64 { return (n + to - 1) / to * to }
+
+// mapSmallLocked materialises small pages for [va, va+size).
+func (as *AddressSpace) mapSmallLocked(va VA, size uint64) error {
+	if uint64(va)%machine.SmallPageSize != 0 {
+		return fmt.Errorf("vm: unaligned small mapping at %#x", va)
+	}
+	n := roundUp(size, machine.SmallPageSize) / machine.SmallPageSize
+	done := make([]uint64, 0, n)
+	for i := uint64(0); i < n; i++ {
+		vpn := uint64(va)/machine.SmallPageSize + i
+		if _, exists := as.small[vpn]; exists {
+			continue
+		}
+		f, err := as.mem.AllocFrame()
+		if err != nil {
+			for _, d := range done {
+				_ = as.mem.FreeFrame(as.small[d].frame)
+				delete(as.small, d)
+				as.stats.MappedSmall--
+			}
+			return err
+		}
+		as.small[vpn] = &pte{frame: f, class: Small}
+		as.stats.MappedSmall++
+		done = append(done, vpn)
+	}
+	return nil
+}
+
+// Sbrk grows the heap by size bytes (rounded up to whole small pages) and
+// returns the address of the new block, like the classic Unix sbrk. The
+// libc-model allocator draws its arena from here.
+func (as *AddressSpace) Sbrk(size uint64) (VA, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	start := as.brk
+	grown := roundUp(size, machine.SmallPageSize)
+	if start+VA(grown) > brkLimit {
+		return 0, phys.ErrOutOfMemory
+	}
+	if err := as.mapSmallLocked(start, grown); err != nil {
+		return 0, err
+	}
+	as.brk += VA(grown)
+	as.regions = append(as.regions, region{start, grown, Small})
+	return start, nil
+}
+
+// MapSmall creates an anonymous small-page mapping of the given size and
+// returns its base address (the mmap path).
+func (as *AddressSpace) MapSmall(size uint64) (VA, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	sz := roundUp(size, machine.SmallPageSize)
+	start := as.mmapNext
+	if start+VA(sz) > mmapLimit {
+		return 0, phys.ErrOutOfMemory
+	}
+	if err := as.mapSmallLocked(start, sz); err != nil {
+		return 0, err
+	}
+	as.mmapNext += VA(sz)
+	as.regions = append(as.regions, region{start, sz, Small})
+	return start, nil
+}
+
+// MapHuge creates a hugetlbfs mapping of the given size (rounded up to
+// whole hugepages) and returns its 2 MiB-aligned base address. It fails if
+// the hugepage pool cannot supply the pages; callers that want the paper's
+// graceful degradation use MapHugeOrSmall.
+func (as *AddressSpace) MapHuge(size uint64) (VA, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.mapHugeLocked(size)
+}
+
+func (as *AddressSpace) mapHugeLocked(size uint64) (VA, error) {
+	sz := roundUp(size, machine.HugePageSize)
+	n := sz / machine.HugePageSize
+	start := as.hugeNext
+	if start+VA(sz) > hugeLimit {
+		return 0, phys.ErrOutOfMemory
+	}
+	got := make([]phys.Frame, 0, n)
+	for i := uint64(0); i < n; i++ {
+		f, err := as.mem.AllocHuge()
+		if err != nil {
+			for _, g := range got {
+				_ = as.mem.FreeHuge(g)
+			}
+			return 0, err
+		}
+		got = append(got, f)
+	}
+	for i, f := range got {
+		hvpn := uint64(start)/machine.HugePageSize + uint64(i)
+		as.huge[hvpn] = &pte{frame: f, class: Huge}
+		as.stats.MappedHuge++
+	}
+	as.hugeNext += VA(sz)
+	as.regions = append(as.regions, region{start, sz, Huge})
+	return start, nil
+}
+
+// MapHugeOrSmall tries a hugepage mapping and falls back to small pages
+// when the pool is exhausted (failure-injection path: the paper's library
+// redirects to libc when "enough hugepages available?" is no). The bool
+// result reports whether hugepages were used.
+func (as *AddressSpace) MapHugeOrSmall(size uint64) (VA, bool, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	va, err := as.mapHugeLocked(size)
+	if err == nil {
+		return va, true, nil
+	}
+	if !errors.Is(err, phys.ErrOutOfHugepages) && !errors.Is(err, phys.ErrReserveHeld) {
+		return 0, false, err
+	}
+	as.stats.HugeFallbacks++
+	sz := roundUp(size, machine.SmallPageSize)
+	start := as.mmapNext
+	if start+VA(sz) > mmapLimit {
+		return 0, false, phys.ErrOutOfMemory
+	}
+	if err := as.mapSmallLocked(start, sz); err != nil {
+		return 0, false, err
+	}
+	as.mmapNext += VA(sz)
+	as.regions = append(as.regions, region{start, sz, Small})
+	return start, false, nil
+}
+
+// Unmap removes a mapping previously returned by MapSmall/MapHuge/
+// MapHugeOrSmall. The (start,size) pair must exactly match the original
+// request rounded to page size. Pinned pages refuse to unmap.
+func (as *AddressSpace) Unmap(start VA, size uint64) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	idx := -1
+	var reg region
+	for i, r := range as.regions {
+		if r.start == start && (r.size == roundUp(size, r.class.Size()) || size == r.size) {
+			idx, reg = i, r
+			break
+		}
+	}
+	if idx < 0 {
+		return ErrBadUnmap
+	}
+	// Refuse if any page is pinned, before touching anything.
+	if reg.class == Huge {
+		for off := uint64(0); off < reg.size; off += machine.HugePageSize {
+			if p := as.huge[uint64(start+VA(off))/machine.HugePageSize]; p != nil && p.pins > 0 {
+				return ErrPinnedUnmap
+			}
+		}
+		for off := uint64(0); off < reg.size; off += machine.HugePageSize {
+			key := uint64(start+VA(off)) / machine.HugePageSize
+			if p := as.huge[key]; p != nil {
+				_ = as.mem.FreeHuge(p.frame)
+				delete(as.huge, key)
+				as.stats.MappedHuge--
+			}
+		}
+	} else {
+		for off := uint64(0); off < reg.size; off += machine.SmallPageSize {
+			if p := as.small[uint64(start+VA(off))/machine.SmallPageSize]; p != nil && p.pins > 0 {
+				return ErrPinnedUnmap
+			}
+		}
+		for off := uint64(0); off < reg.size; off += machine.SmallPageSize {
+			key := uint64(start+VA(off)) / machine.SmallPageSize
+			if p := as.small[key]; p != nil {
+				_ = as.mem.FreeFrame(p.frame)
+				delete(as.small, key)
+				as.stats.MappedSmall--
+			}
+		}
+	}
+	as.regions = append(as.regions[:idx], as.regions[idx+1:]...)
+	return nil
+}
+
+// lookup finds the pte covering va. Callers hold as.mu.
+func (as *AddressSpace) lookup(va VA) (*pte, error) {
+	if va >= hugeBase {
+		if p := as.huge[uint64(va)/machine.HugePageSize]; p != nil {
+			return p, nil
+		}
+		return nil, ErrUnmapped
+	}
+	if p := as.small[uint64(va)/machine.SmallPageSize]; p != nil {
+		return p, nil
+	}
+	return nil, ErrUnmapped
+}
+
+// Translate resolves a virtual address to (physical address, page class).
+func (as *AddressSpace) Translate(va VA) (phys.Addr, PageClass, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	p, err := as.lookup(va)
+	if err != nil {
+		return 0, Small, fmt.Errorf("%w: %#x", err, uint64(va))
+	}
+	as.stats.Translations++
+	off := uint64(va) % p.class.Size()
+	return phys.Addr(uint64(p.frame)*machine.SmallPageSize + off), p.class, nil
+}
+
+// Page describes one page of a translated range.
+type Page struct {
+	VA    VA
+	PA    phys.Addr
+	Class PageClass
+}
+
+// Pages enumerates the pages covering [va, va+len), in address order.
+// All returned pages have the same class; a range straddling the small
+// and huge windows returns ErrMixedClasses (user buffers never do).
+func (as *AddressSpace) Pages(va VA, length uint64) ([]Page, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	first, err := as.lookup(va)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %#x", err, uint64(va))
+	}
+	ps := first.class.Size()
+	start := uint64(va) / ps * ps
+	end := uint64(va) + length
+	var pages []Page
+	for a := start; a < end; a += ps {
+		p, err := as.lookup(VA(a))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %#x", err, a)
+		}
+		if p.class != first.class {
+			return nil, ErrMixedClasses
+		}
+		pages = append(pages, Page{
+			VA:    VA(a),
+			PA:    phys.Addr(uint64(p.frame) * machine.SmallPageSize),
+			Class: p.class,
+		})
+	}
+	return pages, nil
+}
+
+// Pin pins every page of [va, va+len) in memory and returns the pages, in
+// address order. Each page's pin count is incremented; pinned pages refuse
+// to unmap. Pin is step 1 of memory registration.
+func (as *AddressSpace) Pin(va VA, length uint64) ([]Page, error) {
+	pages, err := as.Pages(va, length)
+	if err != nil {
+		return nil, err
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for i, pg := range pages {
+		p, err := as.lookup(pg.VA)
+		if err != nil {
+			return nil, err
+		}
+		if p.cow {
+			// DMA needs a stable private page: break the sharing now.
+			if err := as.breakCoW(p); err != nil {
+				return nil, err
+			}
+			pages[i].PA = phys.Addr(uint64(p.frame) * machine.SmallPageSize)
+		}
+		p.pins++
+		as.stats.Pins++
+	}
+	return pages, nil
+}
+
+// Unpin decrements the pin count of every page of [va, va+len).
+func (as *AddressSpace) Unpin(va VA, length uint64) error {
+	pages, err := as.Pages(va, length)
+	if err != nil {
+		return err
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for _, pg := range pages {
+		p, err := as.lookup(pg.VA)
+		if err != nil {
+			return err
+		}
+		if p.pins == 0 {
+			return fmt.Errorf("%w: %#x", ErrNotPinned, uint64(pg.VA))
+		}
+		p.pins--
+		as.stats.Unpins++
+	}
+	return nil
+}
+
+// Write copies p into the address space at va, through the page tables.
+// Writing to a page shared copy-on-write after a fork first breaks the
+// sharing (allocating a private page — for hugepages, from the pool's
+// CoW reserve).
+func (as *AddressSpace) Write(va VA, p []byte) error {
+	for len(p) > 0 {
+		if err := as.ensureWritable(va); err != nil {
+			return err
+		}
+		pa, class, err := as.translateQuiet(va)
+		if err != nil {
+			return err
+		}
+		ps := class.Size()
+		n := int(ps - uint64(va)%ps)
+		if n > len(p) {
+			n = len(p)
+		}
+		as.mem.WritePhys(pa, p[:n])
+		va += VA(n)
+		p = p[n:]
+	}
+	return nil
+}
+
+// Read fills p from the address space starting at va.
+func (as *AddressSpace) Read(va VA, p []byte) error {
+	for len(p) > 0 {
+		pa, class, err := as.translateQuiet(va)
+		if err != nil {
+			return err
+		}
+		ps := class.Size()
+		n := int(ps - uint64(va)%ps)
+		if n > len(p) {
+			n = len(p)
+		}
+		as.mem.ReadPhys(pa, p[:n])
+		va += VA(n)
+		p = p[n:]
+	}
+	return nil
+}
+
+// ensureWritable breaks copy-on-write sharing for the page covering va.
+func (as *AddressSpace) ensureWritable(va VA) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	p, err := as.lookup(va)
+	if err != nil {
+		return fmt.Errorf("%w: %#x", err, uint64(va))
+	}
+	if p.cow {
+		return as.breakCoW(p)
+	}
+	return nil
+}
+
+// translateQuiet is Translate without the statistics bump, for bulk IO.
+func (as *AddressSpace) translateQuiet(va VA) (phys.Addr, PageClass, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	p, err := as.lookup(va)
+	if err != nil {
+		return 0, Small, fmt.Errorf("%w: %#x", err, uint64(va))
+	}
+	off := uint64(va) % p.class.Size()
+	return phys.Addr(uint64(p.frame)*machine.SmallPageSize + off), p.class, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (as *AddressSpace) Stats() Stats {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	return as.stats
+}
+
+// Regions returns the current mappings sorted by start address (a
+// diagnostic view, used by tests).
+func (as *AddressSpace) Regions() []struct {
+	Start VA
+	Size  uint64
+	Class PageClass
+} {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	out := make([]struct {
+		Start VA
+		Size  uint64
+		Class PageClass
+	}, len(as.regions))
+	for i, r := range as.regions {
+		out[i] = struct {
+			Start VA
+			Size  uint64
+			Class PageClass
+		}{r.start, r.size, r.class}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// IsHugeVA reports whether va lies in the hugepage window. The OpenIB
+// driver model uses this to decide which translations to push (the
+// unpatched driver "pretends 4 KB pages" regardless).
+func IsHugeVA(va VA) bool { return va >= hugeBase && va < hugeLimit }

@@ -1,0 +1,287 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+	"repro/internal/phys"
+)
+
+func testAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	return New(phys.NewMemory(machine.Opteron()))
+}
+
+func TestMapSmallAndTranslate(t *testing.T) {
+	as := testAS(t)
+	va, err := as.MapSmall(3 * machine.SmallPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < 3*machine.SmallPageSize; off += 1234 {
+		pa, class, err := as.Translate(va + VA(off))
+		if err != nil {
+			t.Fatalf("translate +%d: %v", off, err)
+		}
+		if class != Small {
+			t.Fatalf("class = %v, want Small", class)
+		}
+		if uint64(pa)%machine.SmallPageSize != off%machine.SmallPageSize {
+			t.Fatalf("page offset not preserved at +%d", off)
+		}
+	}
+	if _, _, err := as.Translate(va + VA(4*machine.SmallPageSize)); !errors.Is(err, ErrUnmapped) {
+		t.Fatalf("translate past end: got %v, want ErrUnmapped", err)
+	}
+}
+
+func TestMapHugeAlignmentAndContiguity(t *testing.T) {
+	as := testAS(t)
+	va, err := as.MapHuge(2 * machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(va)%machine.HugePageSize != 0 {
+		t.Fatalf("hugepage mapping at %#x not 2MiB-aligned", uint64(va))
+	}
+	if !IsHugeVA(va) {
+		t.Fatal("hugepage VA not in huge window")
+	}
+	// Physical contiguity inside one hugepage.
+	pa0, class, err := as.Translate(va)
+	if err != nil || class != Huge {
+		t.Fatalf("translate: %v %v", class, err)
+	}
+	paMid, _, err := as.Translate(va + VA(machine.HugePageSize/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paMid != pa0+phys.Addr(machine.HugePageSize/2) {
+		t.Fatal("hugepage interior not physically contiguous")
+	}
+}
+
+func TestSbrkGrowsHeap(t *testing.T) {
+	as := testAS(t)
+	a, err := as.Sbrk(100) // rounds to one page
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := as.Sbrk(machine.SmallPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a+VA(machine.SmallPageSize) {
+		t.Fatalf("heap not contiguous: %#x then %#x", uint64(a), uint64(b))
+	}
+}
+
+func TestPagesEnumeration(t *testing.T) {
+	as := testAS(t)
+	va, _ := as.MapSmall(16 * machine.SmallPageSize)
+	// A range starting mid-page and ending mid-page covers both edge pages.
+	pages, err := as.Pages(va+100, 2*machine.SmallPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 3 {
+		t.Fatalf("got %d pages, want 3", len(pages))
+	}
+	for i := 1; i < len(pages); i++ {
+		if pages[i].VA != pages[i-1].VA+VA(machine.SmallPageSize) {
+			t.Fatal("pages not in order")
+		}
+	}
+	// Hugepage ranges count 2MiB pages.
+	hva, _ := as.MapHuge(3 * machine.HugePageSize)
+	hp, err := as.Pages(hva, 3*machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hp) != 3 {
+		t.Fatalf("got %d hugepages, want 3", len(hp))
+	}
+}
+
+func TestPinBlocksUnmap(t *testing.T) {
+	as := testAS(t)
+	va, _ := as.MapSmall(4 * machine.SmallPageSize)
+	if _, err := as.Pin(va, 4*machine.SmallPageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(va, 4*machine.SmallPageSize); !errors.Is(err, ErrPinnedUnmap) {
+		t.Fatalf("unmap pinned: got %v, want ErrPinnedUnmap", err)
+	}
+	if err := as.Unpin(va, 4*machine.SmallPageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(va, 4*machine.SmallPageSize); err != nil {
+		t.Fatalf("unmap after unpin: %v", err)
+	}
+	if _, _, err := as.Translate(va); !errors.Is(err, ErrUnmapped) {
+		t.Fatal("pages survive unmap")
+	}
+}
+
+func TestUnpinWithoutPin(t *testing.T) {
+	as := testAS(t)
+	va, _ := as.MapSmall(machine.SmallPageSize)
+	if err := as.Unpin(va, machine.SmallPageSize); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("got %v, want ErrNotPinned", err)
+	}
+}
+
+func TestMapHugeOrSmallFallback(t *testing.T) {
+	mem := phys.NewMemory(machine.Opteron())
+	as := New(mem)
+	mem.Reserve(mem.HugeTotal()) // pool fully reserved -> force fallback
+	va, huge, err := as.MapHugeOrSmall(machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge {
+		t.Fatal("expected small-page fallback")
+	}
+	if IsHugeVA(va) {
+		t.Fatal("fallback mapping landed in huge window")
+	}
+	if as.Stats().HugeFallbacks != 1 {
+		t.Fatal("fallback not counted")
+	}
+	mem.Reserve(0)
+	_, huge, err = as.MapHugeOrSmall(machine.HugePageSize)
+	if err != nil || !huge {
+		t.Fatalf("expected hugepage success, got huge=%v err=%v", huge, err)
+	}
+}
+
+func TestUnmapReleasesHugepagesToPool(t *testing.T) {
+	mem := phys.NewMemory(machine.Opteron())
+	as := New(mem)
+	before := mem.HugeAvailable()
+	va, err := as.MapHuge(4 * machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.HugeAvailable() != before-4 {
+		t.Fatal("pool accounting wrong after map")
+	}
+	if err := as.Unmap(va, 4*machine.HugePageSize); err != nil {
+		t.Fatal(err)
+	}
+	if mem.HugeAvailable() != before {
+		t.Fatal("pool accounting wrong after unmap")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	as := testAS(t)
+	va, _ := as.MapSmall(3 * machine.SmallPageSize)
+	in := make([]byte, 2*machine.SmallPageSize)
+	for i := range in {
+		in[i] = byte(i % 251)
+	}
+	// Start mid-page to cross boundaries.
+	if err := as.Write(va+1000, in); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(in))
+	if err := as.Read(va+1000, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+}
+
+// Property: write-then-read at any offset/length inside a mapping is the
+// identity, for both page classes.
+func TestQuickReadWriteIdentity(t *testing.T) {
+	as := testAS(t)
+	sva, _ := as.MapSmall(64 * machine.SmallPageSize)
+	hva, _ := as.MapHuge(2 * machine.HugePageSize)
+	f := func(off uint32, n uint16, seed byte, useHuge bool) bool {
+		base, limit := sva, uint64(64*machine.SmallPageSize)
+		if useHuge {
+			base, limit = hva, uint64(2*machine.HugePageSize)
+		}
+		o := uint64(off) % (limit - 1)
+		l := uint64(n)
+		if o+l > limit {
+			l = limit - o
+		}
+		in := make([]byte, l)
+		for i := range in {
+			in[i] = seed + byte(i)
+		}
+		if err := as.Write(base+VA(o), in); err != nil {
+			return false
+		}
+		out := make([]byte, l)
+		if err := as.Read(base+VA(o), out); err != nil {
+			return false
+		}
+		for i := range in {
+			if in[i] != out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pin/unpin in matched pairs always returns the space to an
+// unmappable state, and pin counts never go negative.
+func TestQuickPinUnpinBalance(t *testing.T) {
+	as := testAS(t)
+	va, _ := as.MapSmall(32 * machine.SmallPageSize)
+	f := func(off uint16, n uint16) bool {
+		o := uint64(off) % (31 * machine.SmallPageSize)
+		l := uint64(n)%machine.SmallPageSize + 1
+		if _, err := as.Pin(va+VA(o), l); err != nil {
+			return false
+		}
+		return as.Unpin(va+VA(o), l) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+	st := as.Stats()
+	if st.Pins != st.Unpins {
+		t.Fatalf("pins %d != unpins %d", st.Pins, st.Unpins)
+	}
+	if err := as.Unmap(va, 32*machine.SmallPageSize); err != nil {
+		t.Fatalf("space should be unmappable after balanced pin/unpin: %v", err)
+	}
+}
+
+func TestRegionsView(t *testing.T) {
+	as := testAS(t)
+	if _, err := as.MapSmall(machine.SmallPageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.MapHuge(machine.HugePageSize); err != nil {
+		t.Fatal(err)
+	}
+	regs := as.Regions()
+	if len(regs) != 2 {
+		t.Fatalf("got %d regions, want 2", len(regs))
+	}
+	if regs[0].Start > regs[1].Start {
+		t.Fatal("regions not sorted")
+	}
+}
+
+func TestUnmapUnknownRegion(t *testing.T) {
+	as := testAS(t)
+	if err := as.Unmap(0xdead000, 4096); !errors.Is(err, ErrBadUnmap) {
+		t.Fatalf("got %v, want ErrBadUnmap", err)
+	}
+}

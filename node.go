@@ -1,0 +1,14 @@
+package repro
+
+import (
+	"repro/internal/machine"
+	"repro/internal/phys"
+)
+
+// newNodeMemory builds a warmed physical memory for standalone allocator
+// and registration experiments, matching the cluster's per-rank setup.
+func newNodeMemory(m *machine.Machine) *phys.Memory {
+	mem := phys.NewMemory(m)
+	mem.Scramble(4096)
+	return mem
+}

@@ -1,0 +1,209 @@
+// Package repro is the public API of the reproduction of
+//
+//	"Improving Communication Performance on InfiniBand by Using
+//	 Efficient Data Placement Strategies"
+//	(R. Rex, F. Mietke, W. Rehm, C. Raisch, H.-N. Nguyen — CLUSTER 2006)
+//
+// as a deterministic simulation in pure Go. It exposes:
+//
+//   - the three evaluated systems (Opteron, Xeon, SystemP) and the whole
+//     simulated stack under them (virtual memory, TLBs, IO buses, HCAs
+//     with ATT caches, a verbs layer, a pin-down registration cache, and
+//     an MVAPICH2-like MPI runtime),
+//   - the paper's contribution as a placement Strategy (hugepage library
+//     placement, lazy deregistration, hugepage ATT entries, SGE
+//     aggregation, preferred offsets),
+//   - the paper's full evaluation as callable experiments: the Figure 3/4
+//     work-request sweeps, the Figure 5 IMB SendRecv curves, the Figure 6
+//     NAS benchmark improvement split, and the allocator comparisons.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record; the examples/ directory has runnable
+// walkthroughs of this API.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/imb"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/simtime"
+	"repro/internal/vm"
+	"repro/internal/workload"
+	"repro/internal/wrbench"
+)
+
+// Re-exported foundation types. Aliases keep the internal packages as the
+// single source of truth while giving external importers usable names.
+type (
+	// Machine describes one simulated test system.
+	Machine = machine.Machine
+	// Ticks is the virtual time unit (TBR ticks, 512 MHz).
+	Ticks = simtime.Ticks
+	// VA is a simulated virtual address.
+	VA = vm.VA
+	// Strategy is a complete data-placement policy (the contribution).
+	Strategy = core.Strategy
+	// Cluster is a running MPI job on simulated hardware.
+	Cluster = mpi.World
+	// Rank is one MPI process of a Cluster.
+	Rank = mpi.Rank
+	// ClusterConfig configures a Cluster.
+	ClusterConfig = mpi.Config
+	// Piece is one element of a non-contiguous buffer.
+	Piece = mpi.Piece
+	// Allocator is the malloc/free model interface.
+	Allocator = alloc.Allocator
+	// NASResult is the outcome of one NAS kernel run.
+	NASResult = nas.Result
+	// Fig6Row is one benchmark's improvement split.
+	Fig6Row = nas.Fig6Row
+	// SendRecvResult is one IMB bandwidth row.
+	SendRecvResult = imb.SendRecvResult
+	// WRResult is one work-request microbenchmark row.
+	WRResult = wrbench.Result
+)
+
+// The three test systems of the paper's Section 5.
+var (
+	Opteron = machine.Opteron
+	Xeon    = machine.Xeon
+	SystemP = machine.SystemP
+)
+
+// MachineByName resolves "opteron", "xeon" or "systemp".
+func MachineByName(name string) *Machine { return machine.ByName(name) }
+
+// Machines returns all three systems in the paper's order.
+func Machines() []*Machine { return machine.All() }
+
+// Recommended returns the paper's full placement recipe for a machine;
+// Baseline the do-nothing policy.
+var (
+	Recommended = core.Recommended
+	Baseline    = core.Baseline
+)
+
+// NewCluster starts a simulated MPI job under a placement strategy.
+func NewCluster(s Strategy, ranks int) (*Cluster, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return mpi.NewWorld(s.MPIConfig(ranks))
+}
+
+// NewClusterConfig starts a job from an explicit configuration (full
+// control over allocator kind, protocol limits, ...).
+func NewClusterConfig(cfg ClusterConfig) (*Cluster, error) { return mpi.NewWorld(cfg) }
+
+// ---- Experiments (one per paper artifact; see EXPERIMENTS.md) ----
+
+// SGESweep reproduces Figure 3: post/poll ticks per (SGE count, SGE size).
+func SGESweep(m *Machine, sgeCounts, sgeSizes []int) ([]WRResult, error) {
+	return wrbench.SGESweep(m, sgeCounts, sgeSizes)
+}
+
+// OffsetSweep reproduces Figure 4: work-request ticks per (offset, size).
+func OffsetSweep(m *Machine, offsets, sizes []int) ([]WRResult, error) {
+	return wrbench.OffsetSweep(m, offsets, sizes)
+}
+
+// IMBSendRecv reproduces one Figure 5 curve under an MPI configuration.
+func IMBSendRecv(cfg ClusterConfig, sizes []int) ([]SendRecvResult, error) {
+	return imb.SendRecv(cfg, sizes)
+}
+
+// IMBPingPong runs the IMB PingPong latency test (an extension beyond the
+// paper's SendRecv; the small-message metric Section 4 feeds into).
+func IMBPingPong(cfg ClusterConfig, sizes []int) ([]imb.PingPongResult, error) {
+	return imb.PingPong(cfg, sizes)
+}
+
+// IMBExchange runs the IMB Exchange neighbour pattern.
+func IMBExchange(cfg ClusterConfig, sizes []int) ([]imb.ExchangeResult, error) {
+	return imb.Exchange(cfg, sizes)
+}
+
+// Fig5 runs all four Figure 5 configurations on a machine.
+func Fig5(m *Machine, sizes []int) (map[string][]SendRecvResult, error) {
+	return imb.RunFig5(m, sizes)
+}
+
+// RegistrationSweep reproduces the registration-cost premise (E9):
+// RegMR time for 4 KiB vs 2 MiB placement across buffer sizes.
+func RegistrationSweep(m *Machine, sizes []uint64) ([]imb.RegResult, error) {
+	return imb.RegistrationSweep(m, sizes)
+}
+
+// NASKernels returns the five NAS kernels (cg, ep, is, lu, mg).
+func NASKernels() []nas.Kernel { return nas.All() }
+
+// NASKernel resolves a kernel by name.
+func NASKernel(name string) nas.Kernel { return nas.ByName(name) }
+
+// RunNAS runs one kernel on a machine under a placement strategy.
+func RunNAS(m *Machine, ranks int, s Strategy, k nas.Kernel) (NASResult, error) {
+	ak := mpi.AllocLibc
+	if s.UseHugepages {
+		ak = mpi.AllocHuge
+	}
+	return nas.RunKernel(m, ranks, ak, k)
+}
+
+// Fig6 reproduces the NAS improvement split on a machine.
+func Fig6(m *Machine, ranks int) ([]Fig6Row, error) {
+	return nas.RunFig6(m, ranks, nil)
+}
+
+// FormatFig6 renders Figure 6 rows as text.
+var FormatFig6 = nas.FormatFig6
+
+// AbinitComparison replays the Abinit-style allocation trace against the
+// libc model and the hugepage library and returns (libc time, hugepage
+// library time) — the "up to 10 times" claim (E7).
+func AbinitComparison(m *Machine) (libc, huge Ticks, err error) {
+	ops, slots := workload.AbinitTrace(workload.DefaultAbinitParams())
+	la, err := newAllocator(m, mpi.AllocLibc)
+	if err != nil {
+		return 0, 0, err
+	}
+	rl, err := alloc.Replay(la, ops, slots)
+	if err != nil {
+		return 0, 0, err
+	}
+	ha, err := newAllocator(m, mpi.AllocHuge)
+	if err != nil {
+		return 0, 0, err
+	}
+	rh, err := alloc.Replay(ha, ops, slots)
+	if err != nil {
+		return 0, 0, err
+	}
+	return rl.AllocTime, rh.AllocTime, nil
+}
+
+// NewAllocator builds one of the four allocation-library models
+// ("libc", "huge", "morecore", "pagesep") on a fresh simulated node.
+func NewAllocator(m *Machine, kind string) (Allocator, error) {
+	return newAllocator(m, mpi.AllocatorKind(kind))
+}
+
+func newAllocator(m *Machine, kind mpi.AllocatorKind) (Allocator, error) {
+	mem := newNodeMemory(m)
+	as := vm.New(mem)
+	switch kind {
+	case mpi.AllocLibc:
+		return alloc.NewLibc(as, m.Mem.SyscallTicks), nil
+	case mpi.AllocHuge:
+		return alloc.NewHuge(as, m.Mem.SyscallTicks, alloc.DefaultHugeConfig())
+	case mpi.AllocMorecore:
+		return alloc.NewMorecore(as, m.Mem.SyscallTicks), nil
+	case mpi.AllocPageSep:
+		return alloc.NewPageSep(as, m.Mem.SyscallTicks), nil
+	}
+	return nil, fmt.Errorf("repro: unknown allocator kind %q", kind)
+}

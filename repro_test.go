@@ -1,0 +1,148 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestMachinesRoster(t *testing.T) {
+	if len(Machines()) != 3 {
+		t.Fatal("expected the paper's three test systems")
+	}
+	for _, name := range []string{"opteron", "xeon", "systemp"} {
+		if MachineByName(name) == nil {
+			t.Errorf("MachineByName(%q) = nil", name)
+		}
+	}
+	if MachineByName("bluegene") != nil {
+		t.Error("unknown machine resolved")
+	}
+}
+
+func TestNewClusterValidatesStrategy(t *testing.T) {
+	if _, err := NewCluster(Strategy{}, 2); err == nil {
+		t.Fatal("invalid strategy accepted")
+	}
+	c, err := NewCluster(Recommended(Opteron()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 2 {
+		t.Fatal("wrong cluster size")
+	}
+}
+
+func TestPublicPingPong(t *testing.T) {
+	c, err := NewCluster(Recommended(Opteron()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(r *Rank) error {
+		va, err := r.Malloc(64 << 10)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			return r.Send(1, 7, va, 64<<10)
+		}
+		_, err = r.Recv(0, 7, va, 64<<10)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxTime() <= 0 {
+		t.Fatal("no virtual time elapsed")
+	}
+}
+
+func TestAbinitComparisonHeadline(t *testing.T) {
+	libc, huge, err := AbinitComparison(Opteron())
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(libc) / float64(huge)
+	if speedup < 5 || speedup > 15 {
+		t.Fatalf("Abinit allocation speedup %.1fx, want ~10x", speedup)
+	}
+}
+
+func TestRegistrationSweepHeadline(t *testing.T) {
+	rows, err := RegistrationSweep(Opteron(), []uint64{8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].HugeFrac > 0.03 {
+		t.Fatalf("hugepage registration %.1f%% of small-page, want ~1%%", 100*rows[0].HugeFrac)
+	}
+}
+
+func TestNASKernelRoster(t *testing.T) {
+	ks := NASKernels()
+	if len(ks) != 5 {
+		t.Fatalf("got %d kernels, want 5", len(ks))
+	}
+	if NASKernel("cg") == nil || NASKernel("ft") != nil {
+		t.Fatal("kernel lookup broken")
+	}
+}
+
+func TestRunNASThroughPublicAPI(t *testing.T) {
+	res, err := RunNAS(Opteron(), 4, Recommended(Opteron()), NASKernel("mg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comm <= 0 || res.Compute <= 0 || res.HugeBytes == 0 {
+		t.Fatalf("suspicious result: %+v", res)
+	}
+}
+
+func TestNewAllocatorKinds(t *testing.T) {
+	for _, kind := range []string{"libc", "huge", "morecore", "pagesep"} {
+		a, err := NewAllocator(Opteron(), kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		va, err := a.Alloc(100 << 10)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := a.Free(va); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if _, err := NewAllocator(Opteron(), "tcmalloc"); err == nil {
+		t.Fatal("unknown allocator kind accepted")
+	}
+}
+
+func TestIMBThroughPublicAPI(t *testing.T) {
+	rs, err := IMBSendRecv(ClusterConfig{
+		Machine: Opteron(), Ranks: 2,
+		Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
+	}, []int{1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].BandwidthMBs < 1500 || rs[0].BandwidthMBs > 1900 {
+		t.Fatalf("1MiB lazy hugepage bandwidth %.0f MB/s out of band", rs[0].BandwidthMBs)
+	}
+}
+
+func TestWRSweepsThroughPublicAPI(t *testing.T) {
+	rs, err := SGESweep(SystemP(), []int{1}, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].PostTicks < 400 || rs[0].PostTicks > 700 {
+		t.Fatalf("post cost %d out of the paper's band", rs[0].PostTicks)
+	}
+	os, err := OffsetSweep(SystemP(), []int{0, 64}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os[1].Total() >= os[0].Total() {
+		t.Fatal("offset 64 should beat offset 0")
+	}
+}
