@@ -15,7 +15,6 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mpi"
-	"repro/internal/vm"
 	"repro/internal/workload"
 )
 
@@ -185,10 +184,11 @@ func BenchmarkAllocAblations(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := alloc.DefaultHugeConfig()
 				v.mutate(&cfg)
-				a, err := alloc.NewHuge(vm.New(newNodeMemory(SystemP())), SystemP().Mem.SyscallTicks, cfg)
+				n, err := NewNode(NodeConfig{Machine: SystemP(), Allocator: "huge", HugeConfig: &cfg})
 				if err != nil {
 					b.Fatal(err)
 				}
+				a := n.Alloc
 				res, err := alloc.Replay(a, ops, slots)
 				if err != nil {
 					b.Fatal(err)

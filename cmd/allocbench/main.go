@@ -11,15 +11,17 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/machine"
-	"repro/internal/phys"
-	"repro/internal/vm"
+	"repro/internal/node"
 	"repro/internal/workload"
 )
 
-func newAS(m *machine.Machine) *vm.AddressSpace {
-	mem := phys.NewMemory(m)
-	mem.Scramble(4096)
-	return vm.New(mem)
+// newAlloc builds one allocation library on a fresh simulated host.
+func newAlloc(m *machine.Machine, kind node.AllocatorKind, hc *alloc.HugeConfig) (alloc.Allocator, error) {
+	n, err := node.New(node.Config{Machine: m, Allocator: kind, HugeConfig: hc})
+	if err != nil {
+		return nil, err
+	}
+	return n.Alloc, nil
 }
 
 func main() {
@@ -49,7 +51,7 @@ func main() {
 		for i, v := range variants {
 			cfg := alloc.DefaultHugeConfig()
 			v.mutate(&cfg)
-			a, err := alloc.NewHuge(newAS(m), m.Mem.SyscallTicks, cfg)
+			a, err := newAlloc(m, node.AllocHuge, &cfg)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
 				os.Exit(1)
@@ -71,19 +73,17 @@ func main() {
 	fmt.Printf("allocator comparison on the Abinit-style trace (%s, %d ops)\n", m.Name, len(ops))
 	fmt.Printf("%-26s %14s %10s %12s %12s\n", "library", "alloc time", "speedup", "syscalls", "peak huge MB")
 	mk := []struct {
-		name  string
-		build func() (alloc.Allocator, error)
+		name string
+		kind node.AllocatorKind
 	}{
-		{"libc", func() (alloc.Allocator, error) { return alloc.NewLibc(newAS(m), m.Mem.SyscallTicks), nil }},
-		{"hugepage-library", func() (alloc.Allocator, error) {
-			return alloc.NewHuge(newAS(m), m.Mem.SyscallTicks, alloc.DefaultHugeConfig())
-		}},
-		{"libhugetlbfs-morecore", func() (alloc.Allocator, error) { return alloc.NewMorecore(newAS(m), m.Mem.SyscallTicks), nil }},
-		{"libhugepagealloc", func() (alloc.Allocator, error) { return alloc.NewPageSep(newAS(m), m.Mem.SyscallTicks), nil }},
+		{"libc", node.AllocLibc},
+		{"hugepage-library", node.AllocHuge},
+		{"libhugetlbfs-morecore", node.AllocMorecore},
+		{"libhugepagealloc", node.AllocPageSep},
 	}
 	var libcTime float64
 	for i, entry := range mk {
-		a, err := entry.build()
+		a, err := newAlloc(m, entry.kind, nil)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
 			os.Exit(1)

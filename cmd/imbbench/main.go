@@ -5,6 +5,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ func main() {
 	reg := flag.Bool("reg", false, "run the registration-cost sweep instead of Figure 5")
 	pingpong := flag.Bool("pingpong", false, "run the IMB PingPong latency test instead of Figure 5")
 	exchange := flag.Bool("exchange", false, "run the IMB Exchange test instead of Figure 5")
+	stats := flag.Bool("stats", false, "run a short SendRecv ladder and emit per-node telemetry as JSON")
 	flag.Parse()
 
 	m := machine.ByName(*mach)
@@ -29,6 +31,8 @@ func main() {
 		os.Exit(1)
 	}
 	switch {
+	case *stats:
+		runStats(m)
 	case *reg:
 		runReg(m)
 	case *att:
@@ -39,6 +43,25 @@ func main() {
 		runExchange(m)
 	default:
 		runFig5(m)
+	}
+}
+
+// runStats runs the recommended-placement SendRecv over a short size
+// ladder and prints every rank's host telemetry as JSON.
+func runStats(m *machine.Machine) {
+	_, nodes, err := imb.SendRecvNodeStats(mpi.Config{
+		Machine: m, Ranks: 2,
+		Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: m.HCA.SupportsHugeATT,
+	}, []int{64 << 10, 1 << 20, 4 << 20})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(nodes); err != nil {
+		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -11,7 +12,17 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/nas"
+	"repro/internal/node"
 )
+
+// kernelStats is one JSON record of the -stats output: the per-node
+// telemetry of one kernel run under one allocator.
+type kernelStats struct {
+	Machine   string       `json:"machine"`
+	Kernel    string       `json:"kernel"`
+	Allocator string       `json:"allocator"`
+	Nodes     []node.Stats `json:"nodes"`
+}
 
 func main() {
 	machines := flag.String("machines", "opteron,systemp", "comma-separated machine list")
@@ -19,6 +30,7 @@ func main() {
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all)")
 	counters := flag.Bool("counters", false, "print absolute PAPI TLB counters per kernel")
 	profile := flag.Bool("profile", false, "print the mpiP-style per-callsite profile of each hugepage run")
+	stats := flag.Bool("stats", false, "emit per-node telemetry of every run as JSON instead of the tables")
 	flag.Parse()
 
 	var ks []nas.Kernel
@@ -32,6 +44,7 @@ func main() {
 			ks = append(ks, k)
 		}
 	}
+	var allStats []kernelStats
 	for _, name := range strings.Split(*machines, ",") {
 		m := machine.ByName(strings.TrimSpace(name))
 		if m == nil {
@@ -42,6 +55,19 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
 			os.Exit(1)
+		}
+		if *stats {
+			for _, r := range rows {
+				for _, res := range []nas.Result{r.Small, r.Huge} {
+					allStats = append(allStats, kernelStats{
+						Machine:   m.Name,
+						Kernel:    res.Kernel,
+						Allocator: string(res.Allocator),
+						Nodes:     res.Nodes,
+					})
+				}
+			}
+			continue
 		}
 		fmt.Print(nas.FormatFig6(m.Name, rows))
 		if *profile {
@@ -59,5 +85,13 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+	if *stats {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(allStats); err != nil {
+			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

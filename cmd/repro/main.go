@@ -4,18 +4,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"repro/internal/alloc"
+	"repro"
 	"repro/internal/imb"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/nas"
-	"repro/internal/phys"
-	"repro/internal/vm"
-	"repro/internal/workload"
 	"repro/internal/wrbench"
 )
 
@@ -24,9 +23,36 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// runStats runs a small Figure 5 cell under the paper's recommended
+// placement and emits every rank's host telemetry as JSON — the
+// machine-readable per-node perf snapshot behind -stats.
+func runStats(w io.Writer) error {
+	_, nodes, err := imb.SendRecvNodeStats(mpi.Config{
+		Machine:   machine.Opteron(),
+		Ranks:     2,
+		Allocator: mpi.AllocHuge,
+		LazyDereg: true,
+		HugeATT:   true,
+	}, []int{64 << 10, 1 << 20})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(nodes)
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "skip the slow NAS runs")
+	stats := flag.Bool("stats", false, "emit per-node telemetry of a small Figure 5 run as JSON and exit")
 	flag.Parse()
+
+	if *stats {
+		if err := runStats(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	fmt.Println("=== E1 (Figure 3): work-request duration by SGE count (IBM System p, TBR ticks) ===")
 	sysp := machine.SystemP()
@@ -117,27 +143,12 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("=== E7 (Section 2/3): allocator comparison on the Abinit trace ===")
-	ops, slots := workload.AbinitTrace(workload.DefaultAbinitParams())
-	newAS := func() *vm.AddressSpace {
-		mem := phys.NewMemory(machine.Opteron())
-		mem.Scramble(4096)
-		return vm.New(mem)
-	}
-	libcA := alloc.NewLibc(newAS(), machine.Opteron().Mem.SyscallTicks)
-	rl, err := alloc.Replay(libcA, ops, slots)
+	libcT, hugeT, err := repro.AbinitComparison(machine.Opteron())
 	if err != nil {
 		fail(err)
 	}
-	hugeA, err := alloc.NewHuge(newAS(), machine.Opteron().Mem.SyscallTicks, alloc.DefaultHugeConfig())
-	if err != nil {
-		fail(err)
-	}
-	rh, err := alloc.Replay(hugeA, ops, slots)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("libc %v, hugepage library %v -> %.1fx faster\n", rl.AllocTime, rh.AllocTime,
-		float64(rl.AllocTime)/float64(rh.AllocTime))
+	fmt.Printf("libc %v, hugepage library %v -> %.1fx faster\n", libcT, hugeT,
+		float64(libcT)/float64(hugeT))
 	fmt.Println("paper: \"allocation benefits of up to 10 times\" (full table: cmd/allocbench)")
 	fmt.Println()
 

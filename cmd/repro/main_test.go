@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/node"
+)
+
+func TestRunStatsEmitsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runStats(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var nodes []node.Stats
+	if err := json.Unmarshal(buf.Bytes(), &nodes); err != nil {
+		t.Fatalf("-stats output is not a JSON node.Stats list: %v", err)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("got %d node records, want 2 (one per rank)", len(nodes))
+	}
+	for i, st := range nodes {
+		if st.Machine == "" || st.Allocator != "huge" {
+			t.Fatalf("node %d identity missing: machine=%q allocator=%q", i, st.Machine, st.Allocator)
+		}
+		if st.Cache.Hits+st.Cache.Misses == 0 {
+			t.Fatalf("node %d: registration cache never consulted", i)
+		}
+		if st.Reg.Registrations == 0 {
+			t.Fatalf("node %d: no registrations recorded", i)
+		}
+		if st.HCA.BusBytes == 0 {
+			t.Fatalf("node %d: DMA engines moved no bytes", i)
+		}
+	}
+}

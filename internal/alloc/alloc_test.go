@@ -1,4 +1,4 @@
-package alloc
+package alloc_test
 
 import (
 	"errors"
@@ -6,21 +6,22 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/alloc"
 	"repro/internal/machine"
-	"repro/internal/phys"
+	"repro/internal/node/nodetest"
 	"repro/internal/vm"
 )
 
 func newAS(t testing.TB) *vm.AddressSpace {
 	t.Helper()
-	return vm.New(phys.NewMemory(machine.SystemP())) // big hugepage pool
+	return nodetest.New(t, machine.SystemP()).AS // big hugepage pool
 }
 
 const sysTicks = 1300
 
-func newHugeT(t testing.TB, as *vm.AddressSpace) *Huge {
+func newHugeT(t testing.TB, as *vm.AddressSpace) *alloc.Huge {
 	t.Helper()
-	h, err := NewHuge(as, sysTicks, DefaultHugeConfig())
+	h, err := alloc.NewHuge(as, sysTicks, alloc.DefaultHugeConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,13 +29,27 @@ func newHugeT(t testing.TB, as *vm.AddressSpace) *Huge {
 }
 
 // allocators under test, by constructor.
-func allAllocators(t testing.TB) map[string]Allocator {
-	return map[string]Allocator{
-		"libc":     NewLibc(newAS(t), sysTicks),
+func allAllocators(t testing.TB) map[string]alloc.Allocator {
+	return map[string]alloc.Allocator{
+		"libc":     alloc.NewLibc(newAS(t), sysTicks),
 		"huge":     newHugeT(t, newAS(t)),
-		"morecore": NewMorecore(newAS(t), sysTicks),
-		"pagesep":  NewPageSep(newAS(t), sysTicks),
+		"morecore": alloc.NewMorecore(newAS(t), sysTicks),
+		"pagesep":  alloc.NewPageSep(newAS(t), sysTicks),
 	}
+}
+
+// sortedNonOverlapping checks the hugepage freelist invariant: spans in
+// strictly increasing address order, never overlapping.
+func sortedNonOverlapping(spans []alloc.FreeSpan, strict bool) bool {
+	for i := 1; i < len(spans); i++ {
+		if strict && spans[i-1].VA >= spans[i].VA {
+			return false
+		}
+		if spans[i-1].VA+vm.VA(spans[i-1].Size) > spans[i].VA {
+			return false
+		}
+	}
+	return true
 }
 
 func TestBasicAllocFreeAllModels(t *testing.T) {
@@ -50,10 +65,10 @@ func TestBasicAllocFreeAllModels(t *testing.T) {
 			if err := a.Free(va); err != nil {
 				t.Fatal(err)
 			}
-			if err := a.Free(va); !errors.Is(err, ErrNotAllocated) {
+			if err := a.Free(va); !errors.Is(err, alloc.ErrNotAllocated) {
 				t.Fatalf("double free: got %v", err)
 			}
-			if _, err := a.Alloc(0); !errors.Is(err, ErrBadSize) {
+			if _, err := a.Alloc(0); !errors.Is(err, alloc.ErrBadSize) {
 				t.Fatalf("zero alloc: got %v", err)
 			}
 			st := a.Stats()
@@ -124,9 +139,9 @@ func TestHugeNoCoalesceOnFree(t *testing.T) {
 
 func TestHugeLazyCoalesceSatisfiesBigRequest(t *testing.T) {
 	as := newAS(t)
-	cfg := DefaultHugeConfig()
+	cfg := alloc.DefaultHugeConfig()
 	cfg.MapBatchPages = 1
-	h, err := NewHuge(as, sysTicks, cfg)
+	h, err := alloc.NewHuge(as, sysTicks, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +185,11 @@ func TestHugeAddressOrderedFirstFit(t *testing.T) {
 }
 
 func TestHugeFallbackWhenPoolExhausted(t *testing.T) {
-	mem := phys.NewMemory(machine.Opteron())
-	as := vm.New(mem)
-	cfg := DefaultHugeConfig()
+	n := nodetest.New(t, machine.Opteron())
+	mem, as := n.Mem, n.AS
+	cfg := alloc.DefaultHugeConfig()
 	cfg.ReservePages = 0
-	h, err := NewHuge(as, sysTicks, cfg)
+	h, err := alloc.NewHuge(as, sysTicks, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +210,11 @@ func TestHugeFallbackWhenPoolExhausted(t *testing.T) {
 }
 
 func TestHugeReserveIsInstalled(t *testing.T) {
-	mem := phys.NewMemory(machine.Opteron())
-	as := vm.New(mem)
-	cfg := DefaultHugeConfig()
+	n := nodetest.New(t, machine.Opteron())
+	mem, as := n.Mem, n.AS
+	cfg := alloc.DefaultHugeConfig()
 	cfg.ReservePages = 100
-	if _, err := NewHuge(as, sysTicks, cfg); err != nil {
+	if _, err := alloc.NewHuge(as, sysTicks, cfg); err != nil {
 		t.Fatal(err)
 	}
 	if got := mem.HugeAvailable(); got != mem.HugeTotal()-100 {
@@ -208,7 +223,7 @@ func TestHugeReserveIsInstalled(t *testing.T) {
 }
 
 func TestLibcCoalescesAndReusesArena(t *testing.T) {
-	l := NewLibc(newAS(t), sysTicks)
+	l := alloc.NewLibc(newAS(t), sysTicks)
 	a, _ := l.Alloc(40 << 10)
 	b, _ := l.Alloc(40 << 10)
 	_ = l.Free(a)
@@ -230,7 +245,7 @@ func TestLibcCoalescesAndReusesArena(t *testing.T) {
 
 func TestLibcMmapThreshold(t *testing.T) {
 	as := newAS(t)
-	l := NewLibc(as, sysTicks)
+	l := alloc.NewLibc(as, sysTicks)
 	va, err := l.Alloc(256 << 10) // above 128 KiB threshold
 	if err != nil {
 		t.Fatal(err)
@@ -245,7 +260,7 @@ func TestLibcMmapThreshold(t *testing.T) {
 }
 
 func TestMorecorePlacesEverythingInHugepages(t *testing.T) {
-	m := NewMorecore(newAS(t), sysTicks)
+	m := alloc.NewMorecore(newAS(t), sysTicks)
 	small, _ := m.Alloc(64)      // tiny
 	big, _ := m.Alloc(512 << 10) // mmap path
 	mid, _ := m.Alloc(100 << 10) // heap path
@@ -257,7 +272,7 @@ func TestMorecorePlacesEverythingInHugepages(t *testing.T) {
 }
 
 func TestPageSepSeparateHugepages(t *testing.T) {
-	p := NewPageSep(newAS(t), sysTicks)
+	p := alloc.NewPageSep(newAS(t), sysTicks)
 	a, _ := p.Alloc(1000)
 	b, _ := p.Alloc(1000)
 	if uint64(a)/machine.HugePageSize == uint64(b)/machine.HugePageSize {
@@ -341,17 +356,7 @@ func TestQuickFreelistStaysSorted(t *testing.T) {
 			}
 			live = append(live, va)
 		}
-		h.mu.Lock()
-		defer h.mu.Unlock()
-		for i := 1; i < len(h.free); i++ {
-			if h.free[i-1].va >= h.free[i].va {
-				return false
-			}
-			if h.free[i-1].va+vm.VA(h.free[i-1].size) > h.free[i].va {
-				return false // overlapping free spans
-			}
-		}
-		return true
+		return sortedNonOverlapping(h.FreeSpans(), true)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
@@ -360,14 +365,14 @@ func TestQuickFreelistStaysSorted(t *testing.T) {
 
 func TestReplayRoundTrip(t *testing.T) {
 	h := newHugeT(t, newAS(t))
-	ops := []TraceOp{
+	ops := []alloc.TraceOp{
 		{Alloc: true, Size: 64 << 10, Slot: 0},
 		{Alloc: true, Size: 128 << 10, Slot: 1},
 		{Alloc: false, Slot: 0},
 		{Alloc: true, Size: 64 << 10, Slot: 0},
 		{Alloc: true, Size: 8 << 10, Slot: 2}, // small path
 	}
-	res, err := Replay(h, ops, 3)
+	res, err := alloc.Replay(h, ops, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +389,7 @@ func TestReplayRoundTrip(t *testing.T) {
 
 func TestReplayBadSlot(t *testing.T) {
 	h := newHugeT(t, newAS(t))
-	if _, err := Replay(h, []TraceOp{{Alloc: true, Size: 1, Slot: 5}}, 2); err == nil {
+	if _, err := alloc.Replay(h, []alloc.TraceOp{{Alloc: true, Size: 1, Slot: 5}}, 2); err == nil {
 		t.Fatal("out-of-range slot accepted")
 	}
 }
@@ -459,11 +464,7 @@ func TestHugeThreadSafety(t *testing.T) {
 		t.Fatalf("leaked %d bytes under concurrency", live)
 	}
 	// Freelist must still be sorted and non-overlapping.
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for i := 1; i < len(h.free); i++ {
-		if h.free[i-1].va+vm.VA(h.free[i-1].size) > h.free[i].va {
-			t.Fatal("freelist corrupted under concurrency")
-		}
+	if !sortedNonOverlapping(h.FreeSpans(), false) {
+		t.Fatal("freelist corrupted under concurrency")
 	}
 }

@@ -1,0 +1,21 @@
+package alloc
+
+import "repro/internal/vm"
+
+// FreeSpan is one hugepage-freelist node, exposed so the external test
+// package can keep its white-box sortedness and overlap invariants.
+type FreeSpan struct {
+	VA   vm.VA
+	Size uint64
+}
+
+// FreeSpans snapshots the hugepage freelist in list order.
+func (h *Huge) FreeSpans() []FreeSpan {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	spans := make([]FreeSpan, len(h.free))
+	for i, s := range h.free {
+		spans[i] = FreeSpan{s.va, s.size}
+	}
+	return spans
+}

@@ -1,24 +1,24 @@
-package hca
+package hca_test
 
 import (
 	"errors"
 	"testing"
 
+	"repro/internal/hca"
 	"repro/internal/machine"
-	"repro/internal/phys"
+	"repro/internal/node/nodetest"
 	"repro/internal/vm"
 )
 
 // rig builds an address space + adapter pair on one machine.
-func rig(t *testing.T, m *machine.Machine) (*vm.AddressSpace, *HCA) {
+func rig(t *testing.T, m *machine.Machine) (*vm.AddressSpace, *hca.HCA) {
 	t.Helper()
-	mem := phys.NewMemory(m)
-	as := vm.New(mem)
-	return as, New(m, mem)
+	n := nodetest.New(t, m)
+	return n.AS, n.Verbs.HW
 }
 
 // reg maps, pins and installs a buffer, returning VA and MR.
-func reg(t *testing.T, as *vm.AddressSpace, h *HCA, size uint64, huge, hugeATT bool) (vm.VA, *MR) {
+func reg(t *testing.T, as *vm.AddressSpace, h *hca.HCA, size uint64, huge, hugeATT bool) (vm.VA, *hca.MR) {
 	t.Helper()
 	var va vm.VA
 	var err error
@@ -76,7 +76,7 @@ func TestGatherScatterRoundTrip(t *testing.T) {
 	if err := as.Write(va+100, in); err != nil {
 		t.Fatal(err)
 	}
-	data, cost, err := h.Gather([]SGE{{Addr: va + 100, Length: uint32(len(in)), LKey: mr.LKey}})
+	data, cost, err := h.Gather([]hca.SGE{{Addr: va + 100, Length: uint32(len(in)), LKey: mr.LKey}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestGatherScatterRoundTrip(t *testing.T) {
 	}
 	// Scatter into a second buffer and verify.
 	va2, mr2 := reg(t, as, h, 64<<10, false, false)
-	if _, err := h.Scatter([]SGE{{Addr: va2 + 5, Length: uint32(len(in)), LKey: mr2.LKey}}, data); err != nil {
+	if _, err := h.Scatter([]hca.SGE{{Addr: va2 + 5, Length: uint32(len(in)), LKey: mr2.LKey}}, data); err != nil {
 		t.Fatal(err)
 	}
 	out := make([]byte, len(in))
@@ -110,7 +110,7 @@ func TestMultiSGEGatherOrder(t *testing.T) {
 	va, mr := reg(t, as, h, 16<<10, false, false)
 	_ = as.Write(va, []byte("AAAA"))
 	_ = as.Write(va+8192, []byte("BBBB"))
-	data, _, err := h.Gather([]SGE{
+	data, _, err := h.Gather([]hca.SGE{
 		{Addr: va + 8192, Length: 4, LKey: mr.LKey},
 		{Addr: va, Length: 4, LKey: mr.LKey},
 	})
@@ -127,7 +127,7 @@ func TestScatterAcrossSGEs(t *testing.T) {
 	as, h := rig(t, m)
 	va, mr := reg(t, as, h, 16<<10, false, false)
 	payload := []byte("0123456789")
-	if _, err := h.Scatter([]SGE{
+	if _, err := h.Scatter([]hca.SGE{
 		{Addr: va, Length: 4, LKey: mr.LKey},
 		{Addr: va + 4096, Length: 6, LKey: mr.LKey},
 	}, payload); err != nil {
@@ -146,8 +146,8 @@ func TestScatterOverflowRejected(t *testing.T) {
 	m := machine.Opteron()
 	as, h := rig(t, m)
 	va, mr := reg(t, as, h, 4096, false, false)
-	_, err := h.Scatter([]SGE{{Addr: va, Length: 8, LKey: mr.LKey}}, make([]byte, 16))
-	if !errors.Is(err, ErrOutOfBounds) {
+	_, err := h.Scatter([]hca.SGE{{Addr: va, Length: 8, LKey: mr.LKey}}, make([]byte, 16))
+	if !errors.Is(err, hca.ErrOutOfBounds) {
 		t.Fatalf("got %v, want ErrOutOfBounds", err)
 	}
 }
@@ -156,10 +156,10 @@ func TestBoundsChecks(t *testing.T) {
 	m := machine.Opteron()
 	as, h := rig(t, m)
 	va, mr := reg(t, as, h, 8192, false, false)
-	if _, _, err := h.Gather([]SGE{{Addr: va + 8000, Length: 500, LKey: mr.LKey}}); !errors.Is(err, ErrOutOfBounds) {
+	if _, _, err := h.Gather([]hca.SGE{{Addr: va + 8000, Length: 500, LKey: mr.LKey}}); !errors.Is(err, hca.ErrOutOfBounds) {
 		t.Fatalf("overrun: got %v", err)
 	}
-	if _, _, err := h.Gather([]SGE{{Addr: va, Length: 8, LKey: 0xdead}}); !errors.Is(err, ErrBadKey) {
+	if _, _, err := h.Gather([]hca.SGE{{Addr: va, Length: 8, LKey: 0xdead}}); !errors.Is(err, hca.ErrBadKey) {
 		t.Fatalf("bad key: got %v", err)
 	}
 }
@@ -206,7 +206,7 @@ func TestATTMissesDropWithHugeEntries(t *testing.T) {
 	// Buffer far larger than the ATT reach in 4K entries.
 	const size = 8 << 20
 	va, mr := reg(t, as, h, size, true, false) // unpatched: 2048 entries
-	sge := []SGE{{Addr: va, Length: size, LKey: mr.LKey}}
+	sge := []hca.SGE{{Addr: va, Length: size, LKey: mr.LKey}}
 	for i := 0; i < 3; i++ {
 		if _, _, err := h.Gather(sge); err != nil {
 			t.Fatal(err)
@@ -216,7 +216,7 @@ func TestATTMissesDropWithHugeEntries(t *testing.T) {
 
 	h.ResetATT()
 	va2, mr2 := reg(t, as, h, size, true, true) // patched: 4 entries
-	sge2 := []SGE{{Addr: va2, Length: size, LKey: mr2.LKey}}
+	sge2 := []hca.SGE{{Addr: va2, Length: size, LKey: mr2.LKey}}
 	for i := 0; i < 3; i++ {
 		if _, _, err := h.Gather(sge2); err != nil {
 			t.Fatal(err)
@@ -235,10 +235,10 @@ func TestRemoveMRInvalidatesKey(t *testing.T) {
 	if err := h.RemoveMR(mr.LKey); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := h.Gather([]SGE{{Addr: va, Length: 8, LKey: mr.LKey}}); !errors.Is(err, ErrBadKey) {
+	if _, _, err := h.Gather([]hca.SGE{{Addr: va, Length: 8, LKey: mr.LKey}}); !errors.Is(err, hca.ErrBadKey) {
 		t.Fatalf("stale key accepted: %v", err)
 	}
-	if err := h.RemoveMR(mr.LKey); !errors.Is(err, ErrBadKey) {
+	if err := h.RemoveMR(mr.LKey); !errors.Is(err, hca.ErrBadKey) {
 		t.Fatal("double remove accepted")
 	}
 	if h.Stats().MTTEntries != 0 {
@@ -262,10 +262,10 @@ func TestWireCostShape(t *testing.T) {
 }
 
 func TestTotalLen(t *testing.T) {
-	if TotalLen([]SGE{{Length: 3}, {Length: 5}}) != 8 {
+	if hca.TotalLen([]hca.SGE{{Length: 3}, {Length: 5}}) != 8 {
 		t.Fatal("TotalLen broken")
 	}
-	if TotalLen(nil) != 0 {
+	if hca.TotalLen(nil) != 0 {
 		t.Fatal("TotalLen(nil) != 0")
 	}
 }

@@ -1,30 +1,30 @@
-package hca
+package hca_test
 
 import (
 	"errors"
 	"testing"
 
+	"repro/internal/hca"
 	"repro/internal/machine"
-	"repro/internal/phys"
+	"repro/internal/node/nodetest"
 	"repro/internal/vm"
 )
 
 // qpRig builds two connected QPs with registered buffers on separate nodes.
 type qpRig struct {
 	sendAS, recvAS   *vm.AddressSpace
-	sendHCA, recvHCA *HCA
-	sendQP, recvQP   *QP
+	sendHCA, recvHCA *hca.HCA
+	sendQP, recvQP   *hca.QP
 	sendVA, recvVA   vm.VA
-	sendMR, recvMR   *MR
+	sendMR, recvMR   *hca.MR
 }
 
 func newQPRig(t *testing.T, sq, rq, cqDepth int) *qpRig {
 	t.Helper()
 	m := machine.Opteron()
-	mk := func() (*vm.AddressSpace, *HCA, vm.VA, *MR) {
-		mem := phys.NewMemory(m)
-		as := vm.New(mem)
-		h := New(m, mem)
+	mk := func() (*vm.AddressSpace, *hca.HCA, vm.VA, *hca.MR) {
+		n := nodetest.New(t, m)
+		as, h := n.AS, n.Verbs.HW
 		va, err := as.MapSmall(256 << 10)
 		if err != nil {
 			t.Fatal(err)
@@ -43,15 +43,15 @@ func newQPRig(t *testing.T, sq, rq, cqDepth int) *qpRig {
 	r.sendAS, r.sendHCA, r.sendVA, r.sendMR = mk()
 	r.recvAS, r.recvHCA, r.recvVA, r.recvMR = mk()
 	var err error
-	r.sendQP, err = r.sendHCA.CreateQP(NewCQ(cqDepth), NewCQ(cqDepth), sq, rq)
+	r.sendQP, err = r.sendHCA.CreateQP(hca.NewCQ(cqDepth), hca.NewCQ(cqDepth), sq, rq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.recvQP, err = r.recvHCA.CreateQP(NewCQ(cqDepth), NewCQ(cqDepth), sq, rq)
+	r.recvQP, err = r.recvHCA.CreateQP(hca.NewCQ(cqDepth), hca.NewCQ(cqDepth), sq, rq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Connect(r.sendQP, r.recvQP); err != nil {
+	if err := hca.Connect(r.sendQP, r.recvQP); err != nil {
 		t.Fatal(err)
 	}
 	return r
@@ -63,10 +63,10 @@ func TestQPSendRecvMovesBytes(t *testing.T) {
 	if err := r.sendAS.Write(r.sendVA, payload); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.recvQP.PostRecv(77, []SGE{{Addr: r.recvVA, Length: 64, LKey: r.recvMR.LKey}}); err != nil {
+	if _, err := r.recvQP.PostRecv(77, []hca.SGE{{Addr: r.recvVA, Length: 64, LKey: r.recvMR.LKey}}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := r.sendQP.Send(1000, 42, []SGE{{Addr: r.sendVA, Length: uint32(len(payload)), LKey: r.sendMR.LKey}})
+	res, err := r.sendQP.Send(1000, 42, []hca.SGE{{Addr: r.sendVA, Length: uint32(len(payload)), LKey: r.sendMR.LKey}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,25 +96,24 @@ func TestQPSendRecvMovesBytes(t *testing.T) {
 
 func TestQPStateMachine(t *testing.T) {
 	m := machine.Opteron()
-	mem := phys.NewMemory(m)
-	h := New(m, mem)
-	qp, err := h.CreateQP(NewCQ(4), NewCQ(4), 2, 2)
+	h := nodetest.New(t, m).Verbs.HW
+	qp, err := h.CreateQP(hca.NewCQ(4), hca.NewCQ(4), 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if qp.State() != QPInit {
+	if qp.State() != hca.QPInit {
 		t.Fatalf("fresh QP state %v", qp.State())
 	}
 	// Sending before Connect fails.
-	if _, err := qp.Send(0, 1, nil); !errors.Is(err, ErrQPState) {
+	if _, err := qp.Send(0, 1, nil); !errors.Is(err, hca.ErrQPState) {
 		t.Fatalf("send on INIT QP: %v", err)
 	}
 	// Connecting twice fails.
-	qp2, _ := h.CreateQP(NewCQ(4), NewCQ(4), 2, 2)
-	if err := Connect(qp, qp2); err != nil {
+	qp2, _ := h.CreateQP(hca.NewCQ(4), hca.NewCQ(4), 2, 2)
+	if err := hca.Connect(qp, qp2); err != nil {
 		t.Fatal(err)
 	}
-	if err := Connect(qp, qp2); !errors.Is(err, ErrQPState) {
+	if err := hca.Connect(qp, qp2); !errors.Is(err, hca.ErrQPState) {
 		t.Fatalf("double connect: %v", err)
 	}
 }
@@ -122,11 +121,11 @@ func TestQPStateMachine(t *testing.T) {
 func TestQPReceiverNotReady(t *testing.T) {
 	r := newQPRig(t, 4, 4, 16)
 	// No receive posted: RC send must fail and error the QP.
-	_, err := r.sendQP.Send(0, 9, []SGE{{Addr: r.sendVA, Length: 8, LKey: r.sendMR.LKey}})
-	if !errors.Is(err, ErrRQEmpty) {
+	_, err := r.sendQP.Send(0, 9, []hca.SGE{{Addr: r.sendVA, Length: 8, LKey: r.sendMR.LKey}})
+	if !errors.Is(err, hca.ErrRQEmpty) {
 		t.Fatalf("got %v, want ErrRQEmpty", err)
 	}
-	if r.sendQP.State() != QPError {
+	if r.sendQP.State() != hca.QPError {
 		t.Fatalf("QP state %v after RNR exhaustion, want ERROR", r.sendQP.State())
 	}
 	// The failure produced a completion-with-error.
@@ -135,20 +134,20 @@ func TestQPReceiverNotReady(t *testing.T) {
 		t.Fatalf("expected error CQE, got %+v ok=%v err=%v", e, ok, err)
 	}
 	// Further sends fail with QP state error.
-	if _, err := r.sendQP.Send(0, 10, nil); !errors.Is(err, ErrQPState) {
+	if _, err := r.sendQP.Send(0, 10, nil); !errors.Is(err, hca.ErrQPState) {
 		t.Fatalf("send on errored QP: %v", err)
 	}
 }
 
 func TestRQDepthLimit(t *testing.T) {
 	r := newQPRig(t, 4, 2, 16)
-	sge := []SGE{{Addr: r.recvVA, Length: 8, LKey: r.recvMR.LKey}}
+	sge := []hca.SGE{{Addr: r.recvVA, Length: 8, LKey: r.recvMR.LKey}}
 	for i := 0; i < 2; i++ {
 		if _, err := r.recvQP.PostRecv(uint64(i), sge); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := r.recvQP.PostRecv(3, sge); !errors.Is(err, ErrRQFull) {
+	if _, err := r.recvQP.PostRecv(3, sge); !errors.Is(err, hca.ErrRQFull) {
 		t.Fatalf("got %v, want ErrRQFull", err)
 	}
 	if r.recvQP.RQLen() != 2 {
@@ -158,8 +157,8 @@ func TestRQDepthLimit(t *testing.T) {
 
 func TestCQOverflowIsFatal(t *testing.T) {
 	r := newQPRig(t, 8, 8, 2) // tiny CQs
-	sge := []SGE{{Addr: r.sendVA, Length: 8, LKey: r.sendMR.LKey}}
-	rsge := []SGE{{Addr: r.recvVA, Length: 8, LKey: r.recvMR.LKey}}
+	sge := []hca.SGE{{Addr: r.sendVA, Length: 8, LKey: r.sendMR.LKey}}
+	rsge := []hca.SGE{{Addr: r.recvVA, Length: 8, LKey: r.recvMR.LKey}}
 	// Three sends without polling: the third completion overruns depth 2.
 	for i := 0; i < 3; i++ {
 		if _, err := r.recvQP.PostRecv(uint64(i), rsge); err != nil {
@@ -169,17 +168,17 @@ func TestCQOverflowIsFatal(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, _, err := r.sendQP.SendCQ.Poll(); !errors.Is(err, ErrCQOverflow) {
+	if _, _, err := r.sendQP.SendCQ.Poll(); !errors.Is(err, hca.ErrCQOverflow) {
 		t.Fatalf("got %v, want ErrCQOverflow", err)
 	}
 	// Overrun is sticky.
-	if _, _, err := r.sendQP.SendCQ.Poll(); !errors.Is(err, ErrCQOverflow) {
+	if _, _, err := r.sendQP.SendCQ.Poll(); !errors.Is(err, hca.ErrCQOverflow) {
 		t.Fatal("overrun must be sticky")
 	}
 }
 
 func TestCQPollEmpty(t *testing.T) {
-	cq := NewCQ(4)
+	cq := hca.NewCQ(4)
 	if _, ok, err := cq.Poll(); ok || err != nil {
 		t.Fatal("empty poll should be (zero, false, nil)")
 	}
@@ -187,15 +186,15 @@ func TestCQPollEmpty(t *testing.T) {
 
 func TestCreateQPValidation(t *testing.T) {
 	m := machine.Opteron()
-	h := New(m, phys.NewMemory(m))
-	if _, err := h.CreateQP(nil, NewCQ(1), 1, 1); err == nil {
+	h := nodetest.New(t, m).Verbs.HW
+	if _, err := h.CreateQP(nil, hca.NewCQ(1), 1, 1); err == nil {
 		t.Fatal("nil CQ accepted")
 	}
-	if _, err := h.CreateQP(NewCQ(1), NewCQ(1), 0, 1); err == nil {
+	if _, err := h.CreateQP(hca.NewCQ(1), hca.NewCQ(1), 0, 1); err == nil {
 		t.Fatal("zero depth accepted")
 	}
-	a, _ := h.CreateQP(NewCQ(1), NewCQ(1), 1, 1)
-	b, _ := h.CreateQP(NewCQ(1), NewCQ(1), 1, 1)
+	a, _ := h.CreateQP(hca.NewCQ(1), hca.NewCQ(1), 1, 1)
+	b, _ := h.CreateQP(hca.NewCQ(1), hca.NewCQ(1), 1, 1)
 	if a.Num == b.Num {
 		t.Fatal("QP numbers collide")
 	}

@@ -14,9 +14,8 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/mpi"
+	"repro/internal/node"
 	"repro/internal/simtime"
-	"repro/internal/verbs"
-	"repro/internal/vm"
 )
 
 // SendRecvResult is one row of the Figure 5 series.
@@ -58,12 +57,20 @@ func iterationsFor(bytes int) int {
 // SendRecv runs the benchmark under one MPI configuration and returns a
 // row per message size.
 func SendRecv(cfg mpi.Config, sizes []int) ([]SendRecvResult, error) {
+	results, _, err := SendRecvNodeStats(cfg, sizes)
+	return results, err
+}
+
+// SendRecvNodeStats runs the benchmark and additionally returns every
+// rank's end-of-run host telemetry (one node.Stats per rank) — the
+// machine-readable per-node perf record behind the -stats flags.
+func SendRecvNodeStats(cfg mpi.Config, sizes []int) ([]SendRecvResult, []node.Stats, error) {
 	if cfg.Ranks == 0 {
 		cfg.Ranks = 2
 	}
 	w, err := mpi.NewWorld(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	results := make([]SendRecvResult, len(sizes))
 	maxBytes := 0
@@ -139,9 +146,9 @@ func SendRecv(cfg mpi.Config, sizes []int) ([]SendRecvResult, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return results, nil
+	return results, w.NodeStats(), nil
 }
 
 // Fig5Config names one of the four Figure 5 configurations.
@@ -198,10 +205,13 @@ type RegResult struct {
 func RegistrationSweep(m *machine.Machine, sizes []uint64) ([]RegResult, error) {
 	out := make([]RegResult, 0, len(sizes))
 	for _, size := range sizes {
-		mem := newNodeMem(m)
-		as := vm.New(mem)
-		ctx := verbs.Open(m, as)
-		ctx.HugeATT = true
+		// A fresh warmed host per size, matching the MPI world's setup so
+		// registration sweeps see the same physical scatter.
+		n, err := node.New(node.Config{Machine: m, HugeATT: true})
+		if err != nil {
+			return nil, err
+		}
+		as, ctx := n.AS, n.Verbs
 
 		vaS, err := as.MapSmall(size)
 		if err != nil {

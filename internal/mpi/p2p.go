@@ -2,11 +2,42 @@ package mpi
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/hca"
 	"repro/internal/simtime"
 	"repro/internal/vm"
 )
+
+// sendGate orders the two concurrent halves of a Sendrecv on the shared
+// per-rank registration cache. In virtual time the send half registers at
+// the call instant while the recv half registers only after the peer's
+// RTS has crossed the wire; the gate makes the real-time schedule agree,
+// so cost attribution — which half pays a cache miss, which touch order
+// the LRU sees — is deterministic. A nil gate (plain Send/Recv) is inert.
+type sendGate struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+func newSendGate() *sendGate { return &sendGate{ch: make(chan struct{})} }
+
+// open marks the send half as past its registration point (or as never
+// registering). It is safe to call more than once.
+func (g *sendGate) open() {
+	if g != nil {
+		g.once.Do(func() { close(g.ch) })
+	}
+}
+
+// wait blocks the recv half until the send half has opened the gate. The
+// send half opens it without ever waiting on the network, so this cannot
+// deadlock.
+func (g *sendGate) wait() {
+	if g != nil {
+		<-g.ch
+	}
+}
 
 // message kinds.
 const (
@@ -65,13 +96,14 @@ const eagerPipelineTicks = simtime.Ticks(220)
 func (r *Rank) Send(dst, tag int, va vm.VA, n int) error {
 	start := r.clock.Now()
 	outer := r.enterMPI()
-	err := r.sendOn(&r.clock, dst, tag, va, n)
+	err := r.sendOn(&r.clock, dst, tag, va, n, nil)
 	r.exitMPI("Send", start, outer)
 	return err
 }
 
 // sendOn is Send against an explicit clock (Sendrecv forks a send half).
-func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
+func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g *sendGate) error {
+	defer g.open() // never leave a gated recv half waiting
 	if err := r.checkPeer(dst); err != nil {
 		return err
 	}
@@ -80,10 +112,11 @@ func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
 	}
 	if n > r.world.cfg.RdmaLimit {
 		if r.world.cfg.RendezvousProtocol == "read" {
-			return r.sendRendezvousRead(clk, dst, tag, va, n)
+			return r.sendRendezvousRead(clk, dst, tag, va, n, g)
 		}
-		return r.sendRendezvous(clk, dst, tag, va, n)
+		return r.sendRendezvous(clk, dst, tag, va, n, g)
 	}
+	g.open() // eager path never touches the registration cache
 	return r.sendEager(clk, dst, tag, va, n)
 }
 
@@ -122,8 +155,9 @@ func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) erro
 // exposes its registered buffer in the RTS; the receiver issues an RDMA
 // read and reports completion. One control hop shorter for the receiver
 // than write-rendezvous, one wire round trip longer for the data.
-func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
+func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g *sendGate) error {
 	mr, cost, err := r.cache.Acquire(va, uint64(n))
+	g.open()
 	if err != nil {
 		return fmt.Errorf("mpi: read-rendezvous register: %w", err)
 	}
@@ -156,8 +190,9 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 }
 
 // sendRendezvous runs the registration + RDMA-write protocol.
-func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
+func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g *sendGate) error {
 	mr, cost, err := r.cache.Acquire(va, uint64(n))
+	g.open()
 	if err != nil {
 		return fmt.Errorf("mpi: rendezvous register: %w", err)
 	}
@@ -213,14 +248,14 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int)
 func (r *Rank) Recv(src, tag int, va vm.VA, capacity int) (int, error) {
 	start := r.clock.Now()
 	outer := r.enterMPI()
-	n, err := r.recvOn(&r.clock, src, tag, va, capacity)
+	n, err := r.recvOn(&r.clock, src, tag, va, capacity, nil)
 	r.exitMPI("Recv", start, outer)
 	return n, err
 }
 
 // recvOn matches and completes one incoming message. It must run on the
 // rank's main goroutine (it owns the pending queues).
-func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int) (int, error) {
+func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, g *sendGate) (int, error) {
 	if err := r.checkPeer(src); err != nil {
 		return 0, err
 	}
@@ -258,8 +293,9 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int) 
 		clk.AdvanceTo(m.arrive)
 		clk.Advance(r.ctx.PollCQ()) // RTS completion
 		if m.doneCh != nil {
-			return r.recvRendezvousRead(clk, m, va)
+			return r.recvRendezvousRead(clk, m, va, g)
 		}
+		g.wait()
 		mr, cost, err := r.cache.Acquire(va, uint64(n))
 		if err != nil {
 			return 0, fmt.Errorf("mpi: rendezvous recv register: %w", err)
@@ -294,8 +330,9 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int) 
 
 // recvRendezvousRead completes a read-rendezvous: register the local
 // buffer, RDMA-read from the sender's exposed region, notify the sender.
-func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA) (int, error) {
+func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g *sendGate) (int, error) {
 	n := m.size
+	g.wait()
 	mr, cost, err := r.cache.Acquire(va, uint64(n))
 	if err != nil {
 		return 0, fmt.Errorf("mpi: read-rendezvous recv register: %w", err)
@@ -328,6 +365,18 @@ func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA) (int
 	return n, nil
 }
 
+// roundedRange is the page-rounded span the registration cache would pin
+// for [va, va+n) — the same rounding Cache.Acquire applies.
+func (r *Rank) roundedRange(va vm.VA, n int) (lo, hi uint64) {
+	lo, hi = uint64(va), uint64(va)+uint64(n)
+	if _, class, err := r.as.Translate(va); err == nil {
+		ps := class.Size()
+		lo = lo / ps * ps
+		hi = (hi + ps - 1) / ps * ps
+	}
+	return lo, hi
+}
+
 // Sendrecv performs the simultaneous send+receive used by IMB SendRecv
 // and the NAS exchange patterns. The send half runs concurrently so two
 // ranks may Sendrecv each other without deadlock, exactly as in MPI.
@@ -337,11 +386,21 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendVA vm.VA, sendN int,
 	outer := r.enterMPI()
 	sendClk := simtime.Clock{}
 	sendClk.AdvanceTo(start)
+	// Only overlapping pinned spans can make one half hit the other
+	// half's fresh registration, where who-pays-the-miss would depend on
+	// goroutine scheduling; disjoint spans miss independently and need no
+	// ordering.
+	var gate *sendGate
+	if sLo, sHi := r.roundedRange(sendVA, sendN); true {
+		if rLo, rHi := r.roundedRange(recvVA, recvCap); sLo < rHi && rLo < sHi {
+			gate = newSendGate()
+		}
+	}
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- r.sendOn(&sendClk, dst, sendTag, sendVA, sendN)
+		errCh <- r.sendOn(&sendClk, dst, sendTag, sendVA, sendN, gate)
 	}()
-	n, recvErr := r.recvOn(&r.clock, src, recvTag, recvVA, recvCap)
+	n, recvErr := r.recvOn(&r.clock, src, recvTag, recvVA, recvCap, gate)
 	sendErr := <-errCh
 	r.clock.AdvanceTo(sendClk.Now())
 	r.exitMPI("Sendrecv", start, outer)

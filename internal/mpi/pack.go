@@ -48,7 +48,7 @@ func (r *Rank) SendPacked(dst, tag int, pieces []Piece) error {
 		r.clock.Advance(r.memcpyTicks(p.Len))
 		off += p.Len
 	}
-	return r.sendOn(&r.clock, dst, tag, stage, total)
+	return r.sendOn(&r.clock, dst, tag, stage, total, nil)
 }
 
 // SendGathered transmits a non-contiguous buffer the way Section 4
@@ -113,7 +113,7 @@ func (r *Rank) RecvUnpack(src, tag int, pieces []Piece) error {
 	if err != nil {
 		return err
 	}
-	n, err := r.recvOn(&r.clock, src, tag, stage, total)
+	n, err := r.recvOn(&r.clock, src, tag, stage, total, nil)
 	if err != nil {
 		return err
 	}

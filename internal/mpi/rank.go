@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/mpip"
+	"repro/internal/node"
 	"repro/internal/regcache"
 	"repro/internal/simtime"
 	"repro/internal/tlb"
@@ -23,6 +24,10 @@ type Rank struct {
 	id    int
 	world *World
 	clock simtime.Clock
+
+	// node owns the rank's host; the fields below are aliases into it,
+	// kept so the hot paths skip a pointer hop.
+	node *node.Node
 
 	as    *vm.AddressSpace
 	ctx   *verbs.Context
@@ -72,6 +77,13 @@ func (r *Rank) Size() int { return len(r.world.ranks) }
 
 // Now returns the rank's virtual clock.
 func (r *Rank) Now() simtime.Ticks { return r.clock.Now() }
+
+// Node exposes the rank's host.
+func (r *Rank) Node() *node.Node { return r.node }
+
+// NodeStats snapshots the host's telemetry (all layers' counters). Call
+// it from the rank's own goroutine, or after World.Run returned.
+func (r *Rank) NodeStats() node.Stats { return r.node.Stats() }
 
 // AS exposes the rank's address space.
 func (r *Rank) AS() *vm.AddressSpace { return r.as }
@@ -129,11 +141,48 @@ func (r *Rank) Free(va vm.VA) error {
 	return nil
 }
 
-// WriteBytes stores p at va.
-func (r *Rank) WriteBytes(va vm.VA, p []byte) error { return r.as.Write(va, p) }
+// WriteBytes stores p at va, walking the DTLB for every page touched —
+// application stores of a communication buffer are ordinary data
+// accesses, so they show up in the node's TLB telemetry and pay the walk
+// penalty like any other compute.
+func (r *Rank) WriteBytes(va vm.VA, p []byte) error {
+	if err := r.as.Write(va, p); err != nil {
+		return err
+	}
+	r.touchPages(va, uint64(len(p)))
+	return nil
+}
 
-// ReadBytes loads len(p) bytes from va.
-func (r *Rank) ReadBytes(va vm.VA, p []byte) error { return r.as.Read(va, p) }
+// ReadBytes loads len(p) bytes from va (TLB-charged like WriteBytes).
+func (r *Rank) ReadBytes(va vm.VA, p []byte) error {
+	if err := r.as.Read(va, p); err != nil {
+		return err
+	}
+	r.touchPages(va, uint64(len(p)))
+	return nil
+}
+
+// touchPages performs one DTLB access per page of [va, va+n) and charges
+// the walk penalties as application compute.
+func (r *Rank) touchPages(va vm.VA, n uint64) {
+	if n == 0 {
+		return
+	}
+	var d simtime.Ticks
+	for off := uint64(0); off < n; {
+		_, class, err := r.as.Translate(va + vm.VA(off))
+		if err != nil {
+			return // unmapped tail; the Write/Read already failed loudly
+		}
+		ps := class.Size()
+		d += r.dtlb.Access(va+vm.VA(off), class)
+		next := (uint64(va)+off)/ps*ps + ps
+		off = next - uint64(va)
+	}
+	if d > 0 {
+		r.Compute(d)
+	}
+}
 
 // WriteF64 stores a float64 slice at va (little-endian).
 func (r *Rank) WriteF64(va vm.VA, xs []float64) error {

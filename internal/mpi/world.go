@@ -17,27 +17,22 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/alloc"
 	"repro/internal/machine"
 	"repro/internal/mpip"
-	"repro/internal/phys"
-	"repro/internal/regcache"
+	"repro/internal/node"
 	"repro/internal/simtime"
-	"repro/internal/tlb"
-	"repro/internal/verbs"
-	"repro/internal/vm"
 )
 
 // AllocatorKind selects the per-rank allocation library — the variable of
 // the whole experiment.
-type AllocatorKind string
+type AllocatorKind = node.AllocatorKind
 
 // Allocator kinds.
 const (
-	AllocLibc     AllocatorKind = "libc"
-	AllocHuge     AllocatorKind = "huge"
-	AllocMorecore AllocatorKind = "morecore"
-	AllocPageSep  AllocatorKind = "pagesep"
+	AllocLibc     = node.AllocLibc
+	AllocHuge     = node.AllocHuge
+	AllocMorecore = node.AllocMorecore
+	AllocPageSep  = node.AllocPageSep
 )
 
 // Config describes one job.
@@ -63,6 +58,21 @@ type Config struct {
 	EagerCredits int
 	// ChannelDepth is the per-peer unexpected-message queue depth.
 	ChannelDepth int
+	// PerRank, when set, rewrites a rank's node configuration before its
+	// host is built — the hook for heterogeneous jobs (per-rank
+	// allocators or placement policies).
+	PerRank func(rank int, cfg node.Config) node.Config
+}
+
+// nodeConfig is the homogeneous per-rank host configuration the job
+// implies before any PerRank rewrite.
+func (c Config) nodeConfig() node.Config {
+	return node.Config{
+		Machine:   c.Machine,
+		Allocator: c.Allocator,
+		LazyDereg: c.LazyDereg,
+		HugeATT:   c.HugeATT,
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -90,6 +100,7 @@ func (c Config) withDefaults() Config {
 // World is one running job.
 type World struct {
 	cfg   Config
+	nodes []*node.Node
 	ranks []*Rank
 
 	// abort is closed when any rank's body returns an error, so ranks
@@ -117,42 +128,26 @@ func NewWorld(cfg Config) (*World, error) {
 	}
 	w := &World{cfg: cfg, abort: make(chan struct{})}
 	for i := 0; i < cfg.Ranks; i++ {
-		mem := phys.NewMemory(cfg.Machine)
-		// Warm the frame pool so small-page buffers are physically
-		// scattered, as on a real long-running node.
-		mem.Scramble(4096)
-		as := vm.New(mem)
-		ctx := verbs.Open(cfg.Machine, as)
-		ctx.HugeATT = cfg.HugeATT
-
-		var a alloc.Allocator
-		var err error
-		switch cfg.Allocator {
-		case AllocLibc:
-			a = alloc.NewLibc(as, cfg.Machine.Mem.SyscallTicks)
-		case AllocHuge:
-			a, err = alloc.NewHuge(as, cfg.Machine.Mem.SyscallTicks, alloc.DefaultHugeConfig())
-		case AllocMorecore:
-			a = alloc.NewMorecore(as, cfg.Machine.Mem.SyscallTicks)
-		case AllocPageSep:
-			a = alloc.NewPageSep(as, cfg.Machine.Mem.SyscallTicks)
-		default:
-			err = fmt.Errorf("mpi: unknown allocator %q", cfg.Allocator)
+		ncfg := cfg.nodeConfig()
+		if cfg.PerRank != nil {
+			ncfg = cfg.PerRank(i, ncfg)
 		}
+		n, err := node.New(ncfg)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("mpi: rank %d: %w", i, err)
 		}
-
 		r := &Rank{
 			id:    i,
 			world: w,
-			as:    as,
-			ctx:   ctx,
-			cache: regcache.New(ctx, cfg.LazyDereg),
-			alloc: a,
-			dtlb:  tlb.New(&cfg.Machine.CPU),
+			node:  n,
+			as:    n.AS,
+			ctx:   n.Verbs,
+			cache: n.Cache,
+			alloc: n.Alloc,
+			dtlb:  n.DTLB,
 			prof:  mpip.New(),
 		}
+		w.nodes = append(w.nodes, n)
 		w.ranks = append(w.ranks, r)
 	}
 	// Wire the all-to-all mailboxes and eager credit pools.
@@ -180,6 +175,20 @@ func (w *World) Rank(i int) *Rank { return w.ranks[i] }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.ranks) }
+
+// Node returns rank i's host.
+func (w *World) Node(i int) *node.Node { return w.nodes[i] }
+
+// NodeStats snapshots every rank's host telemetry, in rank order. Call
+// it only while no rank body is running (before Run or after it
+// returns); snapshots race with in-flight ranks otherwise.
+func (w *World) NodeStats() []node.Stats {
+	out := make([]node.Stats, len(w.nodes))
+	for i, n := range w.nodes {
+		out[i] = n.Stats()
+	}
+	return out
+}
 
 // Run executes body once per rank, concurrently, and returns when all
 // ranks finish. The first error aborts the result (but all goroutines are

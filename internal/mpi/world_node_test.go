@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/node"
+)
+
+func TestPerRankHookCustomisesHosts(t *testing.T) {
+	w, err := NewWorld(Config{
+		Machine: machine.Opteron(),
+		Ranks:   2,
+		PerRank: func(rank int, cfg node.Config) node.Config {
+			if rank == 1 {
+				cfg.Allocator = node.AllocHuge
+			}
+			return cfg
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Node(0).Config().Allocator; got != node.AllocLibc {
+		t.Fatalf("rank 0 allocator = %q, want libc", got)
+	}
+	if got := w.Node(1).Config().Allocator; got != node.AllocHuge {
+		t.Fatalf("rank 1 allocator = %q, want huge", got)
+	}
+	sts := w.NodeStats()
+	if len(sts) != 2 {
+		t.Fatalf("NodeStats returned %d snapshots, want 2", len(sts))
+	}
+	if sts[0].Allocator != "libc" || sts[1].Allocator != "huge" {
+		t.Fatalf("snapshot identities wrong: %q %q", sts[0].Allocator, sts[1].Allocator)
+	}
+}
+
+func TestPerRankHookErrorPropagates(t *testing.T) {
+	_, err := NewWorld(Config{
+		Machine: machine.Opteron(),
+		Ranks:   2,
+		PerRank: func(rank int, cfg node.Config) node.Config {
+			cfg.Allocator = "tcmalloc"
+			return cfg
+		},
+	})
+	if err == nil {
+		t.Fatal("per-rank config with an unknown allocator accepted")
+	}
+}
+
+func TestRankExposesItsNode(t *testing.T) {
+	w, err := NewWorld(Config{Machine: machine.Opteron(), Ranks: 2, Allocator: AllocHuge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		r := w.Rank(i)
+		n := r.Node()
+		if n != w.Node(i) {
+			t.Fatalf("rank %d node does not match World.Node", i)
+		}
+		// The rank's hot-path aliases must point into its own node.
+		if r.AS() != n.AS || r.Verbs() != n.Verbs || r.Cache() != n.Cache ||
+			r.Allocator() != n.Alloc || r.DTLB() != n.DTLB {
+			t.Fatalf("rank %d aliases diverge from its node", i)
+		}
+	}
+}

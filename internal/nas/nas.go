@@ -22,6 +22,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memmodel"
 	"repro/internal/mpi"
+	"repro/internal/node"
 	"repro/internal/papi"
 	"repro/internal/simtime"
 	"repro/internal/vm"
@@ -49,6 +50,8 @@ type Result struct {
 	Evictions int64         // registration-cache evictions
 	// MPIProfile is the rendered mpiP-style report of the whole job.
 	MPIProfile string
+	// Nodes is every rank's end-of-run host telemetry, in rank order.
+	Nodes []node.Stats
 }
 
 // maxPinnedPerRank bounds the registration cache like MVAPICH2's
@@ -57,19 +60,28 @@ type Result struct {
 // application runs (the "more effective memory registration" of §5.2).
 const maxPinnedPerRank = 2 << 20
 
-// RunKernel executes a kernel on a fresh world and collects the result.
+// RunKernel executes a kernel on a fresh world under the evaluation
+// default of the paper's Section 5.2 runs: lazy deregistration on and the
+// ATT driver patch applied, with the allocator as the variable.
 func RunKernel(m *machine.Machine, ranks int, ak mpi.AllocatorKind, k Kernel) (Result, error) {
-	cfg := mpi.Config{
+	return RunKernelConfig(mpi.Config{
 		Machine:   m,
 		Ranks:     ranks,
 		Allocator: ak,
 		LazyDereg: true,
 		HugeATT:   true,
-	}
+	}, k)
+}
+
+// RunKernelConfig executes a kernel under a full MPI configuration, so a
+// placement policy's every knob (allocator, lazy deregistration, huge
+// ATT, protocol limits) reaches the run.
+func RunKernelConfig(cfg mpi.Config, k Kernel) (Result, error) {
 	w, err := mpi.NewWorld(cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	ak := w.Config().Allocator
 	err = w.Run(func(r *mpi.Rank) error {
 		r.Cache().MaxPinned = maxPinnedPerRank
 		return k.Run(r)
@@ -97,6 +109,7 @@ func RunKernel(m *machine.Machine, ranks int, ak mpi.AllocatorKind, k Kernel) (R
 	res.Total = res.Comm + res.Compute
 	res.HugeBytes = w.Rank(0).Allocator().Stats().HugeBytes
 	res.MPIProfile = w.Profile().Report()
+	res.Nodes = w.NodeStats()
 	return res, nil
 }
 

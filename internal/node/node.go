@@ -1,0 +1,166 @@
+// Package node owns one simulated host: the machine description, its
+// physical memory, a process address space with DTLB, the verbs context
+// over the HCA, the allocation library, and the pin-down registration
+// cache. Every layer of the stack that previously hand-rolled this wiring
+// (the MPI world, the IMB and work-request benchmarks, the allocator
+// comparisons, the cmd/ tools) builds its hosts here, so the paper's
+// per-node cost structure — registration, ATT misses, TLB behaviour,
+// allocator ticks (DESIGN.md §3) — has a single owner and a single stats
+// surface (Stats).
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/machine"
+	"repro/internal/phys"
+	"repro/internal/regcache"
+	"repro/internal/tlb"
+	"repro/internal/verbs"
+	"repro/internal/vm"
+)
+
+// AllocatorKind selects the node's allocation library — the variable of
+// the whole experiment.
+type AllocatorKind string
+
+// Allocator kinds.
+const (
+	AllocLibc     AllocatorKind = "libc"
+	AllocHuge     AllocatorKind = "huge"
+	AllocMorecore AllocatorKind = "morecore"
+	AllocPageSep  AllocatorKind = "pagesep"
+)
+
+// Scramble depths. A long-running node's frame pool is physically
+// scattered; DefaultScramble reproduces that. NoScramble keeps frames in
+// allocation order (unit-test setups that predate the node layer).
+const (
+	DefaultScramble = 4096
+	NoScramble      = -1
+)
+
+// Config describes one simulated host.
+type Config struct {
+	Machine *machine.Machine
+	// Allocator is the allocation library preloaded into the node
+	// (empty means libc).
+	Allocator AllocatorKind
+	// LazyDereg enables the registration cache (Figure 5's two regimes).
+	LazyDereg bool
+	// HugeATT enables the OpenIB driver patch (2 MiB translations).
+	HugeATT bool
+	// ScrambleDepth warms the frame pool with this many scrambled
+	// frames; 0 takes DefaultScramble, NoScramble disables warming.
+	ScrambleDepth int
+	// HugeConfig overrides the hugepage library's design parameters for
+	// AllocHuge (nil takes alloc.DefaultHugeConfig); the §3 ablations.
+	HugeConfig *alloc.HugeConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Allocator == "" {
+		c.Allocator = AllocLibc
+	}
+	if c.ScrambleDepth == 0 {
+		c.ScrambleDepth = DefaultScramble
+	}
+	return c
+}
+
+// Validate rejects configurations New would refuse.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Machine == nil {
+		return fmt.Errorf("node: config needs a machine")
+	}
+	switch c.Allocator {
+	case AllocLibc, AllocHuge, AllocMorecore, AllocPageSep:
+	default:
+		return fmt.Errorf("node: unknown allocator %q", c.Allocator)
+	}
+	return nil
+}
+
+// Node is one simulated host.
+type Node struct {
+	cfg Config
+
+	// Mem is the node's physical memory (frame pools).
+	Mem *phys.Memory
+	// AS is the process address space over Mem.
+	AS *vm.AddressSpace
+	// DTLB is the core's data TLB (the memmodel charges through it).
+	DTLB *tlb.DTLB
+	// Verbs is the verbs context; Verbs.HW is the HCA.
+	Verbs *verbs.Context
+	// Alloc is the preloaded allocation library.
+	Alloc alloc.Allocator
+	// Cache is the pin-down registration cache over Verbs.
+	Cache *regcache.Cache
+}
+
+// New builds a host from a configuration. This is the single place the
+// stack is wired together: physical memory (warmed), address space, DTLB,
+// verbs context with the ATT patch flag, allocation library, registration
+// cache.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mem := phys.NewMemory(cfg.Machine)
+	if cfg.ScrambleDepth > 0 {
+		// Warm the frame pool so small-page buffers are physically
+		// scattered, as on a real long-running node.
+		mem.Scramble(cfg.ScrambleDepth)
+	}
+	as := vm.New(mem)
+	ctx := verbs.Open(cfg.Machine, as)
+	ctx.HugeATT = cfg.HugeATT
+	a, err := newAllocator(as, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:   cfg,
+		Mem:   mem,
+		AS:    as,
+		DTLB:  tlb.New(&cfg.Machine.CPU),
+		Verbs: ctx,
+		Alloc: a,
+		Cache: regcache.New(ctx, cfg.LazyDereg),
+	}, nil
+}
+
+// NewAllocator builds one of the four allocation-library models on an
+// existing address space — the one allocator-kind switch of the codebase.
+func NewAllocator(as *vm.AddressSpace, m *machine.Machine, kind AllocatorKind) (alloc.Allocator, error) {
+	return newAllocator(as, Config{Machine: m, Allocator: kind}.withDefaults())
+}
+
+func newAllocator(as *vm.AddressSpace, cfg Config) (alloc.Allocator, error) {
+	ticks := cfg.Machine.Mem.SyscallTicks
+	switch cfg.Allocator {
+	case AllocLibc:
+		return alloc.NewLibc(as, ticks), nil
+	case AllocHuge:
+		hc := alloc.DefaultHugeConfig()
+		if cfg.HugeConfig != nil {
+			hc = *cfg.HugeConfig
+		}
+		return alloc.NewHuge(as, ticks, hc)
+	case AllocMorecore:
+		return alloc.NewMorecore(as, ticks), nil
+	case AllocPageSep:
+		return alloc.NewPageSep(as, ticks), nil
+	}
+	return nil, fmt.Errorf("node: unknown allocator %q", cfg.Allocator)
+}
+
+// Config returns the node's configuration (defaults resolved).
+func (n *Node) Config() Config { return n.cfg }
+
+// Machine returns the node's machine description.
+func (n *Node) Machine() *machine.Machine { return n.cfg.Machine }

@@ -1,0 +1,24 @@
+// Package nodetest builds simulated hosts for the layer tests. Every
+// package under the node (alloc, vm, hca, verbs, regcache, workload)
+// gets its fixtures here instead of hand-rolling the
+// phys.NewMemory/vm.New/verbs.Open stack.
+package nodetest
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/node"
+)
+
+// New builds an idle host on m with an unscrambled frame pool — the
+// layer tests' historical setup, under which frames come out of the
+// pools in allocation order and physical layouts are easy to assert.
+func New(t testing.TB, m *machine.Machine) *node.Node {
+	t.Helper()
+	n, err := node.New(node.Config{Machine: m, ScrambleDepth: node.NoScramble})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

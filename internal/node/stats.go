@@ -1,0 +1,202 @@
+package node
+
+import (
+	"repro/internal/simtime"
+)
+
+// Stats is one snapshot of every layer's counters on a node — the single
+// telemetry surface of the simulated host. All fields are cumulative
+// since node construction, except the gauges noted. It marshals to JSON
+// for the -stats flags of the cmd/ tools.
+type Stats struct {
+	Machine   string `json:"machine"`
+	Allocator string `json:"allocator"`
+
+	TLB   TLBStats   `json:"tlb"`
+	HCA   HCAStats   `json:"hca"`
+	Reg   RegStats   `json:"reg"`
+	Cache CacheStats `json:"regcache"`
+	Alloc AllocStats `json:"alloc"`
+	Mem   MemStats   `json:"mem"`
+}
+
+// TLBStats is the data-TLB split by page size.
+type TLBStats struct {
+	Hits4K   int64 `json:"hits_4k"`
+	Misses4K int64 `json:"misses_4k"`
+	Hits2M   int64 `json:"hits_2m"`
+	Misses2M int64 `json:"misses_2m"`
+}
+
+// HCAStats covers the adapter: translation cache, work requests, and the
+// bytes its DMA engines moved over the IO bus.
+type HCAStats struct {
+	ATTHits      int64 `json:"att_hits"`
+	ATTMisses    int64 `json:"att_misses"`
+	MTTEntries   int64 `json:"mtt_entries"` // gauge: currently installed
+	PostedWRs    int64 `json:"posted_wrs"`
+	CQEs         int64 `json:"cqes"`
+	BytesGather  int64 `json:"bytes_gather"`
+	BytesScatter int64 `json:"bytes_scatter"`
+	BusBytes     int64 `json:"bus_bytes"` // gather + scatter
+}
+
+// RegStats covers verbs-level memory registration.
+type RegStats struct {
+	Registrations   int64         `json:"registrations"`
+	Deregistrations int64         `json:"deregistrations"`
+	RegTicks        simtime.Ticks `json:"reg_ticks"`
+	DeregTicks      simtime.Ticks `json:"dereg_ticks"`
+	PagesPinned     int64         `json:"pages_pinned"`
+}
+
+// CacheStats covers the pin-down registration cache.
+type CacheStats struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+	PinnedBytes int64 `json:"pinned_bytes"` // gauge
+	PeakPinned  int64 `json:"peak_pinned"`
+}
+
+// AllocStats covers the allocation library.
+type AllocStats struct {
+	Allocs     int64         `json:"allocs"`
+	Frees      int64         `json:"frees"`
+	Ticks      simtime.Ticks `json:"ticks"`
+	Syscalls   int64         `json:"syscalls"`
+	HugeBytes  int64         `json:"huge_bytes"`  // gauge
+	SmallBytes int64         `json:"small_bytes"` // gauge
+	LiveBytes  int64         `json:"live_bytes"`  // gauge
+	PeakLive   int64         `json:"peak_live"`
+}
+
+// MemStats covers physical memory and the address space: the
+// hugepage-pool usage behind the paper's "less available physical
+// memory" drawback.
+type MemStats struct {
+	HugePagesUsed int64 `json:"huge_pages_used"` // gauge
+	HugePagesPeak int64 `json:"huge_pages_peak"`
+	HugeFailures  int64 `json:"huge_failures"`
+	MappedSmall   int64 `json:"mapped_small"` // gauge
+	MappedHuge    int64 `json:"mapped_huge"`  // gauge
+	HugeFallbacks int64 `json:"huge_fallbacks"`
+}
+
+// Stats snapshots every layer of the node.
+func (n *Node) Stats() Stats {
+	small := n.DTLB.Small.Stats()
+	large := n.DTLB.Large.Stats()
+	hw := n.Verbs.HW.Stats()
+	reg := n.Verbs.Stats()
+	rc := n.Cache.Stats()
+	al := n.Alloc.Stats()
+	pm := n.Mem.Stats()
+	as := n.AS.Stats()
+	return Stats{
+		Machine:   n.cfg.Machine.Name,
+		Allocator: string(n.cfg.Allocator),
+		TLB: TLBStats{
+			Hits4K:   small.Hits,
+			Misses4K: small.Misses,
+			Hits2M:   large.Hits,
+			Misses2M: large.Misses,
+		},
+		HCA: HCAStats{
+			ATTHits:      hw.ATTHits,
+			ATTMisses:    hw.ATTMisses,
+			MTTEntries:   hw.MTTEntries,
+			PostedWRs:    hw.PostedWRs,
+			CQEs:         hw.CQEs,
+			BytesGather:  hw.BytesGather,
+			BytesScatter: hw.BytesScatter,
+			BusBytes:     hw.BytesGather + hw.BytesScatter,
+		},
+		Reg: RegStats{
+			Registrations:   reg.Registrations,
+			Deregistrations: reg.Deregistrations,
+			RegTicks:        reg.RegTicks,
+			DeregTicks:      reg.DeregTicks,
+			PagesPinned:     reg.PagesPinned,
+		},
+		Cache: CacheStats{
+			Hits:        rc.Hits,
+			Misses:      rc.Misses,
+			Evictions:   rc.Evictions,
+			PinnedBytes: rc.PinnedBytes,
+			PeakPinned:  rc.PeakPinned,
+		},
+		Alloc: AllocStats{
+			Allocs:     al.Allocs,
+			Frees:      al.Frees,
+			Ticks:      al.Ticks,
+			Syscalls:   al.Syscalls,
+			HugeBytes:  al.HugeBytes,
+			SmallBytes: al.SmallBytes,
+			LiveBytes:  al.LiveBytes,
+			PeakLive:   al.PeakLive,
+		},
+		Mem: MemStats{
+			HugePagesUsed: int64(pm.HugeAllocated),
+			HugePagesPeak: int64(pm.HugePeak),
+			HugeFailures:  pm.HugeFailures,
+			MappedSmall:   as.MappedSmall,
+			MappedHuge:    as.MappedHuge,
+			HugeFallbacks: as.HugeFallbacks,
+		},
+	}
+}
+
+// Add accumulates other's counters into s (gauges add too, which reads
+// as a cluster-wide total). The identity strings keep s's values.
+func (s *Stats) Add(other Stats) {
+	s.TLB.Hits4K += other.TLB.Hits4K
+	s.TLB.Misses4K += other.TLB.Misses4K
+	s.TLB.Hits2M += other.TLB.Hits2M
+	s.TLB.Misses2M += other.TLB.Misses2M
+	s.HCA.ATTHits += other.HCA.ATTHits
+	s.HCA.ATTMisses += other.HCA.ATTMisses
+	s.HCA.MTTEntries += other.HCA.MTTEntries
+	s.HCA.PostedWRs += other.HCA.PostedWRs
+	s.HCA.CQEs += other.HCA.CQEs
+	s.HCA.BytesGather += other.HCA.BytesGather
+	s.HCA.BytesScatter += other.HCA.BytesScatter
+	s.HCA.BusBytes += other.HCA.BusBytes
+	s.Reg.Registrations += other.Reg.Registrations
+	s.Reg.Deregistrations += other.Reg.Deregistrations
+	s.Reg.RegTicks += other.Reg.RegTicks
+	s.Reg.DeregTicks += other.Reg.DeregTicks
+	s.Reg.PagesPinned += other.Reg.PagesPinned
+	s.Cache.Hits += other.Cache.Hits
+	s.Cache.Misses += other.Cache.Misses
+	s.Cache.Evictions += other.Cache.Evictions
+	s.Cache.PinnedBytes += other.Cache.PinnedBytes
+	s.Cache.PeakPinned += other.Cache.PeakPinned
+	s.Alloc.Allocs += other.Alloc.Allocs
+	s.Alloc.Frees += other.Alloc.Frees
+	s.Alloc.Ticks += other.Alloc.Ticks
+	s.Alloc.Syscalls += other.Alloc.Syscalls
+	s.Alloc.HugeBytes += other.Alloc.HugeBytes
+	s.Alloc.SmallBytes += other.Alloc.SmallBytes
+	s.Alloc.LiveBytes += other.Alloc.LiveBytes
+	s.Alloc.PeakLive += other.Alloc.PeakLive
+	s.Mem.HugePagesUsed += other.Mem.HugePagesUsed
+	s.Mem.HugePagesPeak += other.Mem.HugePagesPeak
+	s.Mem.HugeFailures += other.Mem.HugeFailures
+	s.Mem.MappedSmall += other.Mem.MappedSmall
+	s.Mem.MappedHuge += other.Mem.MappedHuge
+	s.Mem.HugeFallbacks += other.Mem.HugeFallbacks
+}
+
+// Sum totals a set of per-node snapshots (empty input gives zero Stats).
+func Sum(all []Stats) Stats {
+	var out Stats
+	for i, s := range all {
+		if i == 0 {
+			out.Machine = s.Machine
+			out.Allocator = s.Allocator
+		}
+		out.Add(s)
+	}
+	return out
+}

@@ -1,23 +1,22 @@
-package regcache
+package regcache_test
 
 import (
 	"testing"
 
 	"repro/internal/machine"
-	"repro/internal/phys"
+	"repro/internal/node/nodetest"
+	"repro/internal/regcache"
 	"repro/internal/verbs"
-	"repro/internal/vm"
 )
 
 func ctx(t *testing.T) *verbs.Context {
 	t.Helper()
-	m := machine.Opteron()
-	return verbs.Open(m, vm.New(phys.NewMemory(m)))
+	return nodetest.New(t, machine.Opteron()).Verbs
 }
 
 func TestLazyReuseIsCheap(t *testing.T) {
 	c := ctx(t)
-	rc := New(c, true)
+	rc := regcache.New(c, true)
 	va, _ := c.AS.MapSmall(1 << 20)
 	_, first, err := rc.Acquire(va, 1<<20)
 	if err != nil {
@@ -44,7 +43,7 @@ func TestLazyReuseIsCheap(t *testing.T) {
 
 func TestContainmentHit(t *testing.T) {
 	c := ctx(t)
-	rc := New(c, true)
+	rc := regcache.New(c, true)
 	va, _ := c.AS.MapSmall(1 << 20)
 	if _, _, err := rc.Acquire(va, 1<<20); err != nil {
 		t.Fatal(err)
@@ -63,7 +62,7 @@ func TestContainmentHit(t *testing.T) {
 
 func TestEagerModeAlwaysRegisters(t *testing.T) {
 	c := ctx(t)
-	rc := New(c, false)
+	rc := regcache.New(c, false)
 	va, _ := c.AS.MapSmall(256 << 10)
 	for i := 0; i < 3; i++ {
 		mr, cost, err := rc.Acquire(va, 256<<10)
@@ -88,7 +87,7 @@ func TestEagerModeAlwaysRegisters(t *testing.T) {
 
 func TestEvictionBound(t *testing.T) {
 	c := ctx(t)
-	rc := New(c, true)
+	rc := regcache.New(c, true)
 	rc.MaxPinned = 3 << 20
 	for i := 0; i < 6; i++ {
 		va, err := c.AS.MapSmall(1 << 20)
@@ -114,7 +113,7 @@ func TestEvictionBound(t *testing.T) {
 
 func TestInvalidateOnFree(t *testing.T) {
 	c := ctx(t)
-	rc := New(c, true)
+	rc := regcache.New(c, true)
 	va, _ := c.AS.MapSmall(512 << 10)
 	mr, _, err := rc.Acquire(va, 512<<10)
 	if err != nil {
@@ -145,7 +144,7 @@ func TestInvalidateOnFree(t *testing.T) {
 
 func TestFlush(t *testing.T) {
 	c := ctx(t)
-	rc := New(c, true)
+	rc := regcache.New(c, true)
 	for i := 0; i < 4; i++ {
 		va, _ := c.AS.MapSmall(128 << 10)
 		if _, _, err := rc.Acquire(va, 128<<10); err != nil {
@@ -165,8 +164,8 @@ func TestFirstUsePaysFullRegistrationEvenWhenLazy(t *testing.T) {
 	// first use of a buffer results in a memory registration with an
 	// equal time consumption".
 	c := ctx(t)
-	eager := New(c, false)
-	lazy := New(c, true)
+	eager := regcache.New(c, false)
+	lazy := regcache.New(c, true)
 	va1, _ := c.AS.MapSmall(1 << 20)
 	va2, _ := c.AS.MapSmall(1 << 20)
 	mrE, costE, err := eager.Acquire(va1, 1<<20)
@@ -188,7 +187,7 @@ func TestFirstUsePaysFullRegistrationEvenWhenLazy(t *testing.T) {
 
 func TestInUseEntrySurvivesEvictionAndInvalidate(t *testing.T) {
 	c := ctx(t)
-	rc := New(c, true)
+	rc := regcache.New(c, true)
 	rc.MaxPinned = 1 << 20
 	va, _ := c.AS.MapSmall(1 << 20)
 	mr, _, err := rc.Acquire(va, 1<<20)
@@ -224,7 +223,7 @@ func TestInUseEntrySurvivesEvictionAndInvalidate(t *testing.T) {
 
 func TestAcquireRoundsToPages(t *testing.T) {
 	c := ctx(t)
-	rc := New(c, true)
+	rc := regcache.New(c, true)
 	va, _ := c.AS.MapSmall(64 << 10)
 	// Two slightly different byte lengths within the same pages must
 	// share one registration (the IS count-jitter case).

@@ -1,17 +1,17 @@
-package verbs
+package verbs_test
 
 import (
 	"testing"
 
 	"repro/internal/hca"
 	"repro/internal/machine"
-	"repro/internal/phys"
-	"repro/internal/vm"
+	"repro/internal/node/nodetest"
+	"repro/internal/verbs"
 )
 
-func ctx(t *testing.T, m *machine.Machine) *Context {
+func ctx(t *testing.T, m *machine.Machine) *verbs.Context {
 	t.Helper()
-	return Open(m, vm.New(phys.NewMemory(m)))
+	return nodetest.New(t, m).Verbs
 }
 
 func TestRegMRCostScalesWithPages(t *testing.T) {

@@ -1,4 +1,4 @@
-package vm
+package vm_test
 
 import (
 	"errors"
@@ -6,11 +6,12 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/phys"
+	"repro/internal/vm"
 )
 
 func TestForkSharesThenCopies(t *testing.T) {
-	mem := phys.NewMemory(machine.Opteron())
-	parent := New(mem)
+	n := testHost(t)
+	mem, parent := n.Mem, n.AS
 	va, err := parent.MapHuge(machine.HugePageSize)
 	if err != nil {
 		t.Fatal(err)
@@ -61,8 +62,8 @@ func TestForkSharesThenCopies(t *testing.T) {
 }
 
 func TestForkCopiesPinnedPagesEagerly(t *testing.T) {
-	mem := phys.NewMemory(machine.Opteron())
-	parent := New(mem)
+	n := testHost(t)
+	mem, parent := n.Mem, n.AS
 	va, _ := parent.MapHuge(machine.HugePageSize)
 	if _, err := parent.Pin(va, machine.HugePageSize); err != nil {
 		t.Fatal(err)
@@ -82,7 +83,7 @@ func TestForkCopiesPinnedPagesEagerly(t *testing.T) {
 	if string(buf) != "dma-data" {
 		t.Fatalf("pinned copy lost data: %q", buf)
 	}
-	if err := child.Unpin(va, machine.HugePageSize); !errors.Is(err, ErrNotPinned) {
+	if err := child.Unpin(va, machine.HugePageSize); !errors.Is(err, vm.ErrNotPinned) {
 		t.Fatal("child inherited pin state")
 	}
 }
@@ -93,8 +94,8 @@ func TestCoWReserveIsWhatSavesFork(t *testing.T) {
 	// down to the reserve, fork, write — the write must succeed by
 	// dipping into the reserve; without a reserve it must fail.
 	run := func(reserve int) error {
-		mem := phys.NewMemory(machine.Opteron())
-		as := New(mem)
+		n := testHost(t)
+		mem, as := n.Mem, n.AS
 		va, err := as.MapHuge(machine.HugePageSize)
 		if err != nil {
 			return err
@@ -123,8 +124,8 @@ func TestCoWReserveIsWhatSavesFork(t *testing.T) {
 func TestPinBreaksCoW(t *testing.T) {
 	// Registering memory after a fork must un-share it: DMA writes bypass
 	// page faults, so a shared page would corrupt the sibling.
-	mem := phys.NewMemory(machine.Opteron())
-	parent := New(mem)
+	n := testHost(t)
+	mem, parent := n.Mem, n.AS
 	va, _ := parent.MapHuge(machine.HugePageSize)
 	_ = parent.Write(va, []byte("shared"))
 	child, err := parent.Fork()
@@ -155,8 +156,7 @@ func TestPinBreaksCoW(t *testing.T) {
 }
 
 func TestForkPreservesSmallPages(t *testing.T) {
-	mem := phys.NewMemory(machine.Opteron())
-	parent := New(mem)
+	parent := testAS(t)
 	va, _ := parent.MapSmall(4 * machine.SmallPageSize)
 	_ = parent.Write(va+5000, []byte("hello"))
 	child, err := parent.Fork()

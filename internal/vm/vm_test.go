@@ -1,4 +1,4 @@
-package vm
+package vm_test
 
 import (
 	"errors"
@@ -6,12 +6,20 @@ import (
 	"testing/quick"
 
 	"repro/internal/machine"
+	"repro/internal/node"
+	"repro/internal/node/nodetest"
 	"repro/internal/phys"
+	"repro/internal/vm"
 )
 
-func testAS(t *testing.T) *AddressSpace {
+func testHost(t *testing.T) *node.Node {
 	t.Helper()
-	return New(phys.NewMemory(machine.Opteron()))
+	return nodetest.New(t, machine.Opteron())
+}
+
+func testAS(t *testing.T) *vm.AddressSpace {
+	t.Helper()
+	return testHost(t).AS
 }
 
 func TestMapSmallAndTranslate(t *testing.T) {
@@ -21,18 +29,18 @@ func TestMapSmallAndTranslate(t *testing.T) {
 		t.Fatal(err)
 	}
 	for off := uint64(0); off < 3*machine.SmallPageSize; off += 1234 {
-		pa, class, err := as.Translate(va + VA(off))
+		pa, class, err := as.Translate(va + vm.VA(off))
 		if err != nil {
 			t.Fatalf("translate +%d: %v", off, err)
 		}
-		if class != Small {
+		if class != vm.Small {
 			t.Fatalf("class = %v, want Small", class)
 		}
 		if uint64(pa)%machine.SmallPageSize != off%machine.SmallPageSize {
 			t.Fatalf("page offset not preserved at +%d", off)
 		}
 	}
-	if _, _, err := as.Translate(va + VA(4*machine.SmallPageSize)); !errors.Is(err, ErrUnmapped) {
+	if _, _, err := as.Translate(va + vm.VA(4*machine.SmallPageSize)); !errors.Is(err, vm.ErrUnmapped) {
 		t.Fatalf("translate past end: got %v, want ErrUnmapped", err)
 	}
 }
@@ -46,15 +54,15 @@ func TestMapHugeAlignmentAndContiguity(t *testing.T) {
 	if uint64(va)%machine.HugePageSize != 0 {
 		t.Fatalf("hugepage mapping at %#x not 2MiB-aligned", uint64(va))
 	}
-	if !IsHugeVA(va) {
+	if !vm.IsHugeVA(va) {
 		t.Fatal("hugepage VA not in huge window")
 	}
 	// Physical contiguity inside one hugepage.
 	pa0, class, err := as.Translate(va)
-	if err != nil || class != Huge {
+	if err != nil || class != vm.Huge {
 		t.Fatalf("translate: %v %v", class, err)
 	}
-	paMid, _, err := as.Translate(va + VA(machine.HugePageSize/2))
+	paMid, _, err := as.Translate(va + vm.VA(machine.HugePageSize/2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +81,7 @@ func TestSbrkGrowsHeap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if b != a+VA(machine.SmallPageSize) {
+	if b != a+vm.VA(machine.SmallPageSize) {
 		t.Fatalf("heap not contiguous: %#x then %#x", uint64(a), uint64(b))
 	}
 }
@@ -90,7 +98,7 @@ func TestPagesEnumeration(t *testing.T) {
 		t.Fatalf("got %d pages, want 3", len(pages))
 	}
 	for i := 1; i < len(pages); i++ {
-		if pages[i].VA != pages[i-1].VA+VA(machine.SmallPageSize) {
+		if pages[i].VA != pages[i-1].VA+vm.VA(machine.SmallPageSize) {
 			t.Fatal("pages not in order")
 		}
 	}
@@ -111,7 +119,7 @@ func TestPinBlocksUnmap(t *testing.T) {
 	if _, err := as.Pin(va, 4*machine.SmallPageSize); err != nil {
 		t.Fatal(err)
 	}
-	if err := as.Unmap(va, 4*machine.SmallPageSize); !errors.Is(err, ErrPinnedUnmap) {
+	if err := as.Unmap(va, 4*machine.SmallPageSize); !errors.Is(err, vm.ErrPinnedUnmap) {
 		t.Fatalf("unmap pinned: got %v, want ErrPinnedUnmap", err)
 	}
 	if err := as.Unpin(va, 4*machine.SmallPageSize); err != nil {
@@ -120,7 +128,7 @@ func TestPinBlocksUnmap(t *testing.T) {
 	if err := as.Unmap(va, 4*machine.SmallPageSize); err != nil {
 		t.Fatalf("unmap after unpin: %v", err)
 	}
-	if _, _, err := as.Translate(va); !errors.Is(err, ErrUnmapped) {
+	if _, _, err := as.Translate(va); !errors.Is(err, vm.ErrUnmapped) {
 		t.Fatal("pages survive unmap")
 	}
 }
@@ -128,14 +136,14 @@ func TestPinBlocksUnmap(t *testing.T) {
 func TestUnpinWithoutPin(t *testing.T) {
 	as := testAS(t)
 	va, _ := as.MapSmall(machine.SmallPageSize)
-	if err := as.Unpin(va, machine.SmallPageSize); !errors.Is(err, ErrNotPinned) {
+	if err := as.Unpin(va, machine.SmallPageSize); !errors.Is(err, vm.ErrNotPinned) {
 		t.Fatalf("got %v, want ErrNotPinned", err)
 	}
 }
 
 func TestMapHugeOrSmallFallback(t *testing.T) {
-	mem := phys.NewMemory(machine.Opteron())
-	as := New(mem)
+	n := testHost(t)
+	mem, as := n.Mem, n.AS
 	mem.Reserve(mem.HugeTotal()) // pool fully reserved -> force fallback
 	va, huge, err := as.MapHugeOrSmall(machine.HugePageSize)
 	if err != nil {
@@ -144,7 +152,7 @@ func TestMapHugeOrSmallFallback(t *testing.T) {
 	if huge {
 		t.Fatal("expected small-page fallback")
 	}
-	if IsHugeVA(va) {
+	if vm.IsHugeVA(va) {
 		t.Fatal("fallback mapping landed in huge window")
 	}
 	if as.Stats().HugeFallbacks != 1 {
@@ -158,8 +166,8 @@ func TestMapHugeOrSmallFallback(t *testing.T) {
 }
 
 func TestUnmapReleasesHugepagesToPool(t *testing.T) {
-	mem := phys.NewMemory(machine.Opteron())
-	as := New(mem)
+	n := testHost(t)
+	mem, as := n.Mem, n.AS
 	before := mem.HugeAvailable()
 	va, err := as.MapHuge(4 * machine.HugePageSize)
 	if err != nil {
@@ -218,11 +226,11 @@ func TestQuickReadWriteIdentity(t *testing.T) {
 		for i := range in {
 			in[i] = seed + byte(i)
 		}
-		if err := as.Write(base+VA(o), in); err != nil {
+		if err := as.Write(base+vm.VA(o), in); err != nil {
 			return false
 		}
 		out := make([]byte, l)
-		if err := as.Read(base+VA(o), out); err != nil {
+		if err := as.Read(base+vm.VA(o), out); err != nil {
 			return false
 		}
 		for i := range in {
@@ -245,10 +253,10 @@ func TestQuickPinUnpinBalance(t *testing.T) {
 	f := func(off uint16, n uint16) bool {
 		o := uint64(off) % (31 * machine.SmallPageSize)
 		l := uint64(n)%machine.SmallPageSize + 1
-		if _, err := as.Pin(va+VA(o), l); err != nil {
+		if _, err := as.Pin(va+vm.VA(o), l); err != nil {
 			return false
 		}
-		return as.Unpin(va+VA(o), l) == nil
+		return as.Unpin(va+vm.VA(o), l) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
@@ -281,7 +289,7 @@ func TestRegionsView(t *testing.T) {
 
 func TestUnmapUnknownRegion(t *testing.T) {
 	as := testAS(t)
-	if err := as.Unmap(0xdead000, 4096); !errors.Is(err, ErrBadUnmap) {
+	if err := as.Unmap(0xdead000, 4096); !errors.Is(err, vm.ErrBadUnmap) {
 		t.Fatalf("got %v, want ErrBadUnmap", err)
 	}
 }

@@ -5,12 +5,13 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/machine"
-	"repro/internal/phys"
+	"repro/internal/node/nodetest"
 	"repro/internal/vm"
 )
 
-func newAS() *vm.AddressSpace {
-	return vm.New(phys.NewMemory(machine.SystemP()))
+func newAS(t testing.TB) *vm.AddressSpace {
+	t.Helper()
+	return nodetest.New(t, machine.SystemP()).AS
 }
 
 func TestAbinitTraceShape(t *testing.T) {
@@ -58,12 +59,12 @@ func TestAbinitAllocationSpeedup(t *testing.T) {
 	// reports the exact figure.
 	ops, slots := AbinitTrace(DefaultAbinitParams())
 
-	libc := alloc.NewLibc(newAS(), 1300)
+	libc := alloc.NewLibc(newAS(t), 1300)
 	rl, err := alloc.Replay(libc, ops, slots)
 	if err != nil {
 		t.Fatal(err)
 	}
-	huge, err := alloc.NewHuge(newAS(), 1300, alloc.DefaultHugeConfig())
+	huge, err := alloc.NewHuge(newAS(t), 1300, alloc.DefaultHugeConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,15 +85,15 @@ func TestAbinitAllocationSpeedup(t *testing.T) {
 func TestMixedTraceRunsOnAllAllocators(t *testing.T) {
 	ops, slots := MixedTrace(DefaultMixedParams())
 	for _, mk := range []func() alloc.Allocator{
-		func() alloc.Allocator { return alloc.NewLibc(newAS(), 1300) },
+		func() alloc.Allocator { return alloc.NewLibc(newAS(t), 1300) },
 		func() alloc.Allocator {
-			h, err := alloc.NewHuge(newAS(), 1300, alloc.DefaultHugeConfig())
+			h, err := alloc.NewHuge(newAS(t), 1300, alloc.DefaultHugeConfig())
 			if err != nil {
 				t.Fatal(err)
 			}
 			return h
 		},
-		func() alloc.Allocator { return alloc.NewMorecore(newAS(), 1300) },
+		func() alloc.Allocator { return alloc.NewMorecore(newAS(t), 1300) },
 	} {
 		a := mk()
 		res, err := alloc.Replay(a, ops, slots)

@@ -18,7 +18,7 @@ import (
 
 	"repro/internal/hca"
 	"repro/internal/machine"
-	"repro/internal/phys"
+	"repro/internal/node"
 	"repro/internal/simtime"
 	"repro/internal/verbs"
 	"repro/internal/vm"
@@ -58,11 +58,14 @@ type rig struct {
 func newRig(m *machine.Machine, maxSGEs int) (*rig, error) {
 	span := uint64(maxSGEs+1) * machine.SmallPageSize * 2
 	mk := func() (*verbs.Context, vm.VA, *verbs.MR, error) {
-		mem := phys.NewMemory(m)
-		mem.Scramble(2048)
-		as := vm.New(mem)
-		ctx := verbs.Open(m, as)
-		va, err := as.MapSmall(span)
+		// The Section 4 rig's hosts are less aged than a long-running MPI
+		// node; half the default scramble depth matches the seed setup.
+		n, err := node.New(node.Config{Machine: m, ScrambleDepth: node.DefaultScramble / 2})
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		ctx := n.Verbs
+		va, err := n.AS.MapSmall(span)
 		if err != nil {
 			return nil, 0, nil, err
 		}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/nas"
+	"repro/internal/node"
 	"repro/internal/simtime"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -58,6 +59,13 @@ type (
 	Piece = mpi.Piece
 	// Allocator is the malloc/free model interface.
 	Allocator = alloc.Allocator
+	// Node is one simulated host (machine + memory + HCA + allocator).
+	Node = node.Node
+	// NodeConfig configures a standalone Node.
+	NodeConfig = node.Config
+	// NodeStats is one host's aggregated telemetry snapshot; every Rank
+	// of a Cluster exposes it through Rank.NodeStats().
+	NodeStats = node.Stats
 	// NASResult is the outcome of one NAS kernel run.
 	NASResult = nas.Result
 	// Fig6Row is one benchmark's improvement split.
@@ -145,13 +153,15 @@ func NASKernels() []nas.Kernel { return nas.All() }
 // NASKernel resolves a kernel by name.
 func NASKernel(name string) nas.Kernel { return nas.ByName(name) }
 
-// RunNAS runs one kernel on a machine under a placement strategy.
+// RunNAS runs one kernel under the full placement strategy: allocator,
+// lazy deregistration AND the ATT driver patch all follow the policy
+// (earlier versions dropped everything but the allocator choice).
 func RunNAS(m *Machine, ranks int, s Strategy, k nas.Kernel) (NASResult, error) {
-	ak := mpi.AllocLibc
-	if s.UseHugepages {
-		ak = mpi.AllocHuge
+	s.Machine = m
+	if err := s.Validate(); err != nil {
+		return NASResult{}, err
 	}
-	return nas.RunKernel(m, ranks, ak, k)
+	return nas.RunKernelConfig(s.MPIConfig(ranks), k)
 }
 
 // Fig6 reproduces the NAS improvement split on a machine.
@@ -186,24 +196,25 @@ func AbinitComparison(m *Machine) (libc, huge Ticks, err error) {
 	return rl.AllocTime, rh.AllocTime, nil
 }
 
+// NewNode builds one standalone simulated host (for experiments outside
+// a Cluster); its NodeStats method is the telemetry snapshot.
+func NewNode(cfg NodeConfig) (*Node, error) { return node.New(cfg) }
+
+// SumNodeStats totals per-node telemetry snapshots (e.g. from
+// Cluster.NodeStats) into one cluster-wide record; the identity fields
+// are taken from the first snapshot.
+func SumNodeStats(sts []NodeStats) NodeStats { return node.Sum(sts) }
+
 // NewAllocator builds one of the four allocation-library models
 // ("libc", "huge", "morecore", "pagesep") on a fresh simulated node.
 func NewAllocator(m *Machine, kind string) (Allocator, error) {
-	return newAllocator(m, mpi.AllocatorKind(kind))
+	return newAllocator(m, node.AllocatorKind(kind))
 }
 
-func newAllocator(m *Machine, kind mpi.AllocatorKind) (Allocator, error) {
-	mem := newNodeMemory(m)
-	as := vm.New(mem)
-	switch kind {
-	case mpi.AllocLibc:
-		return alloc.NewLibc(as, m.Mem.SyscallTicks), nil
-	case mpi.AllocHuge:
-		return alloc.NewHuge(as, m.Mem.SyscallTicks, alloc.DefaultHugeConfig())
-	case mpi.AllocMorecore:
-		return alloc.NewMorecore(as, m.Mem.SyscallTicks), nil
-	case mpi.AllocPageSep:
-		return alloc.NewPageSep(as, m.Mem.SyscallTicks), nil
+func newAllocator(m *Machine, kind node.AllocatorKind) (Allocator, error) {
+	n, err := node.New(node.Config{Machine: m, Allocator: kind})
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
 	}
-	return nil, fmt.Errorf("repro: unknown allocator kind %q", kind)
+	return n.Alloc, nil
 }

@@ -98,6 +98,63 @@ func TestRunNASThroughPublicAPI(t *testing.T) {
 	}
 }
 
+func TestClusterNodeStatsTelemetry(t *testing.T) {
+	// A small Figure 5-style exchange under the recommended placement must
+	// leave per-node telemetry behind: TLB walks from the buffer fills,
+	// registration-cache traffic from the rendezvous transfers.
+	c, err := NewCluster(Recommended(Opteron()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 4 << 20
+	err = c.Run(func(r *Rank) error {
+		va, err := r.Malloc(size)
+		if err != nil {
+			return err
+		}
+		fill := make([]byte, size)
+		for i := 0; i < 2; i++ {
+			if err := r.WriteBytes(va, fill); err != nil {
+				return err
+			}
+			if r.ID() == 0 {
+				if err := r.Send(1, 9, va, size); err != nil {
+					return err
+				}
+			} else if _, err := r.Recv(0, 9, va, size); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Size(); i++ {
+		st := c.Rank(i).NodeStats()
+		if st.Machine != Opteron().Name || st.Allocator != "huge" {
+			t.Fatalf("rank %d identity wrong: %q %q", i, st.Machine, st.Allocator)
+		}
+		if st.TLB.Hits2M+st.TLB.Misses2M+st.TLB.Hits4K+st.TLB.Misses4K == 0 {
+			t.Fatalf("rank %d: no TLB telemetry after buffer fills", i)
+		}
+		if st.Cache.Hits+st.Cache.Misses == 0 {
+			t.Fatalf("rank %d: registration cache never consulted", i)
+		}
+		if st.Reg.Registrations == 0 || st.HCA.BusBytes == 0 {
+			t.Fatalf("rank %d: transfer left no registration/DMA telemetry: %+v", i, st)
+		}
+	}
+	sts := c.NodeStats()
+	if len(sts) != 2 {
+		t.Fatalf("Cluster.NodeStats returned %d snapshots, want 2", len(sts))
+	}
+	total := SumNodeStats(sts)
+	if total.Reg.Registrations != sts[0].Reg.Registrations+sts[1].Reg.Registrations {
+		t.Fatalf("SumNodeStats did not total registrations: %+v", total)
+	}
+}
+
 func TestNewAllocatorKinds(t *testing.T) {
 	for _, kind := range []string{"libc", "huge", "morecore", "pagesep"} {
 		a, err := NewAllocator(Opteron(), kind)
