@@ -10,27 +10,35 @@ import (
 	"os"
 
 	"repro/internal/alloc"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/node"
 	"repro/internal/workload"
 )
 
-// newAlloc builds one allocation library on a fresh simulated host.
-func newAlloc(m *machine.Machine, kind node.AllocatorKind, hc *alloc.HugeConfig) (alloc.Allocator, error) {
-	n, err := node.New(node.Config{Machine: m, Allocator: kind, HugeConfig: hc})
-	if err != nil {
-		return nil, err
-	}
-	return n.Alloc, nil
+// newNode builds a fresh simulated host carrying one allocation library.
+// The salt decorrelates fault schedules across the libraries compared.
+func newNode(m *machine.Machine, kind node.AllocatorKind, hc *alloc.HugeConfig, spec *faults.Spec, salt uint64) (*node.Node, error) {
+	return node.New(node.Config{
+		Machine: m, Allocator: kind, HugeConfig: hc,
+		Faults: spec, FaultSalt: salt,
+	})
 }
 
 func main() {
 	mach := flag.String("machine", "opteron", "machine (opteron|xeon|systemp)")
 	ablate := flag.Bool("ablate", false, "run the hugepage-library design ablations instead")
+	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
+	stats := flag.Bool("stats", false, "emit per-node telemetry as JSON instead of the table")
 	flag.Parse()
 	m := machine.ByName(*mach)
 	if m == nil {
 		fmt.Fprintf(os.Stderr, "allocbench: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+	spec, err := faults.ParseSpec(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
 		os.Exit(1)
 	}
 	ops, slots := workload.AbinitTrace(workload.DefaultAbinitParams())
@@ -51,12 +59,12 @@ func main() {
 		for i, v := range variants {
 			cfg := alloc.DefaultHugeConfig()
 			v.mutate(&cfg)
-			a, err := newAlloc(m, node.AllocHuge, &cfg)
+			n, err := newNode(m, node.AllocHuge, &cfg, spec, uint64(i))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
 				os.Exit(1)
 			}
-			res, err := alloc.Replay(a, ops, slots)
+			res, err := alloc.Replay(n.Alloc, ops, slots)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "allocbench: %s: %v\n", v.name, err)
 				os.Exit(1)
@@ -70,8 +78,6 @@ func main() {
 		return
 	}
 
-	fmt.Printf("allocator comparison on the Abinit-style trace (%s, %d ops)\n", m.Name, len(ops))
-	fmt.Printf("%-26s %14s %10s %12s %12s\n", "library", "alloc time", "speedup", "syscalls", "peak huge MB")
 	mk := []struct {
 		name string
 		kind node.AllocatorKind
@@ -81,24 +87,62 @@ func main() {
 		{"libhugetlbfs-morecore", node.AllocMorecore},
 		{"libhugepagealloc", node.AllocPageSep},
 	}
-	var libcTime float64
+	type row struct {
+		name string
+		res  alloc.ReplayResult
+		st   node.Stats
+	}
+	rows := make([]row, 0, len(mk))
 	for i, entry := range mk {
-		a, err := newAlloc(m, entry.kind, nil)
+		n, err := newNode(m, entry.kind, nil, spec, uint64(i))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
 			os.Exit(1)
 		}
-		res, err := alloc.Replay(a, ops, slots)
+		res, err := alloc.Replay(n.Alloc, ops, slots)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "allocbench: %s: %v\n", entry.name, err)
 			os.Exit(1)
 		}
-		if i == 0 {
-			libcTime = float64(res.AllocTime)
+		rows = append(rows, row{name: entry.name, res: res, st: n.Stats()})
+	}
+
+	if *stats {
+		reports := make([]node.Report, 0, len(rows)+1)
+		for _, r := range rows {
+			reports = append(reports, node.NewReport(
+				"allocbench", "abinit/"+r.name, m.Name, spec.String(), []node.Stats{r.st}))
 		}
-		fmt.Printf("%-26s %14v %9.1fx %12d %12.1f\n", entry.name, res.AllocTime,
-			libcTime/float64(res.AllocTime), res.Stats.Syscalls,
-			float64(res.Stats.PeakLive)/float64(1<<20))
+		// The trace never registers memory, so drive a probe host through
+		// the full allocate/register path to surface memlock recoveries.
+		probe, err := node.New(node.Config{
+			Machine: m, Allocator: node.AllocHuge, LazyDereg: true,
+			Faults: spec, FaultSalt: uint64(len(rows)),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "allocbench: probe host: %v\n", err)
+			os.Exit(1)
+		}
+		if err := probe.DegradationProbe(); err != nil {
+			fmt.Fprintf(os.Stderr, "allocbench: degradation probe: %v\n", err)
+			os.Exit(1)
+		}
+		reports = append(reports, node.NewReport(
+			"allocbench", "degradation-probe", m.Name, spec.String(), []node.Stats{probe.Stats()}))
+		if err := node.WriteReports(os.Stdout, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("allocator comparison on the Abinit-style trace (%s, %d ops)\n", m.Name, len(ops))
+	fmt.Printf("%-26s %14s %10s %12s %12s\n", "library", "alloc time", "speedup", "syscalls", "peak huge MB")
+	libcTime := float64(rows[0].res.AllocTime)
+	for _, r := range rows {
+		fmt.Printf("%-26s %14v %9.1fx %12d %12.1f\n", r.name, r.res.AllocTime,
+			libcTime/float64(r.res.AllocTime), r.res.Stats.Syscalls,
+			float64(r.res.Stats.PeakLive)/float64(1<<20))
 	}
 	fmt.Println("\nnote: libhugepagealloc is additionally not thread safe (modelled; see DESIGN.md)")
 }

@@ -5,16 +5,21 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"repro/internal/faults"
 	"repro/internal/imb"
 	"repro/internal/machine"
 	"repro/internal/mpi"
+	"repro/internal/node"
 )
+
+// spec is the parsed -faults configuration, shared by every mode (nil
+// when the flag is absent).
+var spec *faults.Spec
 
 func main() {
 	mach := flag.String("machine", "opteron", "machine (opteron|xeon|systemp)")
@@ -23,11 +28,17 @@ func main() {
 	pingpong := flag.Bool("pingpong", false, "run the IMB PingPong latency test instead of Figure 5")
 	exchange := flag.Bool("exchange", false, "run the IMB Exchange test instead of Figure 5")
 	stats := flag.Bool("stats", false, "run a short SendRecv ladder and emit per-node telemetry as JSON")
+	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
 	flag.Parse()
 
 	m := machine.ByName(*mach)
 	if m == nil {
 		fmt.Fprintf(os.Stderr, "imbbench: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+	var err error
+	if spec, err = faults.ParseSpec(*faultsFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
 		os.Exit(1)
 	}
 	switch {
@@ -52,14 +63,14 @@ func runStats(m *machine.Machine) {
 	_, nodes, err := imb.SendRecvNodeStats(mpi.Config{
 		Machine: m, Ranks: 2,
 		Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: m.HCA.SupportsHugeATT,
+		Faults: spec,
 	}, []int{64 << 10, 1 << 20, 4 << 20})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(nodes); err != nil {
+	rep := node.NewReport("imbbench", "sendrecv", m.Name, spec.String(), nodes)
+	if err := node.WriteReports(os.Stdout, []node.Report{rep}); err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -69,6 +80,7 @@ func runPingPong(m *machine.Machine) {
 	sizes := []int{0, 1, 64, 1024, 8 << 10, 64 << 10, 1 << 20}
 	rs, err := imb.PingPong(mpi.Config{
 		Machine: m, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
+		Faults: spec,
 	}, sizes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
@@ -84,6 +96,7 @@ func runExchange(m *machine.Machine) {
 	sizes := []int{4 << 10, 64 << 10, 1 << 20}
 	rs, err := imb.Exchange(mpi.Config{
 		Machine: m, Ranks: 4, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
+		Faults: spec,
 	}, sizes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
@@ -97,7 +110,7 @@ func runExchange(m *machine.Machine) {
 
 func runFig5(m *machine.Machine) {
 	sizes := imb.DefaultSizes()
-	curves, err := imb.RunFig5(m, sizes)
+	curves, err := imb.RunFig5Faults(m, sizes, spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
 		os.Exit(1)
@@ -129,6 +142,7 @@ func runATT(m *machine.Machine) {
 		rs, err := imb.SendRecv(mpi.Config{
 			Machine: m, Ranks: 2,
 			Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: patched,
+			Faults: spec,
 		}, sizes)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
@@ -150,7 +164,7 @@ func runReg(m *machine.Machine) {
 		sizes = append(sizes, s)
 	}
 	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
-	rows, err := imb.RegistrationSweep(m, sizes)
+	rows, err := imb.RegistrationSweepFaults(m, sizes, spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
 		os.Exit(1)

@@ -4,25 +4,16 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/nas"
 	"repro/internal/node"
 )
-
-// kernelStats is one JSON record of the -stats output: the per-node
-// telemetry of one kernel run under one allocator.
-type kernelStats struct {
-	Machine   string       `json:"machine"`
-	Kernel    string       `json:"kernel"`
-	Allocator string       `json:"allocator"`
-	Nodes     []node.Stats `json:"nodes"`
-}
 
 func main() {
 	machines := flag.String("machines", "opteron,systemp", "comma-separated machine list")
@@ -31,8 +22,14 @@ func main() {
 	counters := flag.Bool("counters", false, "print absolute PAPI TLB counters per kernel")
 	profile := flag.Bool("profile", false, "print the mpiP-style per-callsite profile of each hugepage run")
 	stats := flag.Bool("stats", false, "emit per-node telemetry of every run as JSON instead of the tables")
+	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
 	flag.Parse()
 
+	spec, err := faults.ParseSpec(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
+		os.Exit(1)
+	}
 	var ks []nas.Kernel
 	if *kernels != "" {
 		for _, n := range strings.Split(*kernels, ",") {
@@ -44,14 +41,14 @@ func main() {
 			ks = append(ks, k)
 		}
 	}
-	var allStats []kernelStats
+	var reports []node.Report
 	for _, name := range strings.Split(*machines, ",") {
 		m := machine.ByName(strings.TrimSpace(name))
 		if m == nil {
 			fmt.Fprintf(os.Stderr, "nasbench: unknown machine %q\n", name)
 			os.Exit(1)
 		}
-		rows, err := nas.RunFig6(m, *ranks, ks)
+		rows, err := nas.RunFig6Faults(m, *ranks, ks, spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
 			os.Exit(1)
@@ -59,12 +56,9 @@ func main() {
 		if *stats {
 			for _, r := range rows {
 				for _, res := range []nas.Result{r.Small, r.Huge} {
-					allStats = append(allStats, kernelStats{
-						Machine:   m.Name,
-						Kernel:    res.Kernel,
-						Allocator: string(res.Allocator),
-						Nodes:     res.Nodes,
-					})
+					reports = append(reports, node.NewReport(
+						"nasbench", res.Kernel+"/"+string(res.Allocator),
+						m.Name, spec.String(), res.Nodes))
 				}
 			}
 			continue
@@ -87,9 +81,7 @@ func main() {
 		fmt.Println()
 	}
 	if *stats {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(allStats); err != nil {
+		if err := node.WriteReports(os.Stdout, reports); err != nil {
 			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -8,24 +8,41 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/node"
 	"repro/internal/wrbench"
 )
 
 func main() {
 	mach := flag.String("machine", "systemp", "machine (opteron|xeon|systemp)")
+	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
+	stats := flag.Bool("stats", false, "emit per-node telemetry as JSON instead of the table")
 	flag.Parse()
 	m := machine.ByName(*mach)
 	if m == nil {
 		fmt.Fprintf(os.Stderr, "offsetbench: unknown machine %q\n", *mach)
 		os.Exit(1)
 	}
-	sizes := []int{8, 16, 32, 64}
-	offsets := wrbench.DefaultOffsets()
-	results, err := wrbench.OffsetSweep(m, offsets, sizes)
+	spec, err := faults.ParseSpec(*faultsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
 		os.Exit(1)
+	}
+	sizes := []int{8, 16, 32, 64}
+	offsets := wrbench.DefaultOffsets()
+	results, nodes, err := wrbench.OffsetSweepNodeStats(m, offsets, sizes, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
+		os.Exit(1)
+	}
+	if *stats {
+		rep := node.NewReport("offsetbench", "offset-sweep", m.Name, spec.String(), nodes)
+		if err := node.WriteReports(os.Stdout, []node.Report{rep}); err != nil {
+			fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("work request execution time with different offsets (%s)\n", m.Name)
 	fmt.Printf("%-8s", "offset")

@@ -4,17 +4,18 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro"
+	"repro/internal/faults"
 	"repro/internal/imb"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/nas"
+	"repro/internal/node"
 	"repro/internal/wrbench"
 )
 
@@ -23,29 +24,41 @@ func fail(err error) {
 	os.Exit(1)
 }
 
+// spec is the parsed -faults configuration, applied to every run the
+// tool performs (nil when the flag is absent).
+var spec *faults.Spec
+
 // runStats runs a small Figure 5 cell under the paper's recommended
 // placement and emits every rank's host telemetry as JSON — the
-// machine-readable per-node perf snapshot behind -stats.
+// machine-readable per-node perf snapshot behind -stats, in the shared
+// []node.Report schema.
 func runStats(w io.Writer) error {
+	m := machine.Opteron()
 	_, nodes, err := imb.SendRecvNodeStats(mpi.Config{
-		Machine:   machine.Opteron(),
+		Machine:   m,
 		Ranks:     2,
 		Allocator: mpi.AllocHuge,
 		LazyDereg: true,
 		HugeATT:   true,
+		Faults:    spec,
 	}, []int{64 << 10, 1 << 20})
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(nodes)
+	rep := node.NewReport("repro", "sendrecv", m.Name, spec.String(), nodes)
+	return node.WriteReports(w, []node.Report{rep})
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "skip the slow NAS runs")
 	stats := flag.Bool("stats", false, "emit per-node telemetry of a small Figure 5 run as JSON and exit")
+	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
 	flag.Parse()
+
+	var err error
+	if spec, err = faults.ParseSpec(*faultsFlag); err != nil {
+		fail(err)
+	}
 
 	if *stats {
 		if err := runStats(os.Stdout); err != nil {
@@ -56,7 +69,7 @@ func main() {
 
 	fmt.Println("=== E1 (Figure 3): work-request duration by SGE count (IBM System p, TBR ticks) ===")
 	sysp := machine.SystemP()
-	rs, err := wrbench.SGESweep(sysp, []int{1, 2, 4, 8, 128}, []int{1, 64, 128, 512, 4096})
+	rs, _, err := wrbench.SGESweepNodeStats(sysp, []int{1, 2, 4, 8, 128}, []int{1, 64, 128, 512, 4096}, spec)
 	if err != nil {
 		fail(err)
 	}
@@ -72,7 +85,7 @@ func main() {
 		float64(p128.PostTicks)/float64(p1.PostTicks))
 
 	fmt.Println("=== E2 (Figure 4): work-request duration by buffer offset (IBM System p) ===")
-	or, err := wrbench.OffsetSweep(sysp, []int{0, 16, 32, 48, 64, 80, 96, 128}, []int{8, 64})
+	or, _, err := wrbench.OffsetSweepNodeStats(sysp, []int{0, 16, 32, 48, 64, 80, 96, 128}, []int{8, 64}, spec)
 	if err != nil {
 		fail(err)
 	}
@@ -96,7 +109,7 @@ func main() {
 
 	fmt.Println("=== E3 (Figure 5): IMB SendRecv bandwidth, AMD Opteron (MB/s) ===")
 	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
-	curves, err := imb.RunFig5(machine.Opteron(), sizes)
+	curves, err := imb.RunFig5Faults(machine.Opteron(), sizes, spec)
 	if err != nil {
 		fail(err)
 	}
@@ -120,6 +133,7 @@ func main() {
 		r, err := imb.SendRecv(mpi.Config{
 			Machine: machine.Xeon(), Ranks: 2,
 			Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: patched,
+			Faults: spec,
 		}, []int{4 << 20})
 		if err != nil {
 			fail(err)
@@ -131,7 +145,7 @@ func main() {
 	fmt.Println()
 
 	fmt.Println("=== E9: registration cost by page size (AMD Opteron) ===")
-	regs, err := imb.RegistrationSweep(machine.Opteron(), []uint64{2 << 20, 8 << 20, 32 << 20})
+	regs, err := imb.RegistrationSweepFaults(machine.Opteron(), []uint64{2 << 20, 8 << 20, 32 << 20}, spec)
 	if err != nil {
 		fail(err)
 	}
@@ -158,7 +172,7 @@ func main() {
 	}
 	fmt.Println("=== E5-E6 (Figure 6 + PAPI): NAS benchmarks, 8 ranks ===")
 	for _, m := range []*machine.Machine{machine.Opteron(), machine.SystemP()} {
-		rows, err := nas.RunFig6(m, 8, nil)
+		rows, err := nas.RunFig6Faults(m, 8, nil, spec)
 		if err != nil {
 			fail(err)
 		}

@@ -13,14 +13,24 @@ func TestRunStatsEmitsValidJSON(t *testing.T) {
 	if err := runStats(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var nodes []node.Stats
-	if err := json.Unmarshal(buf.Bytes(), &nodes); err != nil {
-		t.Fatalf("-stats output is not a JSON node.Stats list: %v", err)
+	var reports []node.Report
+	if err := json.Unmarshal(buf.Bytes(), &reports); err != nil {
+		t.Fatalf("-stats output is not a JSON node.Report list: %v", err)
 	}
-	if len(nodes) != 2 {
-		t.Fatalf("got %d node records, want 2 (one per rank)", len(nodes))
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
 	}
-	for i, st := range nodes {
+	rep := reports[0]
+	if rep.Tool != "repro" || rep.Workload == "" || rep.Machine == "" {
+		t.Fatalf("report identity missing: %+v", rep)
+	}
+	if len(rep.Nodes) != 2 {
+		t.Fatalf("got %d node records, want 2 (one per rank)", len(rep.Nodes))
+	}
+	if rep.Total.Reg.Registrations == 0 {
+		t.Fatalf("report total not aggregated: %+v", rep.Total)
+	}
+	for i, st := range rep.Nodes {
 		if st.Machine == "" || st.Allocator != "huge" {
 			t.Fatalf("node %d identity missing: machine=%q allocator=%q", i, st.Machine, st.Allocator)
 		}

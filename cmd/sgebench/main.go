@@ -10,18 +10,27 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/node"
 	"repro/internal/wrbench"
 )
 
 func main() {
 	mach := flag.String("machine", "systemp", "machine (opteron|xeon|systemp); the paper used the IBM System p")
 	counts := flag.String("sges", "1,2,4,8", "comma-separated SGE counts (Figure 3 plots 1,2,4,8; the text also discusses 128)")
+	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
+	stats := flag.Bool("stats", false, "emit per-node telemetry as JSON instead of the table")
 	flag.Parse()
 
 	m := machine.ByName(*mach)
 	if m == nil {
 		fmt.Fprintf(os.Stderr, "sgebench: unknown machine %q\n", *mach)
+		os.Exit(1)
+	}
+	spec, err := faults.ParseSpec(*faultsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
 		os.Exit(1)
 	}
 	var sgeCounts []int
@@ -34,10 +43,18 @@ func main() {
 		sgeCounts = append(sgeCounts, n)
 	}
 	sizes := wrbench.DefaultSGESizes()
-	results, err := wrbench.SGESweep(m, sgeCounts, sizes)
+	results, nodes, err := wrbench.SGESweepNodeStats(m, sgeCounts, sizes, spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
 		os.Exit(1)
+	}
+	if *stats {
+		rep := node.NewReport("sgebench", "sge-sweep", m.Name, spec.String(), nodes)
+		if err := node.WriteReports(os.Stdout, []node.Report{rep}); err != nil {
+			fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Printf("send operations with different number of scatter gather elements (%s)\n", m.Name)
 	fmt.Printf("%-10s", "SGE size")

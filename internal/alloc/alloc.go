@@ -49,6 +49,7 @@ type Stats struct {
 	LiveBytes       int64
 	PeakLive        int64
 	FallbackToSmall int64 // hugepage requests served from small pages
+	FallbackBytes   int64 // cumulative bytes those fallbacks handed out
 }
 
 // Cost constants (ticks). In-band boundary tags live next to user data,

@@ -193,7 +193,9 @@ func TestHugeFallbackWhenPoolExhausted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mem.Reserve(mem.HugeTotal()) // simulate exhausted pool
+	if err := mem.Reserve(mem.HugeTotal()); err != nil { // simulate exhausted pool
+		t.Fatal(err)
+	}
 	va, err := h.Alloc(256 << 10)
 	if err != nil {
 		t.Fatal(err)

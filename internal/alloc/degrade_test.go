@@ -1,0 +1,117 @@
+package alloc_test
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/machine"
+	"repro/internal/node/nodetest"
+	"repro/internal/vm"
+)
+
+// dryAS builds an address space whose hugepage pool is fully reserved,
+// so every hugepage mapping attempt must take the base-page fallback.
+func dryAS(t *testing.T) *vm.AddressSpace {
+	t.Helper()
+	n := nodetest.New(t, machine.Opteron())
+	if err := n.Mem.Reserve(n.Mem.HugeAvailable()); err != nil {
+		t.Fatal(err)
+	}
+	return n.AS
+}
+
+func TestMorecoreFallsBackToBasePages(t *testing.T) {
+	m := alloc.NewMorecore(dryAS(t), sysTicks)
+	va, err := m.Alloc(256 << 10)
+	if err != nil {
+		t.Fatalf("morecore must fall back to base pages, not fail: %v", err)
+	}
+	if vm.IsHugeVA(va) {
+		t.Fatal("allocation reported huge placement with an empty pool")
+	}
+	st := m.Stats()
+	if st.FallbackToSmall == 0 || st.FallbackBytes == 0 {
+		t.Fatalf("fallback not counted: %+v", st)
+	}
+	if st.SmallBytes == 0 || st.HugeBytes != 0 {
+		t.Fatalf("bytes must land on the small side: %+v", st)
+	}
+	if err := m.Free(va); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMorecoreMmapPathFallsBack(t *testing.T) {
+	m := alloc.NewMorecore(dryAS(t), sysTicks)
+	va, err := m.Alloc(4 << 20) // above MmapThreshold: the bigMap path
+	if err != nil {
+		t.Fatalf("mmap-path fallback: %v", err)
+	}
+	if vm.IsHugeVA(va) {
+		t.Fatal("mmap path reported huge placement with an empty pool")
+	}
+	if err := m.Free(va); err != nil {
+		t.Fatalf("freeing a fallback mmap region: %v", err)
+	}
+	if st := m.Stats(); st.LiveBytes != 0 {
+		t.Fatalf("live bytes after free = %d, want 0", st.LiveBytes)
+	}
+}
+
+func TestPageSepFallsBackToBasePages(t *testing.T) {
+	p := alloc.NewPageSep(dryAS(t), sysTicks)
+	va, err := p.Alloc(64 << 10)
+	if err != nil {
+		t.Fatalf("pagesep must fall back (GHR_FALLBACK), not fail: %v", err)
+	}
+	if vm.IsHugeVA(va) {
+		t.Fatal("allocation reported huge placement with an empty pool")
+	}
+	st := p.Stats()
+	if st.FallbackToSmall != 1 || st.FallbackBytes == 0 {
+		t.Fatalf("fallback not counted: %+v", st)
+	}
+	if st.SmallBytes == 0 || st.HugeBytes != 0 {
+		t.Fatalf("bytes must land on the small side: %+v", st)
+	}
+	if err := p.Free(va); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.SmallBytes != 0 || st.LiveBytes != 0 {
+		t.Fatalf("gauges after free: %+v", st)
+	}
+}
+
+func TestPageSepMixedPlacementAccounting(t *testing.T) {
+	n := nodetest.New(t, machine.Opteron())
+	p := alloc.NewPageSep(n.AS, sysTicks)
+	vaH, err := p.Alloc(64 << 10) // pool still has pages: huge
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vm.IsHugeVA(vaH) {
+		t.Fatal("expected huge placement while the pool has pages")
+	}
+	if err := n.Mem.Reserve(n.Mem.HugeAvailable()); err != nil {
+		t.Fatal(err)
+	}
+	vaS, err := p.Alloc(64 << 10) // now dry: small
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.HugeBytes == 0 || st.SmallBytes == 0 {
+		t.Fatalf("mixed placement should show on both gauges: %+v", st)
+	}
+	if err := p.Free(vaH); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(vaS); err != nil {
+		t.Fatal(err)
+	}
+	st = p.Stats()
+	if st.HugeBytes != 0 || st.SmallBytes != 0 || st.LiveBytes != 0 {
+		t.Fatalf("gauges after frees: %+v", st)
+	}
+}

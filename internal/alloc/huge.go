@@ -79,7 +79,11 @@ func NewHuge(as *vm.AddressSpace, syscallTicks simtime.Ticks, cfg HugeConfig) (*
 	if cfg.MapBatchPages <= 0 {
 		cfg.MapBatchPages = 1
 	}
-	as.Mem().Reserve(cfg.ReservePages)
+	// Reservations compose, so several libraries sharing one Memory each
+	// add their own fork/CoW hold instead of clobbering each other's.
+	if err := as.Mem().Reserve(cfg.ReservePages); err != nil {
+		return nil, fmt.Errorf("alloc: installing fork/CoW reserve: %w", err)
+	}
 	return &Huge{
 		cfg:   cfg,
 		as:    as,
@@ -151,6 +155,9 @@ func (h *Huge) Alloc(size uint64) (vm.VA, error) {
 		h.mu.Unlock()
 		va, ferr := h.small.Alloc(size)
 		h.mu.Lock()
+		if ferr == nil {
+			h.stats.FallbackBytes += int64(size)
+		}
 		return va, ferr
 	default:
 		return 0, err
@@ -290,6 +297,9 @@ func (h *Huge) Stats() Stats {
 	s.Coalesces += d.Coalesces
 	s.Syscalls += d.Syscalls
 	s.SmallBytes += d.SmallBytes
+	s.HugeBytes += d.HugeBytes // a morecore-style delegate can place huge-side bytes too
+	s.FallbackToSmall += d.FallbackToSmall
+	s.FallbackBytes += d.FallbackBytes
 	s.LiveBytes += d.LiveBytes
 	if s.LiveBytes > s.PeakLive {
 		s.PeakLive = s.LiveBytes
@@ -316,6 +326,7 @@ func (h *Huge) MapBSS(size uint64) (vm.VA, bool, error) {
 	h.stats.Ticks += h.small.syscallTicks
 	if !huge {
 		h.stats.FallbackToSmall++
+		h.stats.FallbackBytes += int64(mapped)
 	}
 	h.account(va, mapped, +1)
 	h.used[va] = mapped

@@ -84,13 +84,23 @@ func NewLibc(as *vm.AddressSpace, syscallTicks simtime.Ticks) *Libc {
 // whose arena morecore() and mmap path draw from hugetlbfs, so *every*
 // libc-allocated buffer resides in hugepages (the behaviour Section 2
 // warns about: small allocations burn scarce hugepage TLB entries too).
+// Like the real library, an arena extension that cannot get hugepages
+// falls back to base pages rather than failing malloc; the fallback is
+// counted, and account() attributes the bytes to the small side.
 func NewMorecore(as *vm.AddressSpace, syscallTicks simtime.Ticks) *Libc {
 	l := NewLibc(as, syscallTicks)
 	l.name = "libhugetlbfs-morecore"
 	l.grow = func(n uint64) (vm.VA, uint64, error) {
 		sz := alignUp(n, machine.HugePageSize)
-		va, err := as.MapHuge(sz)
-		return va, sz, err
+		va, huge, err := as.MapHugeOrSmall(sz)
+		if err != nil {
+			return 0, 0, err
+		}
+		if !huge { // callers hold l.mu
+			l.stats.FallbackToSmall++
+			l.stats.FallbackBytes += int64(sz)
+		}
+		return va, sz, nil
 	}
 	l.bigMap = l.grow
 	l.bigUnmap = func(va vm.VA, n uint64) error {

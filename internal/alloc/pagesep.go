@@ -42,6 +42,9 @@ func (p *PageSep) Name() string { return "libhugepagealloc" }
 func (p *PageSep) ThreadSafe() bool { return false }
 
 // Alloc implements Allocator: one fresh hugepage mapping per buffer.
+// When the pool cannot supply the pages the mapping falls back to base
+// pages (the real library's GHR_FALLBACK behaviour) and the degradation
+// is counted.
 func (p *PageSep) Alloc(size uint64) (vm.VA, error) {
 	if size == 0 {
 		return 0, ErrBadSize
@@ -50,14 +53,20 @@ func (p *PageSep) Alloc(size uint64) (vm.VA, error) {
 	defer p.mu.Unlock()
 	p.stats.Allocs++
 	mapped := alignUp(size, machine.HugePageSize)
-	va, err := p.as.MapHuge(mapped)
+	va, huge, err := p.as.MapHugeOrSmall(mapped)
 	if err != nil {
 		return 0, err
 	}
 	p.stats.Syscalls++
 	p.stats.Ticks += p.syscallTicks
 	p.used[va] = mapped
-	p.stats.HugeBytes += int64(mapped)
+	if huge {
+		p.stats.HugeBytes += int64(mapped)
+	} else {
+		p.stats.SmallBytes += int64(mapped)
+		p.stats.FallbackToSmall++
+		p.stats.FallbackBytes += int64(mapped)
+	}
 	p.stats.LiveBytes += int64(mapped)
 	if p.stats.LiveBytes > p.stats.PeakLive {
 		p.stats.PeakLive = p.stats.LiveBytes
@@ -77,7 +86,11 @@ func (p *PageSep) Free(va vm.VA) error {
 	delete(p.used, va)
 	p.stats.Syscalls++
 	p.stats.Ticks += p.syscallTicks
-	p.stats.HugeBytes -= int64(n)
+	if vm.IsHugeVA(va) {
+		p.stats.HugeBytes -= int64(n)
+	} else {
+		p.stats.SmallBytes -= int64(n)
+	}
 	p.stats.LiveBytes -= int64(n)
 	return p.as.Unmap(va, n)
 }

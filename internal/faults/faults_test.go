@@ -1,0 +1,234 @@
+package faults
+
+import "testing"
+
+func TestParseSpecEmpty(t *testing.T) {
+	for _, s := range []string{"", "   "} {
+		spec, err := ParseSpec(s)
+		if err != nil || spec != nil {
+			t.Fatalf("ParseSpec(%q) = %v, %v; want nil, nil", s, spec, err)
+		}
+	}
+}
+
+func TestParseSpecFull(t *testing.T) {
+	spec, err := ParseSpec("seed=7,hugecap=8,hugefail=40,shrink=100:2,memlock=16m,wr=50,attevict=400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{
+		Seed: 7, HugePoolCap: 8, HugeFailPeriod: 40,
+		ShrinkPeriod: 100, ShrinkPages: 2,
+		MemlockBytes: 16 << 20, WRErrorPeriod: 50, ATTEvictPeriod: 400,
+	}
+	if *spec != want {
+		t.Fatalf("got %+v, want %+v", *spec, want)
+	}
+}
+
+func TestParseSpecByteSuffixes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+	}{
+		{"memlock=512", 512},
+		{"memlock=4k", 4 << 10},
+		{"memlock=16M", 16 << 20},
+		{"memlock=2g", 2 << 30},
+	} {
+		spec, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.in, err)
+		}
+		if spec.MemlockBytes != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.in, spec.MemlockBytes, tc.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"bogus=1",    // unknown key
+		"seed",       // not key=value
+		"seed=x",     // bad number
+		"shrink=100", // missing :PAGES
+		"memlock=-1", // negative
+		"hugecap=-3", // negative
+		"memlock=1t", // unknown suffix
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	const in = "seed=7,hugecap=8,hugefail=40,shrink=100:2,memlock=16777216,wr=50,attevict=400"
+	spec, err := ParseSpec(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.String(); got != in {
+		t.Fatalf("String() = %q, want %q", got, in)
+	}
+	again, err := ParseSpec(spec.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again != *spec {
+		t.Fatalf("round trip changed the spec: %+v vs %+v", again, spec)
+	}
+	var nilSpec *Spec
+	if nilSpec.String() != "" {
+		t.Fatal("nil spec should render empty")
+	}
+}
+
+func TestNilInjectorIsSafeAndInert(t *testing.T) {
+	var in *Injector
+	if in != New(nil, 3) {
+		t.Fatal("New(nil, salt) should return a nil injector")
+	}
+	if fail, shrink := in.HugeAllocFault(); fail || shrink != 0 {
+		t.Fatal("nil injector injected a hugepage fault")
+	}
+	if in.WRError(StreamWRSend) || in.WRError(StreamWRRecv) {
+		t.Fatal("nil injector injected a WR error")
+	}
+	if in.ATTEvict(42) {
+		t.Fatal("nil injector forced an ATT evict")
+	}
+	in.RecordWRRetry()
+	if in.MemlockLimit() != 0 || in.HugePoolCap() != 0 {
+		t.Fatal("nil injector reported limits")
+	}
+	if in.Stats() != (Stats{}) || in.Spec() != nil {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+// drive pulls a fixed event schedule through an injector and returns the
+// decision sequence as a bitstring per fault class.
+func drive(in *Injector, events int) (huge, wrS, wrR, att string) {
+	b := func(v bool) byte {
+		if v {
+			return '1'
+		}
+		return '0'
+	}
+	hb := make([]byte, 0, events)
+	sb := make([]byte, 0, events)
+	rb := make([]byte, 0, events)
+	ab := make([]byte, 0, events)
+	for i := 0; i < events; i++ {
+		fail, _ := in.HugeAllocFault()
+		hb = append(hb, b(fail))
+		sb = append(sb, b(in.WRError(StreamWRSend)))
+		rb = append(rb, b(in.WRError(StreamWRRecv)))
+		ab = append(ab, b(in.ATTEvict(uint64(i%3))))
+	}
+	return string(hb), string(sb), string(rb), string(ab)
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	spec, err := ParseSpec("seed=7,hugefail=5,wr=7,attevict=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, s1, r1, a1 := drive(New(spec, 0), 500)
+	h2, s2, r2, a2 := drive(New(spec, 0), 500)
+	if h1 != h2 || s1 != s2 || r1 != r2 || a1 != a2 {
+		t.Fatal("same seed+salt produced different schedules")
+	}
+	// The schedule actually fires (a period-P pattern over 500 events
+	// must hit at least once).
+	if !fired(h1) || !fired(s1) || !fired(a1) {
+		t.Fatalf("schedules never fired: huge=%q send=%q att=%q", h1, s1, a1)
+	}
+}
+
+func fired(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '1' {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSaltDecorrelatesNodes(t *testing.T) {
+	spec, err := ParseSpec("seed=7,hugefail=5,wr=7,attevict=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, s0, _, a0 := drive(New(spec, 0), 500)
+	h1, s1, _, a1 := drive(New(spec, 1), 500)
+	if h0 == h1 && s0 == s1 && a0 == a1 {
+		t.Fatal("different salts produced identical schedules")
+	}
+}
+
+func TestStreamsAreIndependent(t *testing.T) {
+	spec, err := ParseSpec("seed=3,wr=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consuming extra events on the send stream must not move the recv
+	// stream's decisions (this is what keeps Sendrecv's forked halves
+	// deterministic under goroutine interleaving).
+	inA := New(spec, 0)
+	inB := New(spec, 0)
+	for i := 0; i < 37; i++ {
+		inA.WRError(StreamWRSend)
+	}
+	got := make([]bool, 40)
+	want := make([]bool, 40)
+	for i := range got {
+		got[i] = inA.WRError(StreamWRRecv)
+		want[i] = inB.WRError(StreamWRRecv)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("recv stream decision %d shifted after send-stream traffic", i)
+		}
+	}
+}
+
+func TestATTEvictKeysAreIndependent(t *testing.T) {
+	spec, err := ParseSpec("seed=9,attevict=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 2's verdict sequence must not shift when accesses to key 1 are
+	// interleaved with it — this is what keeps the ATT fault pattern
+	// deterministic under concurrent DMA.
+	inA := New(spec, 0)
+	inB := New(spec, 0)
+	for i := 0; i < 50; i++ {
+		inA.ATTEvict(1) // extra traffic on another translation
+		if inA.ATTEvict(2) != inB.ATTEvict(2) {
+			t.Fatalf("key-2 decision %d shifted after key-1 traffic", i)
+		}
+	}
+}
+
+func TestStatsCountInjections(t *testing.T) {
+	spec, err := ParseSpec("seed=1,hugefail=3,shrink=5:2,wr=3,attevict=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(spec, 0)
+	for i := 0; i < 300; i++ {
+		in.HugeAllocFault()
+		in.WRError(StreamWRSend)
+		in.ATTEvict(7)
+	}
+	in.RecordWRRetry()
+	st := in.Stats()
+	if st.HugeAllocFails == 0 || st.PoolShrinks == 0 || st.WRErrors == 0 || st.ATTEvictions == 0 {
+		t.Fatalf("expected all classes to fire over 300 events: %+v", st)
+	}
+	if st.WRRetries != 1 {
+		t.Fatalf("WRRetries = %d, want 1", st.WRRetries)
+	}
+}

@@ -64,6 +64,25 @@ func (c *attCache) access(lkey uint32, page int) bool {
 	return false
 }
 
+// evictEntry drops the one cached translation for (lkey,page) if
+// present, reporting whether anything was dropped. The fault injector
+// uses it to force a refetch: the effect is local to that entry — the
+// access that follows re-installs it at MRU position, exactly where a
+// hit would have aged it — so concurrent accessors of other entries see
+// identical outcomes regardless of interleaving.
+func (c *attCache) evictEntry(lkey uint32, page int) bool {
+	k := attKey{lkey, page}
+	h := (uint64(lkey)*0x9E3779B97F4A7C15 + uint64(page)*0xBF58476D1CE4E5B9)
+	set := c.sets[h%uint64(len(c.sets))]
+	for i := range set {
+		if set[i].valid && set[i].key == k {
+			set[i] = attEntry{}
+			return true
+		}
+	}
+	return false
+}
+
 // invalidate drops every entry belonging to one memory region (MR
 // deregistration shoots its translations down).
 func (c *attCache) invalidate(lkey uint32) {

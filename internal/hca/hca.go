@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"repro/internal/bus"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/phys"
 	"repro/internal/simtime"
@@ -102,6 +103,7 @@ type Stats struct {
 	BytesGather  int64
 	BytesScatter int64
 	MTTEntries   int64 // currently installed
+	ATTEvictions int64 // translations dropped by injected forced eviction
 }
 
 // HCA is one adapter instance.
@@ -110,12 +112,24 @@ type HCA struct {
 	bus  *bus.Model
 	mem  *phys.Memory
 
+	// inj, when set, can force cached translations out of the ATT on a
+	// deterministic schedule (an adapter invalidating stale entries
+	// under pressure). Nil = no faults.
+	inj *faults.Injector
+
 	mu        sync.Mutex
 	mrs       map[uint32]*MR
 	nextKey   uint32
 	nextQPNum uint32
 	att       *attCache
 	stats     Stats
+}
+
+// SetFaults attaches a fault injector.
+func (h *HCA) SetFaults(inj *faults.Injector) {
+	h.mu.Lock()
+	h.inj = inj
+	h.mu.Unlock()
 }
 
 // New builds an adapter for a machine, attached to the node's physical
@@ -228,6 +242,16 @@ func (h *HCA) PollCost() simtime.Ticks {
 // attAccess charges for one translation lookup and returns its cost.
 func (h *HCA) attAccess(lkey uint32, pageIdx int) simtime.Ticks {
 	h.mu.Lock()
+	if h.inj.ATTEvict(uint64(lkey)<<32 | uint64(uint32(pageIdx))) {
+		// Injected eviction: this access's cached translation (if any)
+		// is lost right before the lookup, forcing a refetch across the
+		// IO bus. The perturbation is local to the (lkey,page) entry, so
+		// the fault pattern replays bit-identically even while two
+		// protocol halves drive the adapter concurrently.
+		if h.att.evictEntry(lkey, pageIdx) {
+			h.stats.ATTEvictions++
+		}
+	}
 	hit := h.att.access(lkey, pageIdx)
 	if hit {
 		h.stats.ATTHits++

@@ -12,6 +12,7 @@ package imb
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/node"
@@ -172,6 +173,13 @@ func Fig5Configs() []Fig5Config {
 
 // RunFig5 runs all four curves on a machine.
 func RunFig5(m *machine.Machine, sizes []int) (map[string][]SendRecvResult, error) {
+	return RunFig5Faults(m, sizes, nil)
+}
+
+// RunFig5Faults is RunFig5 under a fault spec (nil = clean run): each
+// curve's job carries the same deterministic schedule, so the four
+// configurations degrade comparably.
+func RunFig5Faults(m *machine.Machine, sizes []int, spec *faults.Spec) (map[string][]SendRecvResult, error) {
 	out := make(map[string][]SendRecvResult, 4)
 	for _, c := range Fig5Configs() {
 		res, err := SendRecv(mpi.Config{
@@ -180,6 +188,7 @@ func RunFig5(m *machine.Machine, sizes []int) (map[string][]SendRecvResult, erro
 			Allocator: c.Allocator,
 			LazyDereg: c.LazyDereg,
 			HugeATT:   true,
+			Faults:    spec,
 		}, sizes)
 		if err != nil {
 			return nil, fmt.Errorf("imb: %s: %w", c.Label, err)
@@ -203,11 +212,17 @@ type RegResult struct {
 // 2 MiB placements on one machine (driver patch enabled, as in the
 // paper's modified OpenIB stack).
 func RegistrationSweep(m *machine.Machine, sizes []uint64) ([]RegResult, error) {
+	return RegistrationSweepFaults(m, sizes, nil)
+}
+
+// RegistrationSweepFaults is RegistrationSweep with a fault spec armed
+// on each host (nil = clean run).
+func RegistrationSweepFaults(m *machine.Machine, sizes []uint64, spec *faults.Spec) ([]RegResult, error) {
 	out := make([]RegResult, 0, len(sizes))
 	for _, size := range sizes {
 		// A fresh warmed host per size, matching the MPI world's setup so
 		// registration sweeps see the same physical scatter.
-		n, err := node.New(node.Config{Machine: m, HugeATT: true})
+		n, err := node.New(node.Config{Machine: m, HugeATT: true, Faults: spec})
 		if err != nil {
 			return nil, err
 		}

@@ -1,13 +1,52 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/hca"
 	"repro/internal/simtime"
 	"repro/internal/vm"
 )
+
+// ErrWRFailed reports a work request whose completion kept erroring past
+// the repost limit — the injected-fault equivalent of a fatal IBV_WC
+// status.
+var ErrWRFailed = errors.New("mpi: work request failed after retries")
+
+// Transient completion-error recovery: a failed completion is reposted
+// with exponential backoff, all in virtual time, bounded so a hostile
+// fault period cannot hang a rank.
+const (
+	wrRetryLimit  = 8
+	wrBackoffBase = simtime.Ticks(400)
+)
+
+// pollCQ drains one completion, injecting transient completion errors
+// from the rank's fault schedule. Each error costs a backoff
+// (wrBackoffBase << attempt) plus a re-poll; recovery is deterministic
+// because the injector decides per (stream, event index), never by wall
+// clock or goroutine timing. A nil injector reduces to the plain
+// PollCQ cost advance.
+func (r *Rank) pollCQ(clk *simtime.Clock, stream faults.WRStream) error {
+	clk.Advance(r.ctx.PollCQ())
+	if !r.inj.WRError(stream) {
+		return nil
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt == wrRetryLimit {
+			return fmt.Errorf("mpi: rank %d: %w", r.id, ErrWRFailed)
+		}
+		r.inj.RecordWRRetry()
+		clk.Advance(wrBackoffBase << uint(attempt))
+		clk.Advance(r.ctx.PollCQ())
+		if !r.inj.WRError(stream) {
+			return nil
+		}
+	}
+}
 
 // sendGate orders the two concurrent halves of a Sendrecv on the shared
 // per-rank registration cache. In virtual time the send half registers at
@@ -144,7 +183,10 @@ func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) erro
 	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1)))
 	// The adapter gathers from the hot bounce buffer and serialises.
 	arrive := clk.Now() + r.ctx.HW.WireCost(n)
-	clk.Advance(r.ctx.PollCQ()) // local completion (inline/bounce: immediate)
+	// Local completion (inline/bounce: immediate).
+	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
+		return err
+	}
 	r.world.ranks[dst].inbox[r.id] <- &message{
 		kind: kindEager, src: r.id, tag: tag, data: data, arrive: arrive,
 	}
@@ -180,7 +222,9 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 	}
 	// The FIN arrives one control hop after the receiver finished.
 	clk.AdvanceTo(done + r.ctrlWire())
-	clk.Advance(r.ctx.PollCQ())
+	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
+		return err
+	}
 	relCost, err := r.cache.Release(mr)
 	if err != nil {
 		return err
@@ -214,7 +258,10 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 		return fmt.Errorf("mpi: rank %d awaiting CTS from %d: %w", r.id, dst, ErrAborted)
 	}
 	clk.AdvanceTo(cts.t + r.ctrlWire())
-	clk.Advance(r.ctx.PollCQ()) // CTS completion
+	// CTS completion.
+	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
+		return err
+	}
 
 	// Post the RDMA write; the adapter gathers the user buffer (real
 	// bytes) while the wire serialises — the two stages pipeline.
@@ -230,7 +277,9 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 	// Local completion: RC ack after remote placement of the last packet.
 	wire := r.world.cfg.Machine.HCA.WireLatency
 	clk.AdvanceTo(start + wire + simtime.Max(gather, serialize) + wire)
-	clk.Advance(r.ctx.PollCQ())
+	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
+		return err
+	}
 
 	relCost, err := r.cache.Release(mr)
 	if err != nil {
@@ -270,7 +319,9 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 			return 0, fmt.Errorf("mpi: eager truncation: got %d bytes, capacity %d", n, capacity)
 		}
 		clk.AdvanceTo(m.arrive)
-		clk.Advance(r.ctx.PollCQ())
+		if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
+			return 0, err
+		}
 		if n > 0 {
 			clk.Advance(r.memcpyTicks(n) + eagerPipelineTicks)
 			if err := r.as.Write(va, m.data); err != nil {
@@ -291,7 +342,10 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 			return 0, fmt.Errorf("mpi: rendezvous truncation: got %d bytes, capacity %d", n, capacity)
 		}
 		clk.AdvanceTo(m.arrive)
-		clk.Advance(r.ctx.PollCQ()) // RTS completion
+		// RTS completion.
+		if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
+			return 0, err
+		}
 		if m.doneCh != nil {
 			return r.recvRendezvousRead(clk, m, va, g)
 		}
@@ -317,7 +371,10 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 		wire := r.world.cfg.Machine.HCA.WireLatency
 		done := fin.start + wire + simtime.Max(simtime.Max(fin.gather, fin.serialize), scatter)
 		clk.AdvanceTo(done)
-		clk.Advance(r.ctx.PollCQ()) // FIN completion
+		// FIN completion.
+		if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
+			return 0, err
+		}
 		relCost, err := r.cache.Release(mr)
 		if err != nil {
 			return 0, err
@@ -355,7 +412,9 @@ func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g *s
 	serialize := simtime.BandwidthTicks(int64(n), r.world.cfg.Machine.HCA.WireBandwidthMBs)
 	done := clk.Now() + 2*wire + simtime.Max(simtime.Max(gather, serialize), scatter)
 	clk.AdvanceTo(done)
-	clk.Advance(r.ctx.PollCQ())
+	if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
+		return 0, err
+	}
 	m.doneCh <- clk.Now()
 	relCost, err := r.cache.Release(mr)
 	if err != nil {
@@ -391,7 +450,14 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendVA vm.VA, sendN int,
 	// goroutine scheduling; disjoint spans miss independently and need no
 	// ordering.
 	var gate *sendGate
-	if sLo, sHi := r.roundedRange(sendVA, sendN); true {
+	if r.ctx.MemlockLimit > 0 {
+		// Under a memlock ceiling the halves contend for the shared
+		// pinned-bytes budget even with disjoint spans: either half's
+		// registration may trip evict-and-retry against state the other
+		// half just changed, so the registration order must be pinned
+		// down regardless of overlap.
+		gate = newSendGate()
+	} else if sLo, sHi := r.roundedRange(sendVA, sendN); true {
 		if rLo, rHi := r.roundedRange(recvVA, recvCap); sLo < rHi && rLo < sHi {
 			gate = newSendGate()
 		}

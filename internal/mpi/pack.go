@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/hca"
 	"repro/internal/simtime"
 	"repro/internal/vm"
@@ -90,7 +91,9 @@ func (r *Rank) SendGathered(dst, tag int, pieces []Piece) error {
 		return fmt.Errorf("mpi: gather DMA: %w", err)
 	}
 	arrive := r.clock.Now() + gather + r.ctx.HW.WireCost(len(data))
-	r.clock.Advance(r.ctx.PollCQ())
+	if err := r.pollCQ(&r.clock, faults.StreamWRSend); err != nil {
+		return err
+	}
 	r.world.ranks[dst].inbox[r.id] <- &message{
 		kind: kindEager, src: r.id, tag: tag, data: data, arrive: arrive,
 	}

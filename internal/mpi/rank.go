@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/alloc"
+	"repro/internal/faults"
 	"repro/internal/mpip"
 	"repro/internal/node"
 	"repro/internal/regcache"
@@ -34,6 +35,7 @@ type Rank struct {
 	cache *regcache.Cache
 	alloc alloc.Allocator
 	dtlb  *tlb.DTLB
+	inj   *faults.Injector // nil when faults are disabled (nil-safe)
 	prof  *mpip.Profile
 
 	inbox   []chan *message // indexed by source rank

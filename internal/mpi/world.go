@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mpip"
 	"repro/internal/node"
@@ -62,6 +63,10 @@ type Config struct {
 	// host is built — the hook for heterogeneous jobs (per-rank
 	// allocators or placement policies).
 	PerRank func(rank int, cfg node.Config) node.Config
+	// Faults enables deterministic fault injection on every rank's host
+	// (nil = no faults). Each rank is salted with its rank number, so
+	// the hosts run decorrelated schedules that replay bit-identically.
+	Faults *faults.Spec
 }
 
 // nodeConfig is the homogeneous per-rank host configuration the job
@@ -72,6 +77,7 @@ func (c Config) nodeConfig() node.Config {
 		Allocator: c.Allocator,
 		LazyDereg: c.LazyDereg,
 		HugeATT:   c.HugeATT,
+		Faults:    c.Faults,
 	}
 }
 
@@ -129,6 +135,7 @@ func NewWorld(cfg Config) (*World, error) {
 	w := &World{cfg: cfg, abort: make(chan struct{})}
 	for i := 0; i < cfg.Ranks; i++ {
 		ncfg := cfg.nodeConfig()
+		ncfg.FaultSalt = uint64(i)
 		if cfg.PerRank != nil {
 			ncfg = cfg.PerRank(i, ncfg)
 		}
@@ -145,6 +152,7 @@ func NewWorld(cfg Config) (*World, error) {
 			cache: n.Cache,
 			alloc: n.Alloc,
 			dtlb:  n.DTLB,
+			inj:   n.Faults(),
 			prof:  mpip.New(),
 		}
 		w.nodes = append(w.nodes, n)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 )
@@ -26,16 +27,33 @@ type Fig6Row struct {
 // RunFig6 reproduces Figure 6 on one machine: every kernel under libc and
 // under the hugepage library, on the given rank count (the paper uses 8).
 func RunFig6(m *machine.Machine, ranks int, kernels []Kernel) ([]Fig6Row, error) {
+	return RunFig6Faults(m, ranks, kernels, nil)
+}
+
+// RunFig6Faults is RunFig6 under a fault spec (nil = clean run). Both
+// allocators face the same deterministic schedule, so the improvement
+// split stays a like-for-like comparison under pressure.
+func RunFig6Faults(m *machine.Machine, ranks int, kernels []Kernel, spec *faults.Spec) ([]Fig6Row, error) {
 	if kernels == nil {
 		kernels = All()
 	}
+	run := func(ak mpi.AllocatorKind, k Kernel) (Result, error) {
+		return RunKernelConfig(mpi.Config{
+			Machine:   m,
+			Ranks:     ranks,
+			Allocator: ak,
+			LazyDereg: true,
+			HugeATT:   true,
+			Faults:    spec,
+		}, k)
+	}
 	rows := make([]Fig6Row, 0, len(kernels))
 	for _, k := range kernels {
-		small, err := RunKernel(m, ranks, mpi.AllocLibc, k)
+		small, err := run(mpi.AllocLibc, k)
 		if err != nil {
 			return nil, err
 		}
-		huge, err := RunKernel(m, ranks, mpi.AllocHuge, k)
+		huge, err := run(mpi.AllocHuge, k)
 		if err != nil {
 			return nil, err
 		}

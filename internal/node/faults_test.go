@@ -1,0 +1,122 @@
+package node_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/node"
+)
+
+func probeNode(t *testing.T, specStr string) *node.Node {
+	t.Helper()
+	spec, err := faults.ParseSpec(specStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := node.New(node.Config{
+		Machine:   machine.Opteron(),
+		Allocator: node.AllocHuge,
+		LazyDereg: true,
+		Faults:    spec,
+		FaultSalt: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestDegradationProbeSurfacesPressure(t *testing.T) {
+	n := probeNode(t, "seed=7,hugecap=8,memlock=16m")
+	if err := n.DegradationProbe(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.Alloc.FallbackToSmall == 0 || st.Alloc.FallbackBytes == 0 {
+		t.Fatalf("capped pool should redirect library allocations: %+v", st.Alloc)
+	}
+	if st.Mem.HugeFallbacks == 0 || st.Mem.HugeFallbackBytes == 0 {
+		t.Fatalf("BSS mapping should take the vm-level fallback: %+v", st.Mem)
+	}
+	if st.Faults.MemlockRetries == 0 || st.Faults.MemlockEvictions == 0 {
+		t.Fatalf("memlock ceiling never tripped evict-and-retry: %+v", st.Faults)
+	}
+	if st.Faults.PoolPagesRemoved == 0 {
+		t.Fatalf("pool cap removed no pages: %+v", st.Faults)
+	}
+	if st.Faults.MemlockLimit != 16<<20 || st.Faults.Spec == "" {
+		t.Fatalf("fault identity not echoed: %+v", st.Faults)
+	}
+}
+
+func TestDegradationProbeIsDeterministic(t *testing.T) {
+	run := func() node.Stats {
+		n := probeNode(t, "seed=7,hugecap=8,hugefail=40,shrink=100:2,memlock=16m,attevict=400")
+		if err := n.DegradationProbe(); err != nil {
+			t.Fatal(err)
+		}
+		return n.Stats()
+	}
+	st1, st2 := run(), run()
+	if !reflect.DeepEqual(st1, st2) {
+		t.Fatalf("same-seed probes diverge:\n%+v\n%+v", st1, st2)
+	}
+}
+
+func TestDegradationProbeCleanWithoutFaults(t *testing.T) {
+	n := probeNode(t, "")
+	if err := n.DegradationProbe(); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.Faults != (node.FaultStats{}) {
+		t.Fatalf("clean probe reported fault activity: %+v", st.Faults)
+	}
+	if st.Alloc.FallbackToSmall != 0 {
+		t.Fatalf("clean probe fell back: %+v", st.Alloc)
+	}
+}
+
+// TestReportSchemaIsClosed is the authoritative check behind CI's golden
+// step: every tool's -stats output must decode against []node.Report
+// with no unknown fields in either direction.
+func TestReportSchemaIsClosed(t *testing.T) {
+	n := probeNode(t, "seed=7,hugecap=8,memlock=16m")
+	if err := n.DegradationProbe(); err != nil {
+		t.Fatal(err)
+	}
+	reports := []node.Report{
+		node.NewReport("test", "probe", "opteron", "seed=7", []node.Stats{n.Stats()}),
+	}
+	var buf bytes.Buffer
+	if err := node.WriteReports(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var back []node.Report
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("emitted JSON does not round-trip the schema: %v", err)
+	}
+	if !reflect.DeepEqual(reports, back) {
+		t.Fatal("decode lost data")
+	}
+	// The per-node documents key every layer, faults included.
+	var doc []map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var nodes []map[string]json.RawMessage
+	if err := json.Unmarshal(doc[0]["nodes"], &nodes); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"machine", "allocator", "tlb", "hca", "reg", "regcache", "alloc", "mem", "faults"} {
+		if _, ok := nodes[0][key]; !ok {
+			t.Fatalf("node stats JSON missing %q section", key)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/alloc"
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/phys"
 	"repro/internal/regcache"
@@ -57,6 +58,14 @@ type Config struct {
 	// HugeConfig overrides the hugepage library's design parameters for
 	// AllocHuge (nil takes alloc.DefaultHugeConfig); the §3 ablations.
 	HugeConfig *alloc.HugeConfig
+	// Faults enables deterministic fault injection on this host (nil =
+	// no faults): hugepage-pool exhaustion/shrink, an RLIMIT_MEMLOCK
+	// registration ceiling, transient completion errors, forced ATT
+	// flushes. See internal/faults.
+	Faults *faults.Spec
+	// FaultSalt decorrelates the fault schedules of hosts sharing one
+	// Spec (the MPI world salts with the rank number).
+	FaultSalt uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +108,9 @@ type Node struct {
 	Alloc alloc.Allocator
 	// Cache is the pin-down registration cache over Verbs.
 	Cache *regcache.Cache
+
+	// inj is the node's fault injector (nil when faults are disabled).
+	inj *faults.Injector
 }
 
 // New builds a host from a configuration. This is the single place the
@@ -116,9 +128,19 @@ func New(cfg Config) (*Node, error) {
 		// scattered, as on a real long-running node.
 		mem.Scramble(cfg.ScrambleDepth)
 	}
+	inj := faults.New(cfg.Faults, cfg.FaultSalt)
+	if inj != nil {
+		// Attach before the allocator is built so a pool cap applies to
+		// every hugepage the library ever sees.
+		mem.SetFaults(inj)
+	}
 	as := vm.New(mem)
 	ctx := verbs.Open(cfg.Machine, as)
 	ctx.HugeATT = cfg.HugeATT
+	ctx.MemlockLimit = inj.MemlockLimit()
+	if inj != nil {
+		ctx.HW.SetFaults(inj)
+	}
 	a, err := newAllocator(as, cfg)
 	if err != nil {
 		return nil, err
@@ -131,6 +153,7 @@ func New(cfg Config) (*Node, error) {
 		Verbs: ctx,
 		Alloc: a,
 		Cache: regcache.New(ctx, cfg.LazyDereg),
+		inj:   inj,
 	}, nil
 }
 
@@ -161,6 +184,10 @@ func newAllocator(as *vm.AddressSpace, cfg Config) (alloc.Allocator, error) {
 
 // Config returns the node's configuration (defaults resolved).
 func (n *Node) Config() Config { return n.cfg }
+
+// Faults returns the node's fault injector (nil when faults are
+// disabled; all injector methods are nil-safe).
+func (n *Node) Faults() *faults.Injector { return n.inj }
 
 // Machine returns the node's machine description.
 func (n *Node) Machine() *machine.Machine { return n.cfg.Machine }

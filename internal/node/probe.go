@@ -1,0 +1,67 @@
+package node
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/vm"
+)
+
+// DegradationProbe drives the node's allocation and registration path
+// hard enough to surface degraded-mode behaviour under an active fault
+// spec: a deterministic ladder of large allocations (hugepage-library
+// requests that redirect to libc once the pool runs dry), each
+// registered through the pin-down cache (tripping the memlock
+// evict-and-retry policy when a ceiling is set), then invalidated and
+// freed. It exists for the -stats workloads of tools whose primary
+// sweep never touches the allocator (sgebench, offsetbench) and rides
+// along in allocbench; with no fault spec it is just a short, clean
+// allocate/register/free exercise.
+//
+// The ladder holds all blocks live before releasing any, so a capped
+// pool genuinely exhausts, and it keeps every registration released
+// (refcount zero) before the next Acquire, so memlock recovery always
+// has idle entries to evict — the probe completes under any spec whose
+// memlock ceiling admits one block.
+func (n *Node) DegradationProbe() error {
+	const (
+		blocks     = 12
+		blockBytes = 4 << 20
+	)
+	vas := make([]vm.VA, 0, blocks)
+	for i := 0; i < blocks; i++ {
+		va, err := n.Alloc.Alloc(blockBytes)
+		if err != nil {
+			return fmt.Errorf("node: probe alloc %d: %w", i, err)
+		}
+		mr, _, err := n.Cache.Acquire(va, blockBytes)
+		if err != nil {
+			return fmt.Errorf("node: probe register %d: %w", i, err)
+		}
+		if _, err := n.Cache.Release(mr); err != nil {
+			return fmt.Errorf("node: probe release %d: %w", i, err)
+		}
+		vas = append(vas, va)
+	}
+	// A BSS-style mapping exercises the vm-level MapHugeOrSmall fallback
+	// (distinct from the library's Figure-2 redirect): under an
+	// exhausted pool it lands in small pages and counts HugeFallbacks.
+	// The segment is startup-owned and never freed, as in the paper's
+	// linker-script trick.
+	if h, ok := n.Alloc.(*alloc.Huge); ok {
+		if _, _, err := h.MapBSS(blockBytes); err != nil {
+			return fmt.Errorf("node: probe bss: %w", err)
+		}
+	} else if _, _, err := n.AS.MapHugeOrSmall(blockBytes); err != nil {
+		return fmt.Errorf("node: probe bss: %w", err)
+	}
+	for i, va := range vas {
+		if _, err := n.Cache.Invalidate(va, blockBytes); err != nil {
+			return fmt.Errorf("node: probe invalidate %d: %w", i, err)
+		}
+		if err := n.Alloc.Free(va); err != nil {
+			return fmt.Errorf("node: probe free %d: %w", i, err)
+		}
+	}
+	return nil
+}

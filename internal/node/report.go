@@ -1,0 +1,48 @@
+package node
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the shared -stats JSON schema every cmd tool emits: one
+// record per workload the tool ran, carrying the per-node telemetry
+// snapshots plus their cluster-wide total. Tools emit a JSON array of
+// Reports ([]node.Report) so a single decoder handles all six; CI's
+// golden check decodes each tool's output against exactly this type.
+type Report struct {
+	// Tool is the emitting command ("repro", "imbbench", ...).
+	Tool string `json:"tool"`
+	// Workload names what ran ("sendrecv", "cg/huge", "sge-sweep", ...).
+	Workload string `json:"workload"`
+	// Machine is the simulated system the workload ran on.
+	Machine string `json:"machine"`
+	// Faults echoes the active -faults spec ("" when disabled).
+	Faults string `json:"faults,omitempty"`
+	// Nodes holds one snapshot per simulated host (per MPI rank, or
+	// per benchmark-rig side).
+	Nodes []Stats `json:"nodes"`
+	// Total is Sum(Nodes).
+	Total Stats `json:"total"`
+}
+
+// NewReport assembles one Report, computing the total.
+func NewReport(tool, workload, machine, faults string, nodes []Stats) Report {
+	return Report{
+		Tool:     tool,
+		Workload: workload,
+		Machine:  machine,
+		Faults:   faults,
+		Nodes:    nodes,
+		Total:    Sum(nodes),
+	}
+}
+
+// WriteReports marshals reports as indented JSON — the one rendering
+// path behind every tool's -stats flag, so the bytes are comparable
+// across tools and across runs.
+func WriteReports(w io.Writer, reports []Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

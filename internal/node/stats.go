@@ -12,12 +12,13 @@ type Stats struct {
 	Machine   string `json:"machine"`
 	Allocator string `json:"allocator"`
 
-	TLB   TLBStats   `json:"tlb"`
-	HCA   HCAStats   `json:"hca"`
-	Reg   RegStats   `json:"reg"`
-	Cache CacheStats `json:"regcache"`
-	Alloc AllocStats `json:"alloc"`
-	Mem   MemStats   `json:"mem"`
+	TLB    TLBStats   `json:"tlb"`
+	HCA    HCAStats   `json:"hca"`
+	Reg    RegStats   `json:"reg"`
+	Cache  CacheStats `json:"regcache"`
+	Alloc  AllocStats `json:"alloc"`
+	Mem    MemStats   `json:"mem"`
+	Faults FaultStats `json:"faults"`
 }
 
 // TLBStats is the data-TLB split by page size.
@@ -48,6 +49,7 @@ type RegStats struct {
 	RegTicks        simtime.Ticks `json:"reg_ticks"`
 	DeregTicks      simtime.Ticks `json:"dereg_ticks"`
 	PagesPinned     int64         `json:"pages_pinned"`
+	PinnedBytes     int64         `json:"pinned_bytes"` // gauge: what RLIMIT_MEMLOCK meters
 }
 
 // CacheStats covers the pin-down registration cache.
@@ -69,18 +71,47 @@ type AllocStats struct {
 	SmallBytes int64         `json:"small_bytes"` // gauge
 	LiveBytes  int64         `json:"live_bytes"`  // gauge
 	PeakLive   int64         `json:"peak_live"`
+	// FallbackToSmall counts hugepage-library requests the Figure 2
+	// decision redirected to libc because the pool ran dry;
+	// FallbackBytes is their cumulative size.
+	FallbackToSmall int64 `json:"fallback_to_small"`
+	FallbackBytes   int64 `json:"fallback_bytes"`
 }
 
 // MemStats covers physical memory and the address space: the
 // hugepage-pool usage behind the paper's "less available physical
 // memory" drawback.
 type MemStats struct {
-	HugePagesUsed int64 `json:"huge_pages_used"` // gauge
-	HugePagesPeak int64 `json:"huge_pages_peak"`
-	HugeFailures  int64 `json:"huge_failures"`
-	MappedSmall   int64 `json:"mapped_small"` // gauge
-	MappedHuge    int64 `json:"mapped_huge"`  // gauge
-	HugeFallbacks int64 `json:"huge_fallbacks"`
+	HugePagesUsed     int64 `json:"huge_pages_used"` // gauge
+	HugePagesPeak     int64 `json:"huge_pages_peak"`
+	HugeFailures      int64 `json:"huge_failures"`
+	MappedSmall       int64 `json:"mapped_small"` // gauge
+	MappedHuge        int64 `json:"mapped_huge"`  // gauge
+	HugeFallbacks     int64 `json:"huge_fallbacks"`
+	HugeFallbackBytes int64 `json:"huge_fallback_bytes"`
+}
+
+// FaultStats aggregates every injected fault and every recovery the
+// stack performed — the "behavior under pressure" record. With no fault
+// spec it is all zeros (and Spec is empty).
+type FaultStats struct {
+	// Spec echoes the active fault configuration in -faults syntax.
+	Spec string `json:"spec,omitempty"`
+	// InjectedHugeFails / PoolPagesRemoved: hugepage-pool pressure
+	// (spurious allocation refusals; pages dropped by cap + shrink).
+	InjectedHugeFails int64 `json:"injected_huge_fails"`
+	PoolPagesRemoved  int64 `json:"pool_pages_removed"`
+	// Memlock ceiling: refused registrations, and the pin-down cache's
+	// evict-and-retry recoveries.
+	MemlockLimit      int64 `json:"memlock_limit,omitempty"`
+	MemlockRejections int64 `json:"memlock_rejections"`
+	MemlockRetries    int64 `json:"memlock_retries"`
+	MemlockEvictions  int64 `json:"memlock_evictions"`
+	// Transient completion errors injected and the MPI layer's reposts.
+	WRErrors  int64 `json:"wr_errors"`
+	WRRetries int64 `json:"wr_retries"`
+	// Cached HCA translations dropped by injected forced eviction.
+	ATTEvictions int64 `json:"att_evictions"`
 }
 
 // Stats snapshots every layer of the node.
@@ -93,6 +124,7 @@ func (n *Node) Stats() Stats {
 	al := n.Alloc.Stats()
 	pm := n.Mem.Stats()
 	as := n.AS.Stats()
+	fj := n.inj.Stats()
 	return Stats{
 		Machine:   n.cfg.Machine.Name,
 		Allocator: string(n.cfg.Allocator),
@@ -118,6 +150,7 @@ func (n *Node) Stats() Stats {
 			RegTicks:        reg.RegTicks,
 			DeregTicks:      reg.DeregTicks,
 			PagesPinned:     reg.PagesPinned,
+			PinnedBytes:     reg.PinnedBytes,
 		},
 		Cache: CacheStats{
 			Hits:        rc.Hits,
@@ -127,22 +160,37 @@ func (n *Node) Stats() Stats {
 			PeakPinned:  rc.PeakPinned,
 		},
 		Alloc: AllocStats{
-			Allocs:     al.Allocs,
-			Frees:      al.Frees,
-			Ticks:      al.Ticks,
-			Syscalls:   al.Syscalls,
-			HugeBytes:  al.HugeBytes,
-			SmallBytes: al.SmallBytes,
-			LiveBytes:  al.LiveBytes,
-			PeakLive:   al.PeakLive,
+			Allocs:          al.Allocs,
+			Frees:           al.Frees,
+			Ticks:           al.Ticks,
+			Syscalls:        al.Syscalls,
+			HugeBytes:       al.HugeBytes,
+			SmallBytes:      al.SmallBytes,
+			LiveBytes:       al.LiveBytes,
+			PeakLive:        al.PeakLive,
+			FallbackToSmall: al.FallbackToSmall,
+			FallbackBytes:   al.FallbackBytes,
 		},
 		Mem: MemStats{
-			HugePagesUsed: int64(pm.HugeAllocated),
-			HugePagesPeak: int64(pm.HugePeak),
-			HugeFailures:  pm.HugeFailures,
-			MappedSmall:   as.MappedSmall,
-			MappedHuge:    as.MappedHuge,
-			HugeFallbacks: as.HugeFallbacks,
+			HugePagesUsed:     int64(pm.HugeAllocated),
+			HugePagesPeak:     int64(pm.HugePeak),
+			HugeFailures:      pm.HugeFailures,
+			MappedSmall:       as.MappedSmall,
+			MappedHuge:        as.MappedHuge,
+			HugeFallbacks:     as.HugeFallbacks,
+			HugeFallbackBytes: as.HugeFallbackBytes,
+		},
+		Faults: FaultStats{
+			Spec:              n.inj.Spec().String(),
+			InjectedHugeFails: pm.HugeInjected,
+			PoolPagesRemoved:  pm.HugeRemoved,
+			MemlockLimit:      n.inj.MemlockLimit(),
+			MemlockRejections: reg.MemlockRejections,
+			MemlockRetries:    rc.MemlockRetries,
+			MemlockEvictions:  rc.MemlockEvictions,
+			WRErrors:          fj.WRErrors,
+			WRRetries:         fj.WRRetries,
+			ATTEvictions:      hw.ATTEvictions,
 		},
 	}
 }
@@ -167,6 +215,7 @@ func (s *Stats) Add(other Stats) {
 	s.Reg.RegTicks += other.Reg.RegTicks
 	s.Reg.DeregTicks += other.Reg.DeregTicks
 	s.Reg.PagesPinned += other.Reg.PagesPinned
+	s.Reg.PinnedBytes += other.Reg.PinnedBytes
 	s.Cache.Hits += other.Cache.Hits
 	s.Cache.Misses += other.Cache.Misses
 	s.Cache.Evictions += other.Cache.Evictions
@@ -180,12 +229,29 @@ func (s *Stats) Add(other Stats) {
 	s.Alloc.SmallBytes += other.Alloc.SmallBytes
 	s.Alloc.LiveBytes += other.Alloc.LiveBytes
 	s.Alloc.PeakLive += other.Alloc.PeakLive
+	s.Alloc.FallbackToSmall += other.Alloc.FallbackToSmall
+	s.Alloc.FallbackBytes += other.Alloc.FallbackBytes
 	s.Mem.HugePagesUsed += other.Mem.HugePagesUsed
 	s.Mem.HugePagesPeak += other.Mem.HugePagesPeak
 	s.Mem.HugeFailures += other.Mem.HugeFailures
 	s.Mem.MappedSmall += other.Mem.MappedSmall
 	s.Mem.MappedHuge += other.Mem.MappedHuge
 	s.Mem.HugeFallbacks += other.Mem.HugeFallbacks
+	s.Mem.HugeFallbackBytes += other.Mem.HugeFallbackBytes
+	if s.Faults.Spec == "" {
+		s.Faults.Spec = other.Faults.Spec
+	}
+	if s.Faults.MemlockLimit == 0 {
+		s.Faults.MemlockLimit = other.Faults.MemlockLimit
+	}
+	s.Faults.InjectedHugeFails += other.Faults.InjectedHugeFails
+	s.Faults.PoolPagesRemoved += other.Faults.PoolPagesRemoved
+	s.Faults.MemlockRejections += other.Faults.MemlockRejections
+	s.Faults.MemlockRetries += other.Faults.MemlockRetries
+	s.Faults.MemlockEvictions += other.Faults.MemlockEvictions
+	s.Faults.WRErrors += other.Faults.WRErrors
+	s.Faults.WRRetries += other.Faults.WRRetries
+	s.Faults.ATTEvictions += other.Faults.ATTEvictions
 }
 
 // Sum totals a set of per-node snapshots (empty input gives zero Stats).

@@ -1,0 +1,99 @@
+package phys
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/machine"
+)
+
+func spec(t *testing.T, s string) *faults.Spec {
+	t.Helper()
+	sp, err := faults.ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestPoolCapTrimsAtAttach(t *testing.T) {
+	m := testMem(t)
+	total := m.HugeTotal()
+	m.SetFaults(faults.New(spec(t, "seed=1,hugecap=8"), 0))
+	if got := m.HugeAvailable(); got != 8 {
+		t.Fatalf("capped pool exposes %d pages, want 8", got)
+	}
+	st := m.Stats()
+	if st.HugeRemoved != int64(total-8) {
+		t.Fatalf("HugeRemoved = %d, want %d", st.HugeRemoved, total-8)
+	}
+}
+
+func TestInjectedHugeFailIsOutOfHugepages(t *testing.T) {
+	m := testMem(t)
+	m.SetFaults(faults.New(spec(t, "seed=1,hugefail=1"), 0)) // every call fails
+	_, err := m.AllocHuge()
+	if !errors.Is(err, ErrOutOfHugepages) {
+		t.Fatalf("got %v, want ErrOutOfHugepages", err)
+	}
+	st := m.Stats()
+	if st.HugeInjected != 1 || st.HugeFailures != 1 {
+		t.Fatalf("injected failure not counted: %+v", st)
+	}
+	if m.HugeAvailable() == 0 {
+		t.Fatal("spurious refusal should not consume pages")
+	}
+}
+
+func TestShrinkRemovesFreePages(t *testing.T) {
+	m := testMem(t)
+	m.SetFaults(faults.New(spec(t, "seed=1,shrink=1:3"), 0)) // shrink on every call
+	before := m.HugeAvailable()
+	if _, err := m.AllocHuge(); err != nil {
+		t.Fatal(err)
+	}
+	// One page allocated, three removed by the shrink.
+	if got := m.HugeAvailable(); got != before-4 {
+		t.Fatalf("available = %d, want %d", got, before-4)
+	}
+	if st := m.Stats(); st.HugeRemoved != 3 {
+		t.Fatalf("HugeRemoved = %d, want 3", st.HugeRemoved)
+	}
+}
+
+func TestCoWAllocExemptFromInjection(t *testing.T) {
+	m := testMem(t)
+	m.SetFaults(faults.New(spec(t, "seed=1,hugefail=1"), 0))
+	if _, err := m.AllocHugeCoW(); err != nil {
+		t.Fatalf("CoW allocation should bypass injected refusals: %v", err)
+	}
+}
+
+func TestReserveComposesAndValidates(t *testing.T) {
+	m := NewMemory(machine.Opteron())
+	if err := m.Reserve(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reserve(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Reserved(); got != 10 {
+		t.Fatalf("reserves should compose: held %d, want 10", got)
+	}
+	if err := m.Reserve(m.HugeTotal()); !errors.Is(err, ErrBadReserve) {
+		t.Fatalf("overcommitting reserve: got %v, want ErrBadReserve", err)
+	}
+	if got := m.Reserved(); got != 10 {
+		t.Fatalf("failed Reserve changed the hold: %d", got)
+	}
+	if err := m.Unreserve(11); !errors.Is(err, ErrBadReserve) {
+		t.Fatalf("over-release: got %v, want ErrBadReserve", err)
+	}
+	if err := m.Unreserve(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reserve(-1); !errors.Is(err, ErrBadReserve) {
+		t.Fatalf("negative reserve: got %v, want ErrBadReserve", err)
+	}
+}

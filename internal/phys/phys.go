@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 )
 
@@ -37,6 +38,7 @@ var (
 	ErrOutOfHugepages = errors.New("phys: hugepage pool exhausted")
 	ErrReserveHeld    = errors.New("phys: request would dip into the CoW reserve")
 	ErrDoubleFree     = errors.New("phys: double free")
+	ErrBadReserve     = errors.New("phys: reserve exceeds hugepage pool")
 )
 
 // Memory is the physical memory of one node. It is safe for concurrent use
@@ -60,9 +62,15 @@ type Memory struct {
 	hugeTotal int
 	hugeFree  []int
 	hugeBusy  map[int]bool
-	// hugeReserved is the number of pool pages a process holds back for
-	// fork/CoW; AllocHuge refuses to hand them out.
+	// hugeReserved is the number of pool pages held back for fork/CoW;
+	// AllocHuge refuses to hand them out. Reservations compose: every
+	// Reserve call adds to the total (and validates it against the pool)
+	// so several components sharing one Memory each keep their own hold.
 	hugeReserved int
+
+	// inj, when set, injects hugepage-pool faults (spurious allocation
+	// failures, mid-run pool shrinks). Nil = no faults.
+	inj *faults.Injector
 
 	stats Stats
 
@@ -76,6 +84,8 @@ type Stats struct {
 	HugeAllocated  int // currently allocated hugepages
 	HugePeak       int
 	HugeFailures   int64 // AllocHuge calls refused
+	HugeInjected   int64 // refusals that were injected faults
+	HugeRemoved    int64 // free pages removed by fault injection (cap + shrink)
 }
 
 // NewMemory builds the physical memory of one machine: the hugepage pool
@@ -136,12 +146,45 @@ func (m *Memory) FreeFrame(f Frame) error {
 	return nil
 }
 
+// SetFaults attaches a fault injector. An injector with a pool cap
+// immediately trims the free list to the cap, modeling a host whose
+// hugetlbfs pool is smaller than the machine description promises.
+func (m *Memory) SetFaults(inj *faults.Injector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inj = inj
+	if cap := inj.HugePoolCap(); cap > 0 && len(m.hugeFree) > cap {
+		m.removeFreeLocked(len(m.hugeFree) - cap)
+	}
+}
+
+// removeFreeLocked permanently drops up to n free hugepages from the
+// pool (the pages that would have been handed out last, keeping the
+// imminent allocation order stable).
+func (m *Memory) removeFreeLocked(n int) {
+	if n > len(m.hugeFree) {
+		n = len(m.hugeFree)
+	}
+	m.hugeFree = m.hugeFree[n:]
+	m.stats.HugeRemoved += int64(n)
+}
+
 // AllocHuge hands out one hugepage and returns its first frame. The
 // returned extent of machine.SmallPerHuge frames is physically contiguous.
 // It fails with ErrReserveHeld if only reserved pages remain.
 func (m *Memory) AllocHuge() (Frame, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if fail, shrink := m.inj.HugeAllocFault(); fail || shrink > 0 {
+		if shrink > 0 {
+			m.removeFreeLocked(shrink)
+		}
+		if fail {
+			m.stats.HugeFailures++
+			m.stats.HugeInjected++
+			return 0, fmt.Errorf("injected fault: %w", ErrOutOfHugepages)
+		}
+	}
 	if len(m.hugeFree) == 0 {
 		m.stats.HugeFailures++
 		return 0, ErrOutOfHugepages
@@ -179,7 +222,9 @@ func (m *Memory) FreeHuge(f Frame) error {
 
 // AllocHugeCoW hands out one hugepage for a copy-on-write break. Unlike
 // AllocHuge it may dig into the reserve — satisfying fork/CoW demand is
-// exactly what the reserve is held back for.
+// exactly what the reserve is held back for. It is also exempt from
+// injected spurious failures for the same reason (though a fault-shrunk
+// pool can still genuinely run dry underneath it).
 func (m *Memory) AllocHugeCoW() (Frame, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -197,17 +242,47 @@ func (m *Memory) AllocHugeCoW() (Frame, error) {
 	return m.hugeBase + Frame(idx)*machine.SmallPerHuge, nil
 }
 
-// Reserve sets aside n hugepages that AllocHuge may not hand out; this is
-// the fork/CoW reserve of the paper's mapping layer. Raising the reserve
-// above the currently free count is allowed: it simply means all remaining
-// free pages are held back.
-func (m *Memory) Reserve(n int) {
+// Reserve sets aside n additional hugepages that AllocHuge may not hand
+// out; this is the fork/CoW reserve of the paper's mapping layer.
+// Reservations compose — each caller's hold adds to the total, so
+// several hugepage libraries sharing one Memory don't silently clobber
+// each other (the old semantics: last caller wins). The combined
+// reserve is validated against the boot-time pool size; a request that
+// would push it past the pool fails with ErrBadReserve and leaves the
+// reserve unchanged. Undo a hold with Unreserve.
+func (m *Memory) Reserve(n int) error {
 	if n < 0 {
-		panic("phys: negative reserve")
+		return fmt.Errorf("%w: negative reserve %d", ErrBadReserve, n)
 	}
 	m.mu.Lock()
-	m.hugeReserved = n
-	m.mu.Unlock()
+	defer m.mu.Unlock()
+	if m.hugeReserved+n > m.hugeTotal {
+		return fmt.Errorf("%w: %d already held + %d requested > pool of %d",
+			ErrBadReserve, m.hugeReserved, n, m.hugeTotal)
+	}
+	m.hugeReserved += n
+	return nil
+}
+
+// Unreserve releases n pages of a hold taken with Reserve.
+func (m *Memory) Unreserve(n int) error {
+	if n < 0 {
+		return fmt.Errorf("%w: negative unreserve %d", ErrBadReserve, n)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > m.hugeReserved {
+		return fmt.Errorf("%w: releasing %d but only %d held", ErrBadReserve, n, m.hugeReserved)
+	}
+	m.hugeReserved -= n
+	return nil
+}
+
+// Reserved reports the combined fork/CoW hold.
+func (m *Memory) Reserved() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hugeReserved
 }
 
 // HugeAvailable reports how many hugepages AllocHuge could currently

@@ -85,11 +85,15 @@ func TestHugePoolExhaustion(t *testing.T) {
 func TestReserveBlocksAllocation(t *testing.T) {
 	m := testMem(t)
 	avail := m.HugeAvailable()
-	m.Reserve(avail) // hold everything back
+	if err := m.Reserve(avail); err != nil { // hold everything back
+		t.Fatal(err)
+	}
 	if _, err := m.AllocHuge(); !errors.Is(err, ErrReserveHeld) {
 		t.Fatalf("got %v, want ErrReserveHeld", err)
 	}
-	m.Reserve(avail - 1)
+	if err := m.Unreserve(1); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := m.AllocHuge(); err != nil {
 		t.Fatalf("one page above reserve should allocate: %v", err)
 	}

@@ -1,0 +1,69 @@
+package regcache_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/node/nodetest"
+	"repro/internal/regcache"
+	"repro/internal/verbs"
+)
+
+// memctx builds a verbs context with an RLIMIT_MEMLOCK ceiling.
+func memctx(t *testing.T, limit int64) *verbs.Context {
+	t.Helper()
+	c := nodetest.New(t, machine.Opteron()).Verbs
+	c.MemlockLimit = limit
+	return c
+}
+
+func TestEvictAndRetryUnderMemlock(t *testing.T) {
+	c := memctx(t, 1536<<10) // one 1 MiB registration fits, two don't
+	rc := regcache.New(c, true)
+	vaA, _ := c.AS.MapSmall(1 << 20)
+	vaB, _ := c.AS.MapSmall(1 << 20)
+
+	mrA, _, err := rc.Acquire(vaA, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Release(mrA); err != nil { // idle but cached (lazy dereg)
+		t.Fatal(err)
+	}
+	// B doesn't fit beside the cached A: the cache must evict A's idle
+	// registration and retry rather than surface the ceiling.
+	mrB, _, err := rc.Acquire(vaB, 1<<20)
+	if err != nil {
+		t.Fatalf("acquire under ceiling with an evictable entry: %v", err)
+	}
+	st := rc.Stats()
+	if st.MemlockRetries != 1 {
+		t.Fatalf("MemlockRetries = %d, want 1", st.MemlockRetries)
+	}
+	if st.MemlockEvictions == 0 {
+		t.Fatal("no evictions recorded for the recovery")
+	}
+	if _, err := rc.Release(mrB); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemlockFailureWhenNothingEvictable(t *testing.T) {
+	c := memctx(t, 1536<<10)
+	rc := regcache.New(c, true)
+	vaA, _ := c.AS.MapSmall(1 << 20)
+	vaB, _ := c.AS.MapSmall(1 << 20)
+
+	// A stays acquired (refs > 0): not a legal eviction victim.
+	if _, _, err := rc.Acquire(vaA, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := rc.Acquire(vaB, 1<<20)
+	if !errors.Is(err, verbs.ErrMemlockExceeded) {
+		t.Fatalf("got %v, want ErrMemlockExceeded (live entries hold the budget)", err)
+	}
+	if st := rc.Stats(); st.MemlockRetries != 0 {
+		t.Fatalf("no retry should be counted when nothing was evicted: %+v", st)
+	}
+}

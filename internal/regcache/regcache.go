@@ -10,6 +10,7 @@ package regcache
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 
 	"repro/internal/simtime"
@@ -21,6 +22,14 @@ import (
 // tree/hash walk in the MPI library).
 const lookupTicks = simtime.Ticks(40)
 
+// memlockRetryLimit bounds how many evict-and-retry rounds Acquire runs
+// when registration fails at the RLIMIT_MEMLOCK ceiling. Each round
+// drops enough idle LRU entries to cover the request, so a round that
+// evicted something and still failed means live registrations hold the
+// budget — more rounds can't help for long, and an unbounded loop could
+// live-lock two ranks registering in lockstep.
+const memlockRetryLimit = 3
+
 // Stats counts cache behaviour.
 type Stats struct {
 	Hits, Misses int64
@@ -29,6 +38,11 @@ type Stats struct {
 	PeakPinned   int64
 	RegTicks     simtime.Ticks // time spent registering on misses
 	DeregTicks   simtime.Ticks
+	// MemlockRetries counts registrations that succeeded only after
+	// evicting idle entries at the RLIMIT_MEMLOCK ceiling;
+	// MemlockEvictions counts the entries dropped to make room.
+	MemlockRetries   int64
+	MemlockEvictions int64
 }
 
 type entry struct {
@@ -117,7 +131,7 @@ func (c *Cache) Acquire(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, erro
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	mr, regCost, err := c.ctx.RegMR(va, length)
+	mr, regCost, err := c.regWithEvict(va, length)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -151,6 +165,62 @@ func (c *Cache) Acquire(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, erro
 		}
 	}
 	return mr, cost, nil
+}
+
+// regWithEvict registers [va, va+length), recovering from registration
+// failures at the RLIMIT_MEMLOCK ceiling by evicting idle
+// least-recently-used entries and retrying, a bounded number of rounds.
+// This is the graceful-degradation half of the memlock model: the pin-
+// down cache trades its oldest idle registrations for the one the
+// transfer needs right now. The returned cost includes the synchronous
+// deregistrations — unlike normal (deferred) eviction, the caller is
+// stalled on them.
+func (c *Cache) regWithEvict(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, error) {
+	mr, cost, err := c.ctx.RegMR(va, length)
+	for attempt := 0; err != nil && errors.Is(err, verbs.ErrMemlockExceeded) && attempt < memlockRetryLimit; attempt++ {
+		c.mu.Lock()
+		victims := c.evictForMemlockLocked(int64(length))
+		c.mu.Unlock()
+		if len(victims) == 0 {
+			break // everything pinned is in use; the ceiling is real
+		}
+		for _, victim := range victims {
+			d, derr := c.ctx.DeregMR(victim)
+			if derr != nil {
+				return nil, 0, derr
+			}
+			cost += d
+		}
+		c.mu.Lock()
+		c.stats.MemlockRetries++
+		c.mu.Unlock()
+		var rc simtime.Ticks
+		mr, rc, err = c.ctx.RegMR(va, length)
+		cost += rc
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return mr, cost, nil
+}
+
+// evictForMemlockLocked picks idle LRU entries covering at least `need`
+// bytes and retires them. Callers hold the lock and deregister the
+// returned MRs.
+func (c *Cache) evictForMemlockLocked(need int64) []*verbs.MR {
+	var victims []*verbs.MR
+	freed := int64(0)
+	for ele := c.lru.Back(); ele != nil && freed < need; {
+		prev := ele.Prev()
+		if e := c.entries[ele.Value.(vm.VA)]; e != nil && e.refs == 0 {
+			freed += int64(e.mr.Length)
+			c.stats.Evictions++
+			c.stats.MemlockEvictions++
+			victims = append(victims, c.retireLocked(e)...)
+		}
+		ele = prev
+	}
+	return victims
 }
 
 // retireLocked removes an entry from the cache index. It returns the MR

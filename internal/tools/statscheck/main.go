@@ -1,0 +1,41 @@
+// Command statscheck validates a -stats document from any of the cmd/
+// tools against the shared telemetry schema. It strictly decodes stdin
+// as []node.Report (unknown fields are errors in both directions —
+// TestReportSchemaIsClosed in internal/node guards the reverse) and
+// exits non-zero on any mismatch. CI pipes every tool's output through
+// it so the six tools cannot drift apart.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/node"
+)
+
+func main() {
+	dec := json.NewDecoder(os.Stdin)
+	dec.DisallowUnknownFields()
+	var reports []node.Report
+	if err := dec.Decode(&reports); err != nil {
+		fmt.Fprintf(os.Stderr, "statscheck: not valid []node.Report: %v\n", err)
+		os.Exit(1)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		fmt.Fprintln(os.Stderr, "statscheck: trailing data after the report array")
+		os.Exit(1)
+	}
+	if len(reports) == 0 {
+		fmt.Fprintln(os.Stderr, "statscheck: empty report array")
+		os.Exit(1)
+	}
+	for i, r := range reports {
+		if r.Tool == "" || len(r.Nodes) == 0 {
+			fmt.Fprintf(os.Stderr, "statscheck: report %d missing tool name or nodes\n", i)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("statscheck: ok (%d report(s), tool %q)\n", len(reports), reports[0].Tool)
+}

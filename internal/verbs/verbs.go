@@ -21,6 +21,7 @@
 package verbs
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -29,6 +30,12 @@ import (
 	"repro/internal/simtime"
 	"repro/internal/vm"
 )
+
+// ErrMemlockExceeded reports a registration refused because it would
+// push the process's pinned bytes past the RLIMIT_MEMLOCK ceiling.
+// Callers with a cache of idle registrations (regcache) can recover by
+// evicting and retrying.
+var ErrMemlockExceeded = errors.New("verbs: RLIMIT_MEMLOCK exceeded")
 
 // MR is a user-visible registered memory region.
 type MR struct {
@@ -41,6 +48,9 @@ type MR struct {
 	Entries int
 
 	hw *hca.MR
+	// pinnedBytes is the page-rounded footprint charged against the
+	// memlock budget; DeregMR gives it back.
+	pinnedBytes int64
 }
 
 // Stats counts registration activity and time, so benchmarks can separate
@@ -51,6 +61,11 @@ type Stats struct {
 	RegTicks        simtime.Ticks
 	DeregTicks      simtime.Ticks
 	PagesPinned     int64
+	// PinnedBytes is the current page-rounded registered footprint —
+	// what RLIMIT_MEMLOCK meters.
+	PinnedBytes int64
+	// MemlockRejections counts registrations refused at the ceiling.
+	MemlockRejections int64
 }
 
 // Context is one process's verbs context.
@@ -59,6 +74,9 @@ type Context struct {
 	HW *hca.HCA
 	// HugeATT enables the hugepage-translation driver patch.
 	HugeATT bool
+	// MemlockLimit caps the registered (pinned) footprint in bytes,
+	// modeling RLIMIT_MEMLOCK; 0 = unlimited. Set before first use.
+	MemlockLimit int64
 
 	mach *machine.Machine
 
@@ -89,8 +107,30 @@ func (c *Context) RegMR(va vm.VA, length uint64) (*MR, simtime.Ticks, error) {
 	// Steps 1+2: pin and translate, per actual page.
 	cost += simtime.Ticks(len(pages)) * (c.mach.Mem.PinTicks + c.mach.Mem.TranslateTicks)
 
+	// RLIMIT_MEMLOCK: the page-rounded footprint is what the kernel
+	// charges; reserve it atomically so concurrent registrations can't
+	// jointly slip past the ceiling.
+	var pinned int64
+	for _, p := range pages {
+		pinned += int64(p.Class.Size())
+	}
+	c.mu.Lock()
+	if c.MemlockLimit > 0 && c.stats.PinnedBytes+pinned > c.MemlockLimit {
+		held := c.stats.PinnedBytes
+		c.stats.MemlockRejections++
+		c.mu.Unlock()
+		_ = c.AS.Unpin(va, length)
+		return nil, 0, fmt.Errorf("verbs: %d pinned + %d requested > limit %d: %w",
+			held, pinned, c.MemlockLimit, ErrMemlockExceeded)
+	}
+	c.stats.PinnedBytes += pinned
+	c.mu.Unlock()
+
 	hw, err := c.HW.InstallMR(va, length, pages, c.HugeATT)
 	if err != nil {
+		c.mu.Lock()
+		c.stats.PinnedBytes -= pinned
+		c.mu.Unlock()
 		_ = c.AS.Unpin(va, length)
 		return nil, 0, fmt.Errorf("verbs: install: %w", err)
 	}
@@ -99,13 +139,14 @@ func (c *Context) RegMR(va vm.VA, length uint64) (*MR, simtime.Ticks, error) {
 	cost += simtime.Ticks(batches) * c.mach.HCA.MTTPushTicks
 
 	mr := &MR{
-		VA:      va,
-		Length:  length,
-		LKey:    hw.LKey,
-		RKey:    hw.RKey,
-		Huge:    pages[0].Class == vm.Huge,
-		Entries: hw.NumEntries(),
-		hw:      hw,
+		VA:          va,
+		Length:      length,
+		LKey:        hw.LKey,
+		RKey:        hw.RKey,
+		Huge:        pages[0].Class == vm.Huge,
+		Entries:     hw.NumEntries(),
+		hw:          hw,
+		pinnedBytes: pinned,
 	}
 	c.mu.Lock()
 	c.stats.Registrations++
@@ -133,6 +174,7 @@ func (c *Context) DeregMR(mr *MR) (simtime.Ticks, error) {
 	c.mu.Lock()
 	c.stats.Deregistrations++
 	c.stats.DeregTicks += cost
+	c.stats.PinnedBytes -= mr.pinnedBytes
 	c.mu.Unlock()
 	return cost, nil
 }
@@ -159,10 +201,12 @@ func (c *Context) Stats() Stats {
 	return c.stats
 }
 
-// ResetStats zeroes the registration counters (between benchmark phases).
+// ResetStats zeroes the registration counters (between benchmark
+// phases). PinnedBytes is a live gauge backing the memlock budget, not
+// a phase counter — it survives the reset.
 func (c *Context) ResetStats() {
 	c.mu.Lock()
-	c.stats = Stats{}
+	c.stats = Stats{PinnedBytes: c.stats.PinnedBytes}
 	c.mu.Unlock()
 }
 

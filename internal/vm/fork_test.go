@@ -100,7 +100,9 @@ func TestCoWReserveIsWhatSavesFork(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		mem.Reserve(reserve)
+		if err := mem.Reserve(reserve); err != nil {
+			return err
+		}
 		// Drain everything above the reserve.
 		for {
 			if _, err := mem.AllocHuge(); err != nil {

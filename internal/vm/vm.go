@@ -103,12 +103,13 @@ type AddressSpace struct {
 
 // Stats counts translation activity for the PAPI facade and tests.
 type Stats struct {
-	MappedSmall   int64 // currently mapped small pages
-	MappedHuge    int64 // currently mapped hugepages
-	Pins, Unpins  int64
-	Translations  int64
-	HugeFallbacks int64 // MapHuge requests satisfied with small pages
-	CoWBreaks     int64 // private copies made on write after a fork
+	MappedSmall       int64 // currently mapped small pages
+	MappedHuge        int64 // currently mapped hugepages
+	Pins, Unpins      int64
+	Translations      int64
+	HugeFallbacks     int64 // MapHuge requests satisfied with small pages
+	HugeFallbackBytes int64 // cumulative bytes those fallbacks mapped
+	CoWBreaks         int64 // private copies made on write after a fork
 }
 
 // New creates an empty address space backed by the node's physical memory.
@@ -256,6 +257,7 @@ func (as *AddressSpace) MapHugeOrSmall(size uint64) (VA, bool, error) {
 	}
 	as.mmapNext += VA(sz)
 	as.regions = append(as.regions, region{start, sz, Small})
+	as.stats.HugeFallbackBytes += int64(sz)
 	return start, false, nil
 }
 

@@ -144,7 +144,9 @@ func TestUnpinWithoutPin(t *testing.T) {
 func TestMapHugeOrSmallFallback(t *testing.T) {
 	n := testHost(t)
 	mem, as := n.Mem, n.AS
-	mem.Reserve(mem.HugeTotal()) // pool fully reserved -> force fallback
+	if err := mem.Reserve(mem.HugeTotal()); err != nil { // pool fully reserved -> force fallback
+		t.Fatal(err)
+	}
 	va, huge, err := as.MapHugeOrSmall(machine.HugePageSize)
 	if err != nil {
 		t.Fatal(err)
@@ -158,7 +160,9 @@ func TestMapHugeOrSmallFallback(t *testing.T) {
 	if as.Stats().HugeFallbacks != 1 {
 		t.Fatal("fallback not counted")
 	}
-	mem.Reserve(0)
+	if err := mem.Unreserve(mem.HugeTotal()); err != nil {
+		t.Fatal(err)
+	}
 	_, huge, err = as.MapHugeOrSmall(machine.HugePageSize)
 	if err != nil || !huge {
 		t.Fatalf("expected hugepage success, got huge=%v err=%v", huge, err)

@@ -16,6 +16,7 @@ package wrbench
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/hca"
 	"repro/internal/machine"
 	"repro/internal/node"
@@ -42,6 +43,7 @@ func (r Result) Total() simtime.Ticks { return r.PostTicks + r.PollTicks }
 // rig is a pair of connected systems with an RC queue pair between them.
 type rig struct {
 	m          *machine.Machine
+	nodes      []*node.Node // sender, receiver — retained for telemetry
 	send, recv *verbs.Context
 	sendBuf    vm.VA
 	recvBuf    vm.VA
@@ -54,16 +56,23 @@ type rig struct {
 
 // newRig builds sender and receiver with registered buffers laid out so
 // that SGE i starts at (i*PageSize + offset): each data piece sits at the
-// chosen offset within its own memory page, as in the paper's test.
-func newRig(m *machine.Machine, maxSGEs int) (*rig, error) {
+// chosen offset within its own memory page, as in the paper's test. A
+// non-nil fault spec arms both hosts, salted by side, so a sweep under
+// pressure replays bit-identically.
+func newRig(m *machine.Machine, maxSGEs int, spec *faults.Spec) (*rig, error) {
 	span := uint64(maxSGEs+1) * machine.SmallPageSize * 2
-	mk := func() (*verbs.Context, vm.VA, *verbs.MR, error) {
+	rg := &rig{m: m, span: span}
+	mk := func(salt uint64) (*verbs.Context, vm.VA, *verbs.MR, error) {
 		// The Section 4 rig's hosts are less aged than a long-running MPI
 		// node; half the default scramble depth matches the seed setup.
-		n, err := node.New(node.Config{Machine: m, ScrambleDepth: node.DefaultScramble / 2})
+		n, err := node.New(node.Config{
+			Machine: m, ScrambleDepth: node.DefaultScramble / 2,
+			Faults: spec, FaultSalt: salt,
+		})
 		if err != nil {
 			return nil, 0, nil, err
 		}
+		rg.nodes = append(rg.nodes, n)
 		ctx := n.Verbs
 		va, err := n.AS.MapSmall(span)
 		if err != nil {
@@ -75,16 +84,17 @@ func newRig(m *machine.Machine, maxSGEs int) (*rig, error) {
 		}
 		return ctx, va, mr, nil
 	}
-	sctx, sva, smr, err := mk()
+	sctx, sva, smr, err := mk(0)
 	if err != nil {
 		return nil, err
 	}
-	rctx, rva, rmr, err := mk()
+	rctx, rva, rmr, err := mk(1)
 	if err != nil {
 		return nil, err
 	}
-	rg := &rig{m: m, send: sctx, recv: rctx,
-		sendBuf: sva, recvBuf: rva, sendMR: smr, recvMR: rmr, span: span}
+	rg.send, rg.recv = sctx, rctx
+	rg.sendBuf, rg.recvBuf = sva, rva
+	rg.sendMR, rg.recvMR = smr, rmr
 	// A reliable connection between the two systems, with generous queue
 	// depths (the sweep reuses one connection for every combination).
 	rg.sendQP, err = sctx.HW.CreateQP(hca.NewCQ(1024), hca.NewCQ(1024), 256, 256)
@@ -194,46 +204,95 @@ func (rg *rig) measure(sges, sgeSize, offset int) (Result, error) {
 // SGESweep reproduces Figure 3: work-request duration for each SGE count
 // over a ladder of SGE sizes, at the default offset 64.
 func SGESweep(m *machine.Machine, sgeCounts, sgeSizes []int) ([]Result, error) {
+	out, _, err := SGESweepNodeStats(m, sgeCounts, sgeSizes, nil)
+	return out, err
+}
+
+// SGESweepNodeStats is SGESweep with fault injection and telemetry: it
+// arms both rig hosts with spec, and afterwards drives a third
+// probe host (hugepage allocator, lazy deregistration) through
+// node.DegradationProbe so the sweep's -stats output carries
+// allocation-fallback and memlock-recovery counters even though the
+// Section 4 rig itself never calls an allocator. Snapshots are returned
+// in order sender, receiver, probe.
+func SGESweepNodeStats(m *machine.Machine, sgeCounts, sgeSizes []int, spec *faults.Spec) ([]Result, []node.Stats, error) {
 	maxSGEs := 1
 	for _, c := range sgeCounts {
 		if c > maxSGEs {
 			maxSGEs = c
 		}
 	}
-	rg, err := newRig(m, maxSGEs)
+	rg, err := newRig(m, maxSGEs, spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []Result
 	for _, c := range sgeCounts {
 		for _, s := range sgeSizes {
 			res, err := rg.measure(c, s, 64)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			out = append(out, res)
 		}
 	}
-	return out, nil
+	st, err := rg.nodeStats(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, st, nil
 }
 
 // OffsetSweep reproduces Figure 4: work-request duration with 1 SGE for
 // each (offset, buffer size) combination.
 func OffsetSweep(m *machine.Machine, offsets, sizes []int) ([]Result, error) {
-	rg, err := newRig(m, 1)
+	out, _, err := OffsetSweepNodeStats(m, offsets, sizes, nil)
+	return out, err
+}
+
+// OffsetSweepNodeStats is OffsetSweep with fault injection and
+// telemetry, shaped exactly like SGESweepNodeStats.
+func OffsetSweepNodeStats(m *machine.Machine, offsets, sizes []int, spec *faults.Spec) ([]Result, []node.Stats, error) {
+	rg, err := newRig(m, 1, spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var out []Result
 	for _, size := range sizes {
 		for _, off := range offsets {
 			res, err := rg.measure(1, size, off)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			out = append(out, res)
 		}
 	}
+	st, err := rg.nodeStats(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, st, nil
+}
+
+// nodeStats snapshots the rig hosts and appends a degradation-probe
+// host: salt 2, hugepage allocator, lazy deregistration — the
+// configuration on which every fault class in spec can land.
+func (rg *rig) nodeStats(spec *faults.Spec) ([]node.Stats, error) {
+	probe, err := node.New(node.Config{
+		Machine: rg.m, Allocator: node.AllocHuge, LazyDereg: true,
+		Faults: spec, FaultSalt: 2,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wrbench: probe host: %w", err)
+	}
+	if err := probe.DegradationProbe(); err != nil {
+		return nil, fmt.Errorf("wrbench: degradation probe: %w", err)
+	}
+	out := make([]node.Stats, 0, len(rg.nodes)+1)
+	for _, n := range rg.nodes {
+		out = append(out, n.Stats())
+	}
+	out = append(out, probe.Stats())
 	return out, nil
 }
 

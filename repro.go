@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/imb"
 	"repro/internal/machine"
 	"repro/internal/mpi"
@@ -66,6 +67,13 @@ type (
 	// NodeStats is one host's aggregated telemetry snapshot; every Rank
 	// of a Cluster exposes it through Rank.NodeStats().
 	NodeStats = node.Stats
+	// NodeStatsReport is the shared -stats JSON record every cmd tool
+	// emits (a []NodeStatsReport array).
+	NodeStatsReport = node.Report
+	// FaultSpec is a deterministic fault-injection configuration; plug
+	// it into ClusterConfig.Faults or NodeConfig.Faults. A nil *FaultSpec
+	// disables injection.
+	FaultSpec = faults.Spec
 	// NASResult is the outcome of one NAS kernel run.
 	NASResult = nas.Result
 	// Fig6Row is one benchmark's improvement split.
@@ -85,6 +93,11 @@ var (
 
 // MachineByName resolves "opteron", "xeon" or "systemp".
 func MachineByName(name string) *Machine { return machine.ByName(name) }
+
+// ParseFaultSpec parses the -faults syntax shared by the cmd tools,
+// e.g. "seed=7,hugecap=8,memlock=16m". Empty input returns (nil, nil):
+// faults disabled.
+func ParseFaultSpec(s string) (*FaultSpec, error) { return faults.ParseSpec(s) }
 
 // Machines returns all three systems in the paper's order.
 func Machines() []*Machine { return machine.All() }
