@@ -1,0 +1,31 @@
+# Single entry points for the checks CI runs. `make lint` is the gate:
+# it must pass before any commit lands, and CI fails on any diagnostic.
+
+GO ?= go
+
+.PHONY: all build test race lint lint-analyzers
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mpi/... ./internal/nas/...
+
+# lint: gofmt, go vet, and the repo's own analyzer suite (reprolint:
+# determinism, maporder, statspairing, nilspec — see DESIGN.md §7),
+# plus the analyzers' own fixture tests so the suite can't rot.
+lint: lint-analyzers
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/reprolint ./...
+
+# lint-analyzers: run reprolint's analyzers over their own testdata in
+# analysistest mode (every // want expectation must fire, nothing else).
+lint-analyzers:
+	$(GO) test ./internal/analysis/...

@@ -1,0 +1,175 @@
+// Command reprolint is the repo's multichecker: it runs every
+// internal/analysis analyzer over the module and exits non-zero on any
+// diagnostic. CI runs it on each push; locally, `make lint` or
+//
+//	go run ./cmd/reprolint ./...
+//
+// checks the whole tree (test files included). The analyzers enforce
+// the invariants behind the byte-identical same-seed guarantee — see
+// DESIGN.md §7:
+//
+//	determinism   no wall clocks or unseeded entropy outside
+//	              internal/simtime and internal/faults
+//	maporder      no map-iteration-ordered output in report paths
+//	statspairing  gauge counters have paired inc/dec accounting
+//	nilspec       nil-safe types guard every exported pointer method
+//
+// Flags:
+//
+//	-list         print the analyzers and exit
+//	-tests=false  skip _test.go files
+//	-only=a,b     run only the named analyzers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nilspec"
+	"repro/internal/analysis/statspairing"
+)
+
+var suite = []*analysis.Analyzer{
+	determinism.Analyzer,
+	maporder.Analyzer,
+	nilspec.Analyzer,
+	statspairing.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	tests := flag.Bool("tests", true, "also analyze _test.go files")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	root, modulePath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.NewLoader(root, modulePath, *tests).Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	pkgs, err = filterPackages(pkgs, root, modulePath, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reprolint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "reprolint: %d diagnostic(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// findModule walks up from the working directory to go.mod and reads
+// the module path from it.
+func findModule() (root, modulePath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// filterPackages narrows the loaded set to the requested patterns:
+// "./..." (or no argument) keeps everything; "./dir/..." keeps a
+// subtree; "./dir" keeps one directory. Patterns resolve relative to
+// the working directory, so reprolint behaves like go vet from any
+// directory in the module.
+func filterPackages(pkgs []*analysis.Package, root, modulePath string, patterns []string) ([]*analysis.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Package
+	kept := make(map[*analysis.Package]bool)
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		dir := filepath.Clean(filepath.Join(cwd, pat))
+		matched := false
+		for _, p := range pkgs {
+			ok := p.Dir == dir || (recursive && strings.HasPrefix(p.Dir+string(filepath.Separator), dir+string(filepath.Separator)))
+			if ok && !kept[p] {
+				kept[p] = true
+				out = append(out, p)
+			}
+			matched = matched || ok
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages under %s", pat, root)
+		}
+	}
+	return out, nil
+}

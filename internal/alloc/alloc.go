@@ -44,9 +44,9 @@ type Stats struct {
 	Splits          int64
 	Coalesces       int64
 	Syscalls        int64 // sbrk/mmap/hugetlbfs calls
-	HugeBytes       int64 // bytes currently placed in hugepages
-	SmallBytes      int64 // bytes currently placed in small pages
-	LiveBytes       int64
+	HugeBytes       int64 // gauge: bytes currently placed in hugepages
+	SmallBytes      int64 // gauge: bytes currently placed in small pages
+	LiveBytes       int64 // gauge: bytes currently live
 	PeakLive        int64
 	FallbackToSmall int64 // hugepage requests served from small pages
 	FallbackBytes   int64 // cumulative bytes those fallbacks handed out

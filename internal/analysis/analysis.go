@@ -1,0 +1,122 @@
+// Package analysis is a self-contained static-analysis framework for
+// the repro tree, mirroring the core API of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) on the standard library alone — the
+// module deliberately has no external dependencies, so the real
+// framework cannot be vendored. Should that change, each analyzer ports
+// by swapping this import for the upstream one.
+//
+// The framework exists to enforce invariants the test suite can only
+// spot-check at runtime (DESIGN.md §7):
+//
+//   - determinism: same-seed runs are byte-identical, so nothing outside
+//     internal/simtime and internal/faults may consult wall clocks or
+//     unseeded entropy.
+//   - maporder: report/stat paths must not leak Go's randomized map
+//     iteration order into output.
+//   - statspairing: gauge-style counters must have matching
+//     increment/decrement paths.
+//   - nilspec: nil-safe types must guard every exported pointer method.
+//
+// cmd/reprolint is the multichecker driver; analysistest runs analyzers
+// over testdata fixtures with // want expectations.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check, mirroring
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the
+	// reprolint command line.
+	Name string
+	// Doc is the one-paragraph description shown by reprolint -list.
+	Doc string
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report. The result value is unused by this driver
+	// but kept for API parity.
+	Run func(*Pass) (any, error)
+}
+
+// Pass hands one analyzer one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Finding is a resolved diagnostic: position plus originating analyzer,
+// ready for printing and sorting.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the combined
+// findings in a deterministic order (by file, line, column, analyzer) —
+// reprolint's own output must not depend on map iteration or scheduling.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

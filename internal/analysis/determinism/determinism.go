@@ -1,0 +1,117 @@
+// Package determinism forbids wall-clock and unseeded-entropy sources
+// outside the two packages allowed to own them. The repo's headline
+// property — same-seed runs are byte-identical, even under -race — only
+// holds because every timestamp comes from internal/simtime's virtual
+// clock and every random decision from a seeded generator (the
+// workload traces' rand.New(rand.NewSource(seed)), internal/faults'
+// splitmix64 schedules). A single stray time.Now or global rand.Intn in
+// a simulation or report path silently breaks the CI golden check, so
+// the ban is enforced at analysis time rather than discovered as a
+// flaky golden diff.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// AllowedPkgs are the packages permitted to traffic in real time and
+// raw entropy: simtime because it defines virtual time, faults because
+// its seeded schedules are the sanctioned randomness source.
+var AllowedPkgs = map[string]bool{
+	"repro/internal/simtime": true,
+	"repro/internal/faults":  true,
+}
+
+// forbiddenTime lists the wall-clock entry points of package time.
+// Types and arithmetic (time.Duration and friends) stay legal; only
+// reading or waiting on the real clock is banned.
+var forbiddenTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// allowedRand lists the math/rand (and /v2) package functions that only
+// construct explicitly seeded generators. Everything else at package
+// level draws from the shared global source, whose sequence depends on
+// what other code consumed before — non-reproducible by construction.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// forbiddenOS lists os functions whose results differ run to run.
+var forbiddenOS = map[string]bool{
+	"Getpid":  true,
+	"Getppid": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall clocks and unseeded entropy (time.Now, time.Sleep, global math/rand, " +
+		"crypto/rand, os.Getpid) outside internal/simtime and internal/faults; " +
+		"same-seed runs must stay byte-identical",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if AllowedPkgs[strings.TrimSuffix(pass.Pkg.Path(), "_test")] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ignored := analysis.IgnoredLines(pass.Fset, file)
+		for _, imp := range file.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "crypto/rand" &&
+				!ignored[pass.Fset.Position(imp.Pos()).Line] {
+				pass.Reportf(imp.Pos(), "crypto/rand is non-reproducible entropy; derive randomness from a seed (internal/faults' splitmix64, or rand.New(rand.NewSource(seed)))")
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			if ignored[pass.Fset.Position(sel.Pos()).Line] {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgName.Imported().Path() {
+			case "time":
+				if forbiddenTime[name] {
+					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulations and reports must use internal/simtime virtual time", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[name] {
+					pass.Reportf(sel.Pos(), "global rand.%s draws from the shared unseeded source; use rand.New(rand.NewSource(seed)) or an internal/faults schedule", name)
+				}
+			case "os":
+				if forbiddenOS[name] {
+					pass.Reportf(sel.Pos(), "os.%s differs run to run; thread an explicit seed or identifier instead", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,18 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "a")
+}
+
+func TestAllowlistedPackagesAreExempt(t *testing.T) {
+	determinism.AllowedPkgs["b"] = true
+	defer delete(determinism.AllowedPkgs, "b")
+	analysistest.Run(t, "testdata", determinism.Analyzer, "b")
+}

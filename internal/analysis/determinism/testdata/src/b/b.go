@@ -1,0 +1,7 @@
+// Package b stands in for an allowlisted package (the test adds it to
+// determinism.AllowedPkgs): wall-clock use here is legal.
+package b
+
+import "time"
+
+func now() time.Time { return time.Now() }

@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnoreDirective is the comment that suppresses reprolint diagnostics:
+//
+//	x := weird() //reprolint:ignore reason...
+//
+// It applies to its own source line and, when it is a standalone
+// comment, to the line below it. Every use must carry a reason; the
+// directive is an escape hatch for the rare case a human has proven the
+// flagged pattern safe, not a way to mute the suite.
+const IgnoreDirective = "reprolint:ignore"
+
+// IgnoredLines returns the set of line numbers in file suppressed by
+// IgnoreDirective comments.
+func IgnoredLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, IgnoreDirective) {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadModuleTree loads the real module — the same thing
+// cmd/reprolint does — and checks the properties the analyzers depend
+// on: every package type-checks, test variants load (including external
+// test packages that use export_test.go helpers), and testdata fixture
+// trees stay invisible.
+func TestLoadModuleTree(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, "repro", true).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := make(map[string]*Package)
+	for _, p := range pkgs {
+		if strings.Contains(p.PkgPath, "testdata") {
+			t.Errorf("testdata leaked into the load: %s", p.PkgPath)
+		}
+		byPath[p.PkgPath] = p
+	}
+	for _, want := range []string{
+		"repro",
+		"repro/internal/faults",
+		"repro/internal/node",
+		"repro/internal/alloc_test", // external test package built against export_test.go
+		"repro/cmd/repro",
+	} {
+		if byPath[want] == nil {
+			t.Errorf("missing package %s", want)
+		}
+	}
+	if p := byPath["repro/internal/node"]; p != nil {
+		if p.Types == nil || p.TypesInfo == nil || len(p.TypesInfo.Defs) == 0 {
+			t.Error("node package loaded without type information")
+		}
+	}
+}
+
+// TestLoadSkipsTestsWhenAsked checks the IncludeTests=false mode used
+// for fast lint-only loads.
+func TestLoadSkipsTestsWhenAsked(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, "repro", false).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.HasSuffix(p.PkgPath, "_test") {
+			t.Errorf("external test package loaded with IncludeTests=false: %s", p.PkgPath)
+		}
+	}
+}

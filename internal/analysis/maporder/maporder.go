@@ -1,0 +1,265 @@
+// Package maporder flags `range` statements over maps whose bodies feed
+// order-sensitive sinks — append to a slice that is never sorted,
+// direct fmt/io output, JSON encoding, string accumulation — without an
+// intervening sort. Go randomizes map iteration order per run, so any
+// such loop in a report or stats path breaks the byte-identical -stats
+// golden check nondeterministically: the exact bug class the repo's
+// determinism gates exist to catch, surfaced at compile time instead of
+// as a flaky CI diff.
+//
+// Order-insensitive bodies (sums, min/max, building another map,
+// appending to a per-key slice) are not flagged. The canonical fix is
+// either to sort the collected slice afterwards (the analyzer accepts
+// any sort.*/slices.* call on the append target within the enclosing
+// function) or to iterate a sorted key slice instead of the map.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map bodies that append/print/encode in iteration order " +
+		"without a later sort; map order is randomized and breaks byte-identical output",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ignored := analysis.IgnoredLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkFunc(pass, body, ignored)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc examines one function body, stopping at nested function
+// literals (the outer walk visits those on their own, and a sort inside
+// a different function does not order this one's loop).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, ignored map[int]bool) {
+	inspectShallow(body, func(n ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		if ignored[pass.Fset.Position(rs.Pos()).Line] {
+			return
+		}
+		checkMapRange(pass, rs, body, ignored)
+	})
+}
+
+// inspectShallow walks the subtree like ast.Inspect but does not
+// descend into function literals.
+func inspectShallow(root ast.Node, f func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt, ignored map[int]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if ignored != nil {
+			if pos := pass.Fset.Position(n.Pos()); pos.IsValid() && ignored[pos.Line] {
+				return true
+			}
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, st, rs, enclosing)
+		case *ast.CallExpr:
+			checkCall(pass, st)
+		}
+		return true
+	})
+}
+
+// checkAssign flags two accumulation patterns inside a map range:
+// `s = append(s, ...)` where s is never sorted in the enclosing
+// function, and `str += ...` string concatenation. Accumulators
+// declared inside the range body are exempt — per-iteration state
+// cannot observe cross-iteration order.
+func checkAssign(pass *analysis.Pass, st *ast.AssignStmt, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 {
+		if t := pass.TypesInfo.TypeOf(st.Lhs[0]); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				if target := lhsObject(pass, st.Lhs[0]); target != nil &&
+					rs.Body.Pos() <= target.Pos() && target.Pos() < rs.Body.End() {
+					return
+				}
+				pass.Reportf(st.Pos(), "string concatenation in map iteration order; iterate sorted keys instead")
+			}
+		}
+		return
+	}
+	for i, rhs := range st.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(st.Lhs) {
+			continue
+		}
+		// Appending to a map element (perKey[k] = append(perKey[k], v))
+		// lands each value at its own key — order-independent.
+		if _, ok := st.Lhs[i].(*ast.IndexExpr); ok {
+			continue
+		}
+		target := lhsObject(pass, st.Lhs[i])
+		if target != nil && rs.Body.Pos() <= target.Pos() && target.Pos() < rs.Body.End() {
+			continue // declared inside the loop body: per-iteration state
+		}
+		if target != nil && sortedInFunc(pass, enclosing, target) {
+			continue
+		}
+		name := "the result"
+		if target != nil {
+			name = target.Name()
+		}
+		pass.Reportf(call.Pos(), "append collects %s in map iteration order with no sort in this function; sort it (sort/slices) or iterate sorted keys", name)
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// lhsObject resolves the variable (or struct field) an assignment
+// writes through.
+func lhsObject(pass *analysis.Pass, lhs ast.Expr) types.Object {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel]
+	}
+	return nil
+}
+
+// sortedInFunc reports whether the enclosing function sorts target: a
+// sort.* or slices.* call, or a call to a helper whose name says it
+// sorts (sortMRs, SortKeys, ...), with target among the arguments.
+func sortedInFunc(pass *analysis.Pass, body *ast.BlockStmt, target types.Object) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) {
+		if found {
+			return
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isSortCall(pass, call) {
+			return
+		}
+		for _, arg := range call.Args {
+			if exprUses(pass, arg, target) {
+				found = true
+				return
+			}
+		}
+	})
+	return found
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			switch pkgName.Imported().Path() {
+			case "sort", "slices":
+				return true
+			}
+			return false
+		}
+		return strings.Contains(strings.ToLower(fun.Sel.Name), "sort")
+	case *ast.Ident:
+		return strings.Contains(strings.ToLower(fun.Name), "sort")
+	}
+	return false
+}
+
+func exprUses(pass *analysis.Pass, e ast.Expr, target types.Object) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == target {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// checkCall flags direct output and encoding calls inside the loop.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			switch pkgName.Imported().Path() {
+			case "fmt":
+				if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+					pass.Reportf(call.Pos(), "fmt.%s writes in map iteration order; iterate sorted keys", name)
+				}
+			case "encoding/json":
+				pass.Reportf(call.Pos(), "json.%s inside range over map encodes in iteration order; iterate sorted keys", name)
+			}
+			return
+		}
+	}
+	// Method sinks: JSON encoder writes and raw writer output.
+	if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "encoding/json" && name == "Encode" {
+			pass.Reportf(call.Pos(), "(*json.Encoder).Encode inside range over map encodes in iteration order; iterate sorted keys")
+			return
+		}
+	}
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune":
+		pass.Reportf(call.Pos(), "%s call emits bytes in map iteration order; iterate sorted keys", name)
+	}
+}

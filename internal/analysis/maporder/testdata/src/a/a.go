@@ -1,0 +1,129 @@
+// Package a exercises the maporder analyzer: order-sensitive sinks in
+// range-over-map bodies are flagged unless the collected slice is
+// sorted in the same function; order-independent bodies are not.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append collects keys in map iteration order`
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectSortedFunc(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func sortAscending(xs []string) {
+	sort.Strings(xs)
+}
+
+func collectHelperSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortAscending(keys) // a helper whose name says it sorts counts
+	return keys
+}
+
+func printDirect(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println writes in map iteration order`
+	}
+}
+
+func encodeDirect(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for k := range m {
+		_ = enc.Encode(k) // want `Encode inside range over map encodes in iteration order`
+	}
+}
+
+func writeDirect(w io.Writer, m map[string][]byte) {
+	for _, v := range m {
+		_, _ = w.Write(v) // want `Write call emits bytes in map iteration order`
+	}
+}
+
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation in map iteration order`
+	}
+	return s
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // order-independent accumulation
+	}
+	return total
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // map-to-map: order-independent
+	}
+	return out
+}
+
+func perKey(m map[string]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, v := range m {
+		out[k] = append(out[k], v) // per-key append: order-independent
+	}
+	return out
+}
+
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //reprolint:ignore fixture proving the escape hatch
+	}
+	return keys
+}
+
+func perIteration(groups map[string][]int) map[string]int {
+	out := make(map[string]int, len(groups))
+	for k, vs := range groups {
+		var squares []int // declared inside the body: per-iteration state
+		for _, v := range vs {
+			squares = append(squares, v*v)
+		}
+		out[k] = len(squares)
+	}
+	return out
+}
+
+func rangeSlice(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // slices iterate in order; not flagged
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Package nilspec enforces the nil-receiver contract of nil-safe types.
+// Types marked with a
+//
+//	//reprolint:nilsafe
+//
+// directive in their doc comment promise that every exported method is
+// callable on a nil receiver — internal/faults' *Spec and *Injector are
+// the canonical cases: a nil *Spec is "faults disabled", and the entire
+// stack calls injector methods unconditionally, relying on the nil
+// guard instead of sprinkling `if inj != nil` at every call site. A new
+// method that forgets the guard compiles fine and panics only on the
+// (default!) no-faults path, so the contract is enforced statically:
+// every exported pointer-receiver method on a marked type must begin
+// with a nil check of its receiver (`if r == nil { ... }`, possibly
+// ||-combined with further conditions).
+//
+// Unexported methods are exempt — they are internal helpers the guarded
+// exported surface calls after its own check. Value-receiver methods
+// cannot see a nil receiver and are exempt too.
+package nilspec
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Directive marks a type whose exported pointer methods must be
+// nil-safe.
+const Directive = "reprolint:nilsafe"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nilspec",
+	Doc: "exported pointer-receiver methods on //reprolint:nilsafe types must begin " +
+		"with a nil receiver guard; the zero of these types is a valid disabled instance",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	marked := markedTypes(pass)
+	if len(marked) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ignored := analysis.IgnoredLines(pass.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 || !fn.Name.IsExported() {
+				continue
+			}
+			if ignored[pass.Fset.Position(fn.Pos()).Line] {
+				continue
+			}
+			star, ok := fn.Recv.List[0].Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receiver: cannot be nil
+			}
+			typeIdent, ok := star.X.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			tn, ok := pass.TypesInfo.Uses[typeIdent].(*types.TypeName)
+			if !ok || !marked[tn] {
+				continue
+			}
+			names := fn.Recv.List[0].Names
+			if len(names) == 0 || names[0].Name == "_" {
+				continue // unnamed receiver: the body cannot dereference it
+			}
+			recv := pass.TypesInfo.Defs[names[0]]
+			if fn.Body == nil || len(fn.Body.List) == 0 || !startsWithNilGuard(pass, fn.Body.List[0], recv) {
+				pass.Reportf(fn.Name.Pos(), "method %s on nil-safe type *%s must begin with a nil receiver guard (if %s == nil { ... }); nil %s means %q",
+					fn.Name.Name, tn.Name(), names[0].Name, tn.Name(), "disabled")
+			}
+		}
+	}
+	return nil, nil
+}
+
+// markedTypes collects the package's types carrying the nilsafe
+// directive in their doc comment.
+func markedTypes(pass *analysis.Pass) map[*types.TypeName]bool {
+	marked := make(map[*types.TypeName]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if !hasDirective(doc) {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					marked[tn] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, Directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// startsWithNilGuard reports whether stmt is `if <cond> { ... }` with
+// no init statement, where <cond> is `recv == nil` (either operand
+// order) or an ||-chain containing it.
+func startsWithNilGuard(pass *analysis.Pass, stmt ast.Stmt, recv types.Object) bool {
+	ifStmt, ok := stmt.(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	return condHasNilCheck(pass, ifStmt.Cond, recv)
+}
+
+func condHasNilCheck(pass *analysis.Pass, cond ast.Expr, recv types.Object) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case token.LOR:
+		return condHasNilCheck(pass, be.X, recv) || condHasNilCheck(pass, be.Y, recv)
+	case token.EQL:
+		return isReceiver(pass, be.X, recv) && isNil(pass, be.Y) ||
+			isReceiver(pass, be.Y, recv) && isNil(pass, be.X)
+	}
+	return false
+}
+
+func isReceiver(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == recv
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Nil)
+	return ok
+}

@@ -1,0 +1,12 @@
+package nilspec_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nilspec"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", nilspec.Analyzer, "a")
+}

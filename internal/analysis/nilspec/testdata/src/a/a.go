@@ -1,0 +1,54 @@
+// Package a exercises the nilspec analyzer: exported pointer methods
+// on //reprolint:nilsafe types must open with a nil receiver guard.
+package a
+
+// Spec is a disabled-when-nil configuration.
+//
+//reprolint:nilsafe
+type Spec struct{ n int }
+
+// Guarded opens with the canonical guard.
+func (s *Spec) Guarded() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// GuardedOr folds the guard into an || chain.
+func (s *Spec) GuardedOr() int {
+	if s == nil || s.n == 0 {
+		return 1
+	}
+	return s.n
+}
+
+// GuardedRev writes the comparison nil-first.
+func (s *Spec) GuardedRev() int {
+	if nil == s {
+		return 0
+	}
+	return s.n
+}
+
+func (s *Spec) Bare() int { // want `method Bare on nil-safe type \*Spec must begin with a nil receiver guard`
+	return s.n
+}
+
+func (s *Spec) WrongFirst() int { // want `method WrongFirst on nil-safe type \*Spec`
+	x := s.n
+	if s == nil {
+		return 0
+	}
+	return x
+}
+
+func (s *Spec) helper() int { return s.n } // unexported: exempt
+
+// Value methods cannot see a nil receiver.
+func (Spec) Value() int { return 0 }
+
+// Plain carries no directive; its methods are unconstrained.
+type Plain struct{ n int }
+
+func (p *Plain) Loose() int { return p.n }

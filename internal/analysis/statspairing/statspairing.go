@@ -1,0 +1,176 @@
+// Package statspairing checks gauge accounting: every struct field
+// documented as a gauge (its field comment contains the word "gauge")
+// that is incremented somewhere in its package must also be decremented
+// somewhere in that package, and vice versa. A gauge tracks a live
+// quantity — pinned bytes, mapped pages, installed translations — so an
+// increment with no matching decrement path means the value only ever
+// grows: exactly the SmallBytes accounting bug fixed by hand in PR 2,
+// where the Morecore/PageSep allocators counted placements but never
+// un-counted frees.
+//
+// Two mutation shapes are deliberately exempt:
+//
+//   - a.F += b.F (the right-hand side is the same field of another
+//     value) is aggregation — node.Stats.Add folding per-node snapshots
+//     into a total — not gauge movement;
+//   - plain assignment (s.F = v) is snapshotting or reset, neither an
+//     increment nor a decrement. Live gauges survive counter resets by
+//     design (see verbs' memlock tests), so a reset does not count as
+//     the missing decrement path.
+//
+// Monotone counters (no "gauge" in the comment) and gauges only ever
+// copied into snapshots are not checked.
+package statspairing
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "statspairing",
+	Doc: "every gauge-commented struct field incremented in its package must have a " +
+		"matching decrement path (and vice versa); catches one-way live-quantity accounting",
+	Run: run,
+}
+
+type gauge struct {
+	obj      *types.Var
+	declPos  token.Pos
+	incs     []token.Pos
+	decs     []token.Pos
+	typeName string
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	gauges := findGauges(pass)
+	if len(gauges) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ignored := analysis.IgnoredLines(pass.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.IncDecStmt:
+				if g := gaugeFor(pass, gauges, st.X); g != nil && !ignored[pass.Fset.Position(st.Pos()).Line] {
+					if st.Tok == token.INC {
+						g.incs = append(g.incs, st.Pos())
+					} else {
+						g.decs = append(g.decs, st.Pos())
+					}
+				}
+			case *ast.AssignStmt:
+				if len(st.Lhs) != 1 || (st.Tok != token.ADD_ASSIGN && st.Tok != token.SUB_ASSIGN) {
+					return true
+				}
+				g := gaugeFor(pass, gauges, st.Lhs[0])
+				if g == nil || ignored[pass.Fset.Position(st.Pos()).Line] {
+					return true
+				}
+				if sameField(pass, st.Rhs[0], g.obj) {
+					return true // a.F += b.F: aggregation, not gauge movement
+				}
+				if st.Tok == token.ADD_ASSIGN {
+					g.incs = append(g.incs, st.Pos())
+				} else {
+					g.decs = append(g.decs, st.Pos())
+				}
+			}
+			return true
+		})
+	}
+	// Report at the first mutation site in source order — that is where
+	// the one-way accounting happens.
+	var unpaired []*gauge
+	for _, g := range gauges {
+		if (len(g.incs) > 0) != (len(g.decs) > 0) {
+			unpaired = append(unpaired, g)
+		}
+	}
+	sort.Slice(unpaired, func(i, j int) bool { return unpaired[i].declPos < unpaired[j].declPos })
+	for _, g := range unpaired {
+		if len(g.incs) > 0 {
+			pos := earliest(g.incs)
+			pass.Reportf(pos, "gauge %s.%s is incremented (%d site(s)) but never decremented in this package; a live quantity that only grows is an accounting leak",
+				g.typeName, g.obj.Name(), len(g.incs))
+		} else {
+			pos := earliest(g.decs)
+			pass.Reportf(pos, "gauge %s.%s is decremented (%d site(s)) but never incremented in this package",
+				g.typeName, g.obj.Name(), len(g.decs))
+		}
+	}
+	return nil, nil
+}
+
+// findGauges collects every struct field in the package whose doc or
+// line comment contains the word "gauge".
+func findGauges(pass *analysis.Pass) map[*types.Var]*gauge {
+	gauges := make(map[*types.Var]*gauge)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !mentionsGauge(field.Doc) && !mentionsGauge(field.Comment) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						gauges[v] = &gauge{obj: v, declPos: name.Pos(), typeName: ts.Name.Name}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return gauges
+}
+
+func mentionsGauge(cg *ast.CommentGroup) bool {
+	return cg != nil && strings.Contains(strings.ToLower(cg.Text()), "gauge")
+}
+
+// gaugeFor resolves an lvalue expression to the gauge field it
+// mutates, if any.
+func gaugeFor(pass *analysis.Pass, gauges map[*types.Var]*gauge, e ast.Expr) *gauge {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok {
+		return nil
+	}
+	return gauges[v]
+}
+
+// sameField reports whether e is a selector of the same struct field —
+// the x.F += y.F aggregation shape.
+func sameField(pass *analysis.Pass, e ast.Expr, field *types.Var) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return pass.TypesInfo.Uses[sel.Sel] == field
+}
+
+func earliest(positions []token.Pos) token.Pos {
+	min := positions[0]
+	for _, p := range positions[1:] {
+		if p < min {
+			min = p
+		}
+	}
+	return min
+}

@@ -1,0 +1,12 @@
+package statspairing_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statspairing"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", statspairing.Analyzer, "a")
+}

@@ -1,0 +1,37 @@
+// Package a exercises the statspairing analyzer: gauge-commented
+// fields must have paired increment and decrement sites within the
+// package; monotone counters and snapshot aggregation are exempt.
+package a
+
+type stats struct {
+	Held int64 // gauge: bytes currently held
+	Used int64 // gauge: bytes currently in use
+	Peak int64 // monotone high-water mark, inc-only by design
+	Done int64 // gauge: only ever drained
+}
+
+type pool struct{ st stats }
+
+func (p *pool) alloc(n int64) {
+	p.st.Held += n // want `gauge stats\.Held is incremented \(2 site\(s\)\) but never decremented`
+	p.st.Used += n
+	if p.st.Used > p.st.Peak {
+		p.st.Peak = p.st.Used
+	}
+	p.st.Done-- // want `gauge stats\.Done is decremented \(1 site\(s\)\) but never incremented`
+}
+
+func (p *pool) free(n int64) {
+	p.st.Used -= n
+	p.st.Held++
+}
+
+func merge(dst, src *stats) {
+	dst.Held += src.Held // aggregation (x.F += y.F): exempt
+	dst.Used += src.Used
+	dst.Done += src.Done
+}
+
+func snapshot(p *pool) stats {
+	return stats{Held: p.st.Held} // composite-literal copy: not a mutation
+}

@@ -25,6 +25,8 @@ import (
 
 // Spec is one parsed fault-injection configuration. The zero value
 // injects nothing; a nil *Spec is the canonical "faults disabled".
+//
+//reprolint:nilsafe
 type Spec struct {
 	// Seed selects the deterministic fault pattern. Two runs with the
 	// same Seed (and same workload) observe identical fault sequences.
@@ -209,6 +211,8 @@ type Stats struct {
 // Injector is one node's fault source. Decisions are
 // hash(seed, salt, stream, event#) — no wall clock, no shared state
 // between nodes — so they replay identically run to run.
+//
+//reprolint:nilsafe
 type Injector struct {
 	spec *Spec
 	salt uint64

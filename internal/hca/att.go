@@ -14,8 +14,16 @@ type attKey struct {
 
 type attEntry struct {
 	valid bool
-	key   attKey
-	age   uint64
+	// poisoned marks a translation dropped by injected forced eviction:
+	// the next access to this key misses (the adapter refetches across
+	// the bus) and clears the mark. The slot itself stays occupied —
+	// freeing it would change which victim a later full-set miss picks,
+	// coupling every translation's fate in the set to the real-time
+	// interleaving of concurrent DMA streams, while the refetch itself
+	// is local to this key and therefore interleaving-invariant.
+	poisoned bool
+	key      attKey
+	age      uint64
 }
 
 type attCache struct {
@@ -47,6 +55,10 @@ func (c *attCache) access(lkey uint32, page int) bool {
 	for i := range set {
 		if set[i].valid && set[i].key == k {
 			set[i].age = c.tick
+			if set[i].poisoned {
+				set[i].poisoned = false
+				return false // forced eviction: refetch, refresh in place
+			}
 			return true
 		}
 	}
@@ -65,10 +77,11 @@ func (c *attCache) access(lkey uint32, page int) bool {
 }
 
 // evictEntry drops the one cached translation for (lkey,page) if
-// present, reporting whether anything was dropped. The fault injector
-// uses it to force a refetch: the effect is local to that entry — the
-// access that follows re-installs it at MRU position, exactly where a
-// hit would have aged it — so concurrent accessors of other entries see
+// present and not already dropped, reporting whether anything was
+// dropped. The fault injector uses it to force a refetch: the effect is
+// local to that entry — the access that follows misses and refreshes it
+// in place, exactly where a hit would have aged it, leaving the set's
+// occupancy untouched — so concurrent accessors of other entries see
 // identical outcomes regardless of interleaving.
 func (c *attCache) evictEntry(lkey uint32, page int) bool {
 	k := attKey{lkey, page}
@@ -76,7 +89,10 @@ func (c *attCache) evictEntry(lkey uint32, page int) bool {
 	set := c.sets[h%uint64(len(c.sets))]
 	for i := range set {
 		if set[i].valid && set[i].key == k {
-			set[i] = attEntry{}
+			if set[i].poisoned {
+				return false
+			}
+			set[i].poisoned = true
 			return true
 		}
 	}

@@ -102,7 +102,7 @@ type Stats struct {
 	ATTMisses    int64
 	BytesGather  int64
 	BytesScatter int64
-	MTTEntries   int64 // currently installed
+	MTTEntries   int64 // gauge: currently installed
 	ATTEvictions int64 // translations dropped by injected forced eviction
 }
 
@@ -117,9 +117,16 @@ type HCA struct {
 	// under pressure). Nil = no faults.
 	inj *faults.Injector
 
-	mu        sync.Mutex
-	mrs       map[uint32]*MR
-	nextKey   uint32
+	mu  sync.Mutex
+	mrs map[uint32]*MR
+	// vaGen counts registrations per base address. Keys are derived
+	// from (base VA, generation), not from a global install counter:
+	// concurrent registrations (Sendrecv's forked halves under memlock
+	// eviction pressure) would otherwise draw counter values in
+	// scheduler order, and everything keyed on the lkey downstream —
+	// ATT set placement, the per-translation fault streams — would
+	// inherit that nondeterminism.
+	vaGen     map[vm.VA]uint32
 	nextQPNum uint32
 	att       *attCache
 	stats     Stats
@@ -140,10 +147,29 @@ func New(m *machine.Machine, mem *phys.Memory) *HCA {
 		bus:       bus.New(m.Bus),
 		mem:       mem,
 		mrs:       make(map[uint32]*MR),
-		nextKey:   1,
+		vaGen:     make(map[vm.VA]uint32),
 		nextQPNum: 1,
 		att:       newATTCache(m.HCA.ATTEntries, m.HCA.ATTWays),
 	}
+}
+
+// keyFor derives the lkey for the gen-th registration of base: a 31-bit
+// hash (bit 31 is the rkey tag) of the pair, so the key depends only on
+// what was registered, never on when relative to other buffers. Linear
+// probing resolves the (vanishingly rare) collisions with live keys;
+// callers hold h.mu.
+func (h *HCA) keyFor(base vm.VA, gen uint32) uint32 {
+	x := uint64(base)<<32 | uint64(gen)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	key := uint32(x) & 0x7FFF_FFFF
+	for key == 0 || h.mrs[key] != nil {
+		key = key%0x7FFF_FFFF + 1
+	}
+	return key
 }
 
 // Machine exposes the adapter's host description.
@@ -180,9 +206,9 @@ func (h *HCA) InstallMR(base vm.VA, length uint64, pages []vm.Page, hugeATT bool
 		}
 	}
 	h.mu.Lock()
-	mr.LKey = h.nextKey
-	mr.RKey = h.nextKey | 0x8000_0000
-	h.nextKey++
+	mr.LKey = h.keyFor(base, h.vaGen[base])
+	mr.RKey = mr.LKey | 0x8000_0000
+	h.vaGen[base]++
 	h.mrs[mr.LKey] = mr
 	h.stats.MTTEntries += int64(len(mr.entries))
 	h.mu.Unlock()

@@ -135,14 +135,17 @@ const eagerPipelineTicks = simtime.Ticks(220)
 func (r *Rank) Send(dst, tag int, va vm.VA, n int) error {
 	start := r.clock.Now()
 	outer := r.enterMPI()
-	err := r.sendOn(&r.clock, dst, tag, va, n, nil)
+	err := r.sendOn(&r.clock, dst, tag, va, n, nil, nil)
 	r.exitMPI("Send", start, outer)
 	return err
 }
 
 // sendOn is Send against an explicit clock (Sendrecv forks a send half).
-func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g *sendGate) error {
+// dma, when non-nil, orders this half's DMA gather before the recv
+// half's scatter on the shared adapter (see Sendrecv).
+func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma *sendGate) error {
 	defer g.open() // never leave a gated recv half waiting
+	defer dma.open()
 	if err := r.checkPeer(dst); err != nil {
 		return err
 	}
@@ -151,9 +154,9 @@ func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g *send
 	}
 	if n > r.world.cfg.RdmaLimit {
 		if r.world.cfg.RendezvousProtocol == "read" {
-			return r.sendRendezvousRead(clk, dst, tag, va, n, g)
+			return r.sendRendezvousRead(clk, dst, tag, va, n, g, dma)
 		}
-		return r.sendRendezvous(clk, dst, tag, va, n, g)
+		return r.sendRendezvous(clk, dst, tag, va, n, g, dma)
 	}
 	g.open() // eager path never touches the registration cache
 	return r.sendEager(clk, dst, tag, va, n)
@@ -197,9 +200,12 @@ func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) erro
 // exposes its registered buffer in the RTS; the receiver issues an RDMA
 // read and reports completion. One control hop shorter for the receiver
 // than write-rendezvous, one wire round trip longer for the data.
-func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g *sendGate) error {
+func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma *sendGate) error {
 	mr, cost, err := r.cache.Acquire(va, uint64(n))
 	g.open()
+	// The exposed buffer is read by the receiver's RDMA engine; this
+	// half performs no local DMA, so the recv half need not wait.
+	dma.open()
 	if err != nil {
 		return fmt.Errorf("mpi: read-rendezvous register: %w", err)
 	}
@@ -234,7 +240,7 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 }
 
 // sendRendezvous runs the registration + RDMA-write protocol.
-func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g *sendGate) error {
+func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma *sendGate) error {
 	mr, cost, err := r.cache.Acquire(va, uint64(n))
 	g.open()
 	if err != nil {
@@ -266,6 +272,7 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 	// Post the RDMA write; the adapter gathers the user buffer (real
 	// bytes) while the wire serialises — the two stages pipeline.
 	data, gather, err := r.ctx.HW.Gather([]hca.SGE{{Addr: va, Length: uint32(n), LKey: mr.LKey}})
+	dma.open() // gather done; the recv half may now drive the adapter
 	if err != nil {
 		return fmt.Errorf("mpi: rendezvous gather: %w", err)
 	}
@@ -297,14 +304,14 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 func (r *Rank) Recv(src, tag int, va vm.VA, capacity int) (int, error) {
 	start := r.clock.Now()
 	outer := r.enterMPI()
-	n, err := r.recvOn(&r.clock, src, tag, va, capacity, nil)
+	n, err := r.recvOn(&r.clock, src, tag, va, capacity, nil, nil)
 	r.exitMPI("Recv", start, outer)
 	return n, err
 }
 
 // recvOn matches and completes one incoming message. It must run on the
 // rank's main goroutine (it owns the pending queues).
-func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, g *sendGate) (int, error) {
+func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, g, dma *sendGate) (int, error) {
 	if err := r.checkPeer(src); err != nil {
 		return 0, err
 	}
@@ -347,7 +354,7 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 			return 0, err
 		}
 		if m.doneCh != nil {
-			return r.recvRendezvousRead(clk, m, va, g)
+			return r.recvRendezvousRead(clk, m, va, g, dma)
 		}
 		g.wait()
 		mr, cost, err := r.cache.Acquire(va, uint64(n))
@@ -364,6 +371,7 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 		case <-r.world.abort:
 			return 0, fmt.Errorf("mpi: rank %d awaiting data from %d: %w", r.id, src, ErrAborted)
 		}
+		dma.wait() // the send half's gather drives the adapter first
 		scatter, err := r.ctx.HW.ScatterRDMA(mr.RKey, va, fin.data)
 		if err != nil {
 			return 0, fmt.Errorf("mpi: rendezvous scatter: %w", err)
@@ -387,7 +395,7 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 
 // recvRendezvousRead completes a read-rendezvous: register the local
 // buffer, RDMA-read from the sender's exposed region, notify the sender.
-func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g *sendGate) (int, error) {
+func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g, dma *sendGate) (int, error) {
 	n := m.size
 	g.wait()
 	mr, cost, err := r.cache.Acquire(va, uint64(n))
@@ -404,6 +412,7 @@ func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g *s
 	if err != nil {
 		return 0, fmt.Errorf("mpi: RDMA read gather: %w", err)
 	}
+	dma.wait() // never interleave with the send half's adapter traffic
 	scatter, err := r.ctx.HW.ScatterRDMA(mr.RKey, va, data)
 	if err != nil {
 		return 0, fmt.Errorf("mpi: RDMA read scatter: %w", err)
@@ -462,11 +471,19 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendVA vm.VA, sendN int,
 			gate = newSendGate()
 		}
 	}
+	// The two halves also share the adapter: its translation cache has
+	// real mutable state (set occupancy, replacement order), so the
+	// halves' DMA operations must hit it in a fixed order — gather
+	// before scatter, matching the virtual-time schedule where the
+	// outgoing RDMA is posted before the incoming FIN is processed.
+	// Unlike the registration gate this one is unconditional: any two
+	// interleaved page walks can contend for the same cache set.
+	dma := newSendGate()
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- r.sendOn(&sendClk, dst, sendTag, sendVA, sendN, gate)
+		errCh <- r.sendOn(&sendClk, dst, sendTag, sendVA, sendN, gate, dma)
 	}()
-	n, recvErr := r.recvOn(&r.clock, src, recvTag, recvVA, recvCap, gate)
+	n, recvErr := r.recvOn(&r.clock, src, recvTag, recvVA, recvCap, gate, dma)
 	sendErr := <-errCh
 	r.clock.AdvanceTo(sendClk.Now())
 	r.exitMPI("Sendrecv", start, outer)

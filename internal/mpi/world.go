@@ -119,7 +119,7 @@ type World struct {
 // NewWorld builds a job: one node (physical memory + HCA + address space
 // + allocator + registration cache) per rank. The paper runs 2 nodes with
 // 4 processes each; we give every rank its own node and route all traffic
-// through the HCA — a documented deviation (DESIGN.md §7) that removes
+// through the HCA — a documented deviation (DESIGN.md §8) that removes
 // shared-memory shortcuts without changing who wins.
 func NewWorld(cfg Config) (*World, error) {
 	cfg = cfg.withDefaults()

@@ -127,6 +127,10 @@ func (p *Profile) Merge(q *Profile) {
 	}
 	compute, alloc := q.compute, q.alloc
 	q.mu.Unlock()
+	// The fold below is commutative, but merging in a fixed order keeps
+	// p.calls' insertion history — and anything derived from it —
+	// independent of map iteration order.
+	sort.Slice(calls, func(i, j int) bool { return calls[i].Name < calls[j].Name })
 
 	p.mu.Lock()
 	for _, cs := range calls {

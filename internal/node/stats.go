@@ -48,7 +48,7 @@ type RegStats struct {
 	Deregistrations int64         `json:"deregistrations"`
 	RegTicks        simtime.Ticks `json:"reg_ticks"`
 	DeregTicks      simtime.Ticks `json:"dereg_ticks"`
-	PagesPinned     int64         `json:"pages_pinned"`
+	PagesPinned     int64         `json:"pages_pinned"` // gauge: pages currently pinned
 	PinnedBytes     int64         `json:"pinned_bytes"` // gauge: what RLIMIT_MEMLOCK meters
 }
 

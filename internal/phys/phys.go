@@ -79,9 +79,9 @@ type Memory struct {
 
 // Stats reports allocator activity.
 type Stats struct {
-	SmallAllocated int64 // currently allocated small frames
+	SmallAllocated int64 // gauge: currently allocated small frames
 	SmallPeak      int64
-	HugeAllocated  int // currently allocated hugepages
+	HugeAllocated  int // gauge: currently allocated hugepages
 	HugePeak       int
 	HugeFailures   int64 // AllocHuge calls refused
 	HugeInjected   int64 // refusals that were injected faults

@@ -11,12 +11,26 @@ package regcache
 import (
 	"container/list"
 	"errors"
+	"sort"
 	"sync"
 
 	"repro/internal/simtime"
 	"repro/internal/verbs"
 	"repro/internal/vm"
 )
+
+// sortMRs orders registrations by (VA, LKey) — a deterministic
+// deregistration order for MR sets collected from map iteration, so
+// same-seed runs replay identical dereg sequences. LKey breaks ties
+// between zombie generations sharing a VA.
+func sortMRs(mrs []*verbs.MR) {
+	sort.Slice(mrs, func(i, j int) bool {
+		if mrs[i].VA != mrs[j].VA {
+			return mrs[i].VA < mrs[j].VA
+		}
+		return mrs[i].LKey < mrs[j].LKey
+	})
+}
 
 // lookupTicks is the cost of probing the registration cache (a small
 // tree/hash walk in the MPI library).
@@ -307,6 +321,7 @@ func (c *Cache) Invalidate(va vm.VA, length uint64) (simtime.Ticks, error) {
 		}
 	}
 	c.mu.Unlock()
+	sortMRs(victims)
 	var cost simtime.Ticks
 	for _, mr := range victims {
 		d, err := c.ctx.DeregMR(mr)
@@ -331,6 +346,7 @@ func (c *Cache) Flush() error {
 	c.lru.Init()
 	c.stats.PinnedBytes = 0
 	c.mu.Unlock()
+	sortMRs(all)
 	for _, mr := range all {
 		if _, err := c.ctx.DeregMR(mr); err != nil {
 			return err

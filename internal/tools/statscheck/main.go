@@ -15,27 +15,39 @@ import (
 	"repro/internal/node"
 )
 
-func main() {
-	dec := json.NewDecoder(os.Stdin)
+// check validates one -stats document and returns the decoded reports.
+// It enforces the full contract: strict []node.Report decoding (unknown
+// fields rejected), no trailing data, a non-empty array, and per-report
+// tool name and node snapshots.
+func check(r io.Reader) ([]node.Report, error) {
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var reports []node.Report
 	if err := dec.Decode(&reports); err != nil {
-		fmt.Fprintf(os.Stderr, "statscheck: not valid []node.Report: %v\n", err)
-		os.Exit(1)
+		return nil, fmt.Errorf("not valid []node.Report: %w", err)
 	}
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
-		fmt.Fprintln(os.Stderr, "statscheck: trailing data after the report array")
-		os.Exit(1)
+		return nil, fmt.Errorf("trailing data after the report array")
 	}
 	if len(reports) == 0 {
-		fmt.Fprintln(os.Stderr, "statscheck: empty report array")
-		os.Exit(1)
+		return nil, fmt.Errorf("empty report array")
 	}
 	for i, r := range reports {
-		if r.Tool == "" || len(r.Nodes) == 0 {
-			fmt.Fprintf(os.Stderr, "statscheck: report %d missing tool name or nodes\n", i)
-			os.Exit(1)
+		if r.Tool == "" {
+			return nil, fmt.Errorf("report %d missing tool name", i)
 		}
+		if len(r.Nodes) == 0 {
+			return nil, fmt.Errorf("report %d (%s) has no node snapshots", i, r.Tool)
+		}
+	}
+	return reports, nil
+}
+
+func main() {
+	reports, err := check(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "statscheck: %v\n", err)
+		os.Exit(1)
 	}
 	fmt.Printf("statscheck: ok (%d report(s), tool %q)\n", len(reports), reports[0].Tool)
 }

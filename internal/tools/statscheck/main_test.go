@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/node"
+)
+
+// validDoc renders a well-formed one-report document through the same
+// WriteReports path the cmd tools use, so the fixture cannot drift from
+// the real emitters.
+func validDoc(t *testing.T) string {
+	t.Helper()
+	reports := []node.Report{
+		node.NewReport("repro", "sendrecv", "opteron", "", []node.Stats{
+			{Machine: "opteron", Allocator: "libc"},
+			{Machine: "opteron", Allocator: "libc"},
+		}),
+	}
+	var buf bytes.Buffer
+	if err := node.WriteReports(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCheckValidReport(t *testing.T) {
+	reports, err := check(strings.NewReader(validDoc(t)))
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	if len(reports) != 1 || reports[0].Tool != "repro" {
+		t.Fatalf("decoded %+v, want one repro report", reports)
+	}
+	if len(reports[0].Nodes) != 2 {
+		t.Fatalf("decoded %d node snapshots, want 2", len(reports[0].Nodes))
+	}
+}
+
+func TestCheckRejectsUnknownField(t *testing.T) {
+	doc := strings.Replace(validDoc(t), `"tool"`, `"tool_v2"`, 1)
+	if _, err := check(strings.NewReader(doc)); err == nil {
+		t.Fatal("document with unknown field accepted")
+	}
+}
+
+func TestCheckRejectsMissingToolName(t *testing.T) {
+	doc := strings.Replace(validDoc(t), `"repro"`, `""`, 1)
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "missing tool name") {
+		t.Fatalf("err = %v, want missing-tool-name complaint", err)
+	}
+}
+
+func TestCheckRejectsMissingNodes(t *testing.T) {
+	doc := `[{"tool":"repro","workload":"w","machine":"m","nodes":[],"total":{}}]`
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "no node snapshots") {
+		t.Fatalf("err = %v, want no-node-snapshots complaint", err)
+	}
+}
+
+func TestCheckRejectsMalformedJSON(t *testing.T) {
+	for _, doc := range []string{"", "not json", `{"tool":"repro"}`, `[{"tool":`} {
+		if _, err := check(strings.NewReader(doc)); err == nil {
+			t.Errorf("malformed document %q accepted", doc)
+		}
+	}
+}
+
+func TestCheckRejectsTrailingData(t *testing.T) {
+	doc := validDoc(t) + "\n[]"
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("err = %v, want trailing-data complaint", err)
+	}
+}
+
+func TestCheckRejectsEmptyArray(t *testing.T) {
+	_, err := check(strings.NewReader("[]"))
+	if err == nil || !strings.Contains(err.Error(), "empty report array") {
+		t.Fatalf("err = %v, want empty-array complaint", err)
+	}
+}

@@ -49,8 +49,10 @@ type MR struct {
 
 	hw *hca.MR
 	// pinnedBytes is the page-rounded footprint charged against the
-	// memlock budget; DeregMR gives it back.
+	// memlock budget; DeregMR gives it back. pinnedPages is the page
+	// count behind the PagesPinned gauge, remembered the same way.
 	pinnedBytes int64
+	pinnedPages int64
 }
 
 // Stats counts registration activity and time, so benchmarks can separate
@@ -60,9 +62,9 @@ type Stats struct {
 	Deregistrations int64
 	RegTicks        simtime.Ticks
 	DeregTicks      simtime.Ticks
-	PagesPinned     int64
+	PagesPinned     int64 // gauge: pages currently pinned
 	// PinnedBytes is the current page-rounded registered footprint —
-	// what RLIMIT_MEMLOCK meters.
+	// what RLIMIT_MEMLOCK meters (gauge).
 	PinnedBytes int64
 	// MemlockRejections counts registrations refused at the ceiling.
 	MemlockRejections int64
@@ -147,6 +149,7 @@ func (c *Context) RegMR(va vm.VA, length uint64) (*MR, simtime.Ticks, error) {
 		Entries:     hw.NumEntries(),
 		hw:          hw,
 		pinnedBytes: pinned,
+		pinnedPages: int64(len(pages)),
 	}
 	c.mu.Lock()
 	c.stats.Registrations++
@@ -175,6 +178,7 @@ func (c *Context) DeregMR(mr *MR) (simtime.Ticks, error) {
 	c.stats.Deregistrations++
 	c.stats.DeregTicks += cost
 	c.stats.PinnedBytes -= mr.pinnedBytes
+	c.stats.PagesPinned -= mr.pinnedPages
 	c.mu.Unlock()
 	return cost, nil
 }
@@ -202,11 +206,14 @@ func (c *Context) Stats() Stats {
 }
 
 // ResetStats zeroes the registration counters (between benchmark
-// phases). PinnedBytes is a live gauge backing the memlock budget, not
-// a phase counter — it survives the reset.
+// phases). PinnedBytes and PagesPinned are live gauges backing the
+// memlock budget, not phase counters — they survive the reset.
 func (c *Context) ResetStats() {
 	c.mu.Lock()
-	c.stats = Stats{PinnedBytes: c.stats.PinnedBytes}
+	c.stats = Stats{
+		PinnedBytes: c.stats.PinnedBytes,
+		PagesPinned: c.stats.PagesPinned,
+	}
 	c.mu.Unlock()
 }
 

@@ -98,6 +98,37 @@ func TestDeregUnpinsAndInvalidates(t *testing.T) {
 	}
 }
 
+func TestPinnedGaugesReturnToZero(t *testing.T) {
+	// PagesPinned and PinnedBytes are gauges (reprolint:statspairing):
+	// a full register/deregister cycle must return both to zero.
+	// PagesPinned used to be one-way — incremented on RegMR, never
+	// given back on DeregMR.
+	c := ctx(t, machine.Opteron())
+	vaS, _ := c.AS.MapSmall(64 << 10)
+	vaH, _ := c.AS.MapHuge(4 << 20)
+	mrS, _, err := c.RegMR(vaS, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrH, _, err := c.RegMR(vaH, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.PagesPinned == 0 || st.PinnedBytes == 0 {
+		t.Fatalf("gauges flat while registered: %+v", st)
+	}
+	if _, err := c.DeregMR(mrH); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DeregMR(mrS); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.PagesPinned != 0 || st.PinnedBytes != 0 {
+		t.Fatalf("pinned gauges leak after full dereg: pages=%d bytes=%d", st.PagesPinned, st.PinnedBytes)
+	}
+}
+
 func TestZeroLengthRegRejected(t *testing.T) {
 	c := ctx(t, machine.Opteron())
 	if _, _, err := c.RegMR(0x1000, 0); err == nil {

@@ -103,8 +103,8 @@ type AddressSpace struct {
 
 // Stats counts translation activity for the PAPI facade and tests.
 type Stats struct {
-	MappedSmall       int64 // currently mapped small pages
-	MappedHuge        int64 // currently mapped hugepages
+	MappedSmall       int64 // gauge: currently mapped small pages
+	MappedHuge        int64 // gauge: currently mapped hugepages
 	Pins, Unpins      int64
 	Translations      int64
 	HugeFallbacks     int64 // MapHuge requests satisfied with small pages
