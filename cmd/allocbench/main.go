@@ -13,15 +13,23 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/node"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
+// col is the -trace collector (nil when the flag is absent). The replay
+// hosts have no virtual clock, so their timelines carry the vm/phys
+// instant markers (map.huge, map.fallback, hugepool.shrink, …) at tick 0
+// rather than spans — still enough to see each library's placement mix.
+var col *trace.Collector
+
 // newNode builds a fresh simulated host carrying one allocation library.
 // The salt decorrelates fault schedules across the libraries compared.
-func newNode(m *machine.Machine, kind node.AllocatorKind, hc *alloc.HugeConfig, spec *faults.Spec, salt uint64) (*node.Node, error) {
+func newNode(m *machine.Machine, kind node.AllocatorKind, hc *alloc.HugeConfig, spec *faults.Spec, salt uint64, traceName string) (*node.Node, error) {
 	return node.New(node.Config{
 		Machine: m, Allocator: kind, HugeConfig: hc,
 		Faults: spec, FaultSalt: salt,
+		Trace: col, TraceName: traceName,
 	})
 }
 
@@ -30,6 +38,7 @@ func main() {
 	ablate := flag.Bool("ablate", false, "run the hugepage-library design ablations instead")
 	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
 	stats := flag.Bool("stats", false, "emit per-node telemetry as JSON instead of the table")
+	traceFlag := flag.String("trace", "", "write a Perfetto trace (allocation instant markers) to this file ('-' = stdout)")
 	flag.Parse()
 	m := machine.ByName(*mach)
 	if m == nil {
@@ -40,6 +49,21 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceFlag != "" {
+		col = trace.NewCollector()
+		col.SetMeta("tool", "allocbench")
+		col.SetMeta("machine", m.Name)
+		col.SetMeta("faults", spec.String())
+	}
+	writeTrace := func() {
+		if col == nil {
+			return
+		}
+		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
+			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	ops, slots := workload.AbinitTrace(workload.DefaultAbinitParams())
 
@@ -59,7 +83,7 @@ func main() {
 		for i, v := range variants {
 			cfg := alloc.DefaultHugeConfig()
 			v.mutate(&cfg)
-			n, err := newNode(m, node.AllocHuge, &cfg, spec, uint64(i))
+			n, err := newNode(m, node.AllocHuge, &cfg, spec, uint64(i), fmt.Sprintf("ablate/%d", i))
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
 				os.Exit(1)
@@ -75,6 +99,7 @@ func main() {
 			fmt.Printf("%-75s %12v  (%.2fx paper design)\n", v.name, res.AllocTime,
 				float64(res.AllocTime)/base)
 		}
+		writeTrace()
 		return
 	}
 
@@ -94,7 +119,7 @@ func main() {
 	}
 	rows := make([]row, 0, len(mk))
 	for i, entry := range mk {
-		n, err := newNode(m, entry.kind, nil, spec, uint64(i))
+		n, err := newNode(m, entry.kind, nil, spec, uint64(i), "abinit/"+entry.name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
 			os.Exit(1)
@@ -133,6 +158,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
 			os.Exit(1)
 		}
+		writeTrace()
 		return
 	}
 
@@ -145,4 +171,5 @@ func main() {
 			float64(r.res.Stats.PeakLive)/float64(1<<20))
 	}
 	fmt.Println("\nnote: libhugepagealloc is additionally not thread safe (modelled; see DESIGN.md)")
+	writeTrace()
 }

@@ -15,11 +15,16 @@ import (
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/node"
+	"repro/internal/trace"
 )
 
 // spec is the parsed -faults configuration, shared by every mode (nil
 // when the flag is absent).
 var spec *faults.Spec
+
+// col is the -trace collector, shared by every mode (nil when the flag
+// is absent).
+var col *trace.Collector
 
 func main() {
 	mach := flag.String("machine", "opteron", "machine (opteron|xeon|systemp)")
@@ -29,6 +34,7 @@ func main() {
 	exchange := flag.Bool("exchange", false, "run the IMB Exchange test instead of Figure 5")
 	stats := flag.Bool("stats", false, "run a short SendRecv ladder and emit per-node telemetry as JSON")
 	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
+	traceFlag := flag.String("trace", "", "write a Perfetto trace of the run to this file ('-' = stdout)")
 	flag.Parse()
 
 	m := machine.ByName(*mach)
@@ -40,6 +46,12 @@ func main() {
 	if spec, err = faults.ParseSpec(*faultsFlag); err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
 		os.Exit(1)
+	}
+	if *traceFlag != "" {
+		col = trace.NewCollector()
+		col.SetMeta("tool", "imbbench")
+		col.SetMeta("machine", m.Name)
+		col.SetMeta("faults", spec.String())
 	}
 	switch {
 	case *stats:
@@ -55,6 +67,12 @@ func main() {
 	default:
 		runFig5(m)
 	}
+	if col != nil {
+		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
+			fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // runStats runs the recommended-placement SendRecv over a short size
@@ -63,7 +81,7 @@ func runStats(m *machine.Machine) {
 	_, nodes, err := imb.SendRecvNodeStats(mpi.Config{
 		Machine: m, Ranks: 2,
 		Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: m.HCA.SupportsHugeATT,
-		Faults: spec,
+		Faults: spec, Trace: col,
 	}, []int{64 << 10, 1 << 20, 4 << 20})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
@@ -80,7 +98,7 @@ func runPingPong(m *machine.Machine) {
 	sizes := []int{0, 1, 64, 1024, 8 << 10, 64 << 10, 1 << 20}
 	rs, err := imb.PingPong(mpi.Config{
 		Machine: m, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
-		Faults: spec,
+		Faults: spec, Trace: col,
 	}, sizes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
@@ -96,7 +114,7 @@ func runExchange(m *machine.Machine) {
 	sizes := []int{4 << 10, 64 << 10, 1 << 20}
 	rs, err := imb.Exchange(mpi.Config{
 		Machine: m, Ranks: 4, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
-		Faults: spec,
+		Faults: spec, Trace: col,
 	}, sizes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
@@ -110,7 +128,7 @@ func runExchange(m *machine.Machine) {
 
 func runFig5(m *machine.Machine) {
 	sizes := imb.DefaultSizes()
-	curves, err := imb.RunFig5Faults(m, sizes, spec)
+	curves, err := imb.RunFig5Traced(m, sizes, spec, col)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
 		os.Exit(1)
@@ -139,10 +157,14 @@ func runATT(m *machine.Machine) {
 	fmt.Printf("hugepage ATT-entry effect with lazy deregistration (%s)\n", m.Name)
 	fmt.Printf("%-12s %16s %16s %8s\n", "size [KB]", "4K entries MB/s", "2M entries MB/s", "gain")
 	run := func(patched bool) []imb.SendRecvResult {
+		prefix := "unpatched/"
+		if patched {
+			prefix = "patched/"
+		}
 		rs, err := imb.SendRecv(mpi.Config{
 			Machine: m, Ranks: 2,
 			Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: patched,
-			Faults: spec,
+			Faults: spec, Trace: col, TracePrefix: prefix,
 		}, sizes)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
@@ -164,7 +186,7 @@ func runReg(m *machine.Machine) {
 		sizes = append(sizes, s)
 	}
 	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
-	rows, err := imb.RegistrationSweepFaults(m, sizes, spec)
+	rows, err := imb.RegistrationSweepTrace(m, sizes, spec, col)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
 		os.Exit(1)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/nas"
 	"repro/internal/node"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -23,12 +24,19 @@ func main() {
 	profile := flag.Bool("profile", false, "print the mpiP-style per-callsite profile of each hugepage run")
 	stats := flag.Bool("stats", false, "emit per-node telemetry of every run as JSON instead of the tables")
 	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
+	traceFlag := flag.String("trace", "", "write a Perfetto trace of every kernel run to this file ('-' = stdout)")
 	flag.Parse()
 
 	spec, err := faults.ParseSpec(*faultsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
 		os.Exit(1)
+	}
+	var col *trace.Collector
+	if *traceFlag != "" {
+		col = trace.NewCollector()
+		col.SetMeta("tool", "nasbench")
+		col.SetMeta("faults", spec.String())
 	}
 	var ks []nas.Kernel
 	if *kernels != "" {
@@ -48,7 +56,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "nasbench: unknown machine %q\n", name)
 			os.Exit(1)
 		}
-		rows, err := nas.RunFig6Faults(m, *ranks, ks, spec)
+		rows, err := nas.RunFig6Traced(m, *ranks, ks, spec, col)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
 			os.Exit(1)
@@ -82,6 +90,12 @@ func main() {
 	}
 	if *stats {
 		if err := node.WriteReports(os.Stdout, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if col != nil {
+		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
 			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
 			os.Exit(1)
 		}

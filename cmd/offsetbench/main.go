@@ -11,6 +11,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/node"
+	"repro/internal/trace"
 	"repro/internal/wrbench"
 )
 
@@ -18,6 +19,7 @@ func main() {
 	mach := flag.String("machine", "systemp", "machine (opteron|xeon|systemp)")
 	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
 	stats := flag.Bool("stats", false, "emit per-node telemetry as JSON instead of the table")
+	traceFlag := flag.String("trace", "", "write a Perfetto trace of the sweep to this file ('-' = stdout)")
 	flag.Parse()
 	m := machine.ByName(*mach)
 	if m == nil {
@@ -29,12 +31,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
 		os.Exit(1)
 	}
+	var col *trace.Collector
+	if *traceFlag != "" {
+		col = trace.NewCollector()
+		col.SetMeta("tool", "offsetbench")
+		col.SetMeta("machine", m.Name)
+		col.SetMeta("faults", spec.String())
+	}
 	sizes := []int{8, 16, 32, 64}
 	offsets := wrbench.DefaultOffsets()
-	results, nodes, err := wrbench.OffsetSweepNodeStats(m, offsets, sizes, spec)
+	results, nodes, err := wrbench.OffsetSweepTrace(m, offsets, sizes, spec, col)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
 		os.Exit(1)
+	}
+	if col != nil {
+		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
+			fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *stats {
 		rep := node.NewReport("offsetbench", "offset-sweep", m.Name, spec.String(), nodes)

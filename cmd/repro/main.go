@@ -16,6 +16,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nas"
 	"repro/internal/node"
+	"repro/internal/trace"
 	"repro/internal/wrbench"
 )
 
@@ -27,6 +28,11 @@ func fail(err error) {
 // spec is the parsed -faults configuration, applied to every run the
 // tool performs (nil when the flag is absent).
 var spec *faults.Spec
+
+// col is the -trace collector (nil when the flag is absent). In full
+// mode it records the E3 Figure 5 runs; under -stats it records the
+// telemetry run itself.
+var col *trace.Collector
 
 // runStats runs a small Figure 5 cell under the paper's recommended
 // placement and emits every rank's host telemetry as JSON — the
@@ -41,6 +47,7 @@ func runStats(w io.Writer) error {
 		LazyDereg: true,
 		HugeATT:   true,
 		Faults:    spec,
+		Trace:     col,
 	}, []int{64 << 10, 1 << 20})
 	if err != nil {
 		return err
@@ -53,16 +60,27 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the slow NAS runs")
 	stats := flag.Bool("stats", false, "emit per-node telemetry of a small Figure 5 run as JSON and exit")
 	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
+	traceFlag := flag.String("trace", "", "write a Perfetto trace of the E3 run (or the -stats run) to this file ('-' = stdout)")
 	flag.Parse()
 
 	var err error
 	if spec, err = faults.ParseSpec(*faultsFlag); err != nil {
 		fail(err)
 	}
+	if *traceFlag != "" {
+		col = trace.NewCollector()
+		col.SetMeta("tool", "repro")
+		col.SetMeta("faults", spec.String())
+	}
 
 	if *stats {
 		if err := runStats(os.Stdout); err != nil {
 			fail(err)
+		}
+		if col != nil {
+			if err := node.WriteTraceFile(*traceFlag, col); err != nil {
+				fail(err)
+			}
 		}
 		return
 	}
@@ -109,9 +127,15 @@ func main() {
 
 	fmt.Println("=== E3 (Figure 5): IMB SendRecv bandwidth, AMD Opteron (MB/s) ===")
 	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
-	curves, err := imb.RunFig5Faults(machine.Opteron(), sizes, spec)
+	curves, err := imb.RunFig5Traced(machine.Opteron(), sizes, spec, col)
 	if err != nil {
 		fail(err)
+	}
+	if col != nil {
+		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: E3 Figure 5 runs written to %s\n", *traceFlag)
 	}
 	fmt.Printf("%-10s", "size[KB]")
 	for _, c := range imb.Fig5Configs() {

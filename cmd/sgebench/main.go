@@ -13,6 +13,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/node"
+	"repro/internal/trace"
 	"repro/internal/wrbench"
 )
 
@@ -21,6 +22,7 @@ func main() {
 	counts := flag.String("sges", "1,2,4,8", "comma-separated SGE counts (Figure 3 plots 1,2,4,8; the text also discusses 128)")
 	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
 	stats := flag.Bool("stats", false, "emit per-node telemetry as JSON instead of the table")
+	traceFlag := flag.String("trace", "", "write a Perfetto trace of the sweep to this file ('-' = stdout)")
 	flag.Parse()
 
 	m := machine.ByName(*mach)
@@ -42,11 +44,24 @@ func main() {
 		}
 		sgeCounts = append(sgeCounts, n)
 	}
+	var col *trace.Collector
+	if *traceFlag != "" {
+		col = trace.NewCollector()
+		col.SetMeta("tool", "sgebench")
+		col.SetMeta("machine", m.Name)
+		col.SetMeta("faults", spec.String())
+	}
 	sizes := wrbench.DefaultSGESizes()
-	results, nodes, err := wrbench.SGESweepNodeStats(m, sgeCounts, sizes, spec)
+	results, nodes, err := wrbench.SGESweepTrace(m, sgeCounts, sizes, spec, col)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
 		os.Exit(1)
+	}
+	if col != nil {
+		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
+			fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if *stats {
 		rep := node.NewReport("sgebench", "sge-sweep", m.Name, spec.String(), nodes)

@@ -1,0 +1,193 @@
+// Command tracetool analyzes the Perfetto trace files the other tools
+// write with -trace: the per-layer virtual-time breakdown of every
+// traced process (default), the critical path through the run (-cp),
+// the slowest spans with their registration / ATT-miss attribution
+// (-top), and a self-check that the breakdown partitions the run
+// exactly (-check, the CI gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/simtime"
+	"repro/internal/trace"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "tracetool: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	top := flag.Int("top", 0, "print the N slowest spans instead of the breakdown")
+	cp := flag.Bool("cp", false, "print the critical path instead of the breakdown")
+	check := flag.Bool("check", false, "verify every process's breakdown sums exactly to the trace's elapsed time")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracetool [-top N | -cp | -check] <trace.json>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	d, err := trace.ParsePerfetto(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+	switch {
+	case *check:
+		runCheck(d)
+	case *cp:
+		runCP(d)
+	case *top > 0:
+		runTop(d, *top)
+	default:
+		runBreakdown(d)
+	}
+}
+
+// ticksStr renders a tick count with its microsecond equivalent.
+func ticksStr(t simtime.Ticks) string {
+	return fmt.Sprintf("%d (%.2fus)", int64(t), t.Micros())
+}
+
+// runBreakdown prints every process's per-layer partition of the run.
+func runBreakdown(d *trace.Data) {
+	elapsed := d.Elapsed()
+	fmt.Printf("trace: %d processes, %d spans, %d events, elapsed %s\n",
+		len(d.Procs), len(d.Spans), len(d.Events), ticksStr(elapsed))
+	for _, v := range sortedMeta(d.Meta) {
+		fmt.Printf("  %s\n", v)
+	}
+	fmt.Println()
+	for _, b := range d.Breakdowns() {
+		fmt.Printf("%s (pid %d)\n", b.Name, b.PID)
+		layers := make([]string, 0, len(b.Self))
+		for l := range b.Self {
+			layers = append(layers, l)
+		}
+		sort.Strings(layers)
+		for _, l := range layers {
+			fmt.Printf("  %-10s %16d  %5.1f%%\n", l, int64(b.Self[l]), pct(b.Self[l], elapsed))
+		}
+		fmt.Printf("  %-10s %16d  %5.1f%%\n", "idle", int64(b.Idle), pct(b.Idle, elapsed))
+		fmt.Printf("  %-10s %16d  (total = elapsed)\n", "total", int64(b.Total()))
+		if b.SendTrack > 0 {
+			fmt.Printf("  %-10s %16d  (overlaps main track)\n", "send-half", int64(b.SendTrack))
+		}
+		if b.Adapter > 0 {
+			fmt.Printf("  %-10s %16d  (overlaps main track)\n", "adapter", int64(b.Adapter))
+		}
+	}
+	fmt.Println()
+	totals, idle := d.LayerTotals()
+	fmt.Println("all processes:")
+	layers := make([]string, 0, len(totals))
+	for l := range totals {
+		layers = append(layers, l)
+	}
+	sort.Strings(layers)
+	for _, l := range layers {
+		fmt.Printf("  %-10s %16d\n", l, int64(totals[l]))
+	}
+	fmt.Printf("  %-10s %16d\n", "idle", int64(idle))
+}
+
+// sortedMeta renders the otherData annotations deterministically.
+func sortedMeta(meta map[string]string) []string {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		if k == "tickHz" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%s", k, meta[k]))
+	}
+	return out
+}
+
+func pct(part, whole simtime.Ticks) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// runTop prints the n slowest spans with their annotations.
+func runTop(d *trace.Data, n int) {
+	procName := map[int]string{}
+	for _, p := range d.Procs {
+		procName[p.PID] = p.Name
+	}
+	fmt.Printf("%-18s %-10s %-16s %14s %14s  %s\n",
+		"process", "layer", "span", "start", "dur", "args")
+	for _, s := range d.TopSlow(n) {
+		fmt.Printf("%-18s %-10s %-16s %14d %14d  %s\n",
+			procName[s.PID], s.Layer, s.Name, int64(s.Start), int64(s.Dur), argsStr(s.Args))
+	}
+}
+
+func argsStr(args map[string]int64) string {
+	if len(args) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, args[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// runCP prints the critical path in chronological order.
+func runCP(d *trace.Data) {
+	steps := d.CriticalPath()
+	if len(steps) == 0 {
+		fmt.Println("no MPI spans in trace; critical path needs an mpi-layer run")
+		return
+	}
+	var onPath simtime.Ticks
+	fmt.Printf("%-6s %-18s %-16s %14s %14s\n", "via", "process", "span", "start", "dur")
+	for _, st := range steps {
+		fmt.Printf("%-6s %-18s %-16s %14d %14d\n",
+			st.Via, st.Proc, st.Span.Name, int64(st.Span.Start), int64(st.Span.Dur))
+		onPath += st.Span.Dur
+	}
+	last := steps[len(steps)-1].Span
+	fmt.Printf("\n%d steps, path span time %s, ends at %s of %s elapsed\n",
+		len(steps), ticksStr(onPath), ticksStr(last.End()), ticksStr(d.Elapsed()))
+}
+
+// runCheck is the acceptance gate: every process's per-layer partition
+// must sum exactly to the trace's elapsed virtual time.
+func runCheck(d *trace.Data) {
+	elapsed := d.Elapsed()
+	bad := 0
+	for _, b := range d.Breakdowns() {
+		if b.Total() != elapsed {
+			fmt.Printf("FAIL %s (pid %d): total %d != elapsed %d\n",
+				b.Name, b.PID, int64(b.Total()), int64(elapsed))
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("%d of %d processes failed the partition check\n", bad, len(d.Procs))
+		os.Exit(1)
+	}
+	fmt.Printf("OK: %d processes, every per-layer breakdown sums to elapsed %s\n",
+		len(d.Procs), ticksStr(elapsed))
+}

@@ -11,6 +11,15 @@ func TestFixtures(t *testing.T) {
 	analysistest.Run(t, "testdata", determinism.Analyzer, "a")
 }
 
+// TestTraceShapedRecorderIsCovered pins that a span recorder — the
+// shape of internal/trace — gets no special treatment: wall-clock
+// stamps and unseeded jitter in a tracing path are flagged like any
+// other simulation code, keeping the byte-identical-trace contract
+// enforceable at analysis time.
+func TestTraceShapedRecorderIsCovered(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "trc")
+}
+
 func TestAllowlistedPackagesAreExempt(t *testing.T) {
 	determinism.AllowedPkgs["b"] = true
 	defer delete(determinism.AllowedPkgs, "b")

@@ -1,0 +1,51 @@
+// Package trc mirrors the shape of internal/trace — a span recorder
+// stamping timeline records — and pins that the determinism analyzer
+// covers it like any simulation path: the tracing subsystem's
+// byte-identical-trace contract only holds because every stamp is
+// virtual ticks, so a wall-clock read or an unseeded jitter source in a
+// recorder is flagged, while pure tick arithmetic is not.
+package trc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Ticks stands in for simtime.Ticks (the fixture loader resolves only
+// stdlib imports, so the real type is not imported here).
+type Ticks int64
+
+type span struct {
+	name  string
+	start Ticks
+	dur   Ticks
+}
+
+type recorder struct {
+	spans []span
+	now   Ticks
+}
+
+// ok records a span stamped purely from virtual time: legal.
+func (r *recorder) ok(name string, dur Ticks) {
+	r.spans = append(r.spans, span{name: name, start: r.now, dur: dur})
+	r.now += dur
+}
+
+// wallClockStamp is the bug class the fixture exists for: stamping a
+// trace record off the host clock.
+func (r *recorder) wallClockStamp(name string) {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	r.spans = append(r.spans, span{name: name, start: Ticks(start.UnixNano())})
+}
+
+// jitteredDur draws span durations from the global entropy pool, which
+// would make every rendered trace differ run to run.
+func (r *recorder) jitteredDur(name string) {
+	r.ok(name, Ticks(rand.Int63n(100))) // want `global rand\.Int63n draws from the shared unseeded source`
+}
+
+// flushDeadline waits on the real clock before rendering.
+func flushDeadline() {
+	time.Sleep(10 * time.Millisecond) // want `time\.Sleep`
+}

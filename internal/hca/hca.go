@@ -31,6 +31,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/phys"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -420,6 +421,64 @@ func (h *HCA) Scatter(sges []SGE, data []byte) (simtime.Ticks, error) {
 // this (the target's) adapter.
 func (h *HCA) ScatterRDMA(rkey uint32, va vm.VA, data []byte) (simtime.Ticks, error) {
 	return h.Scatter([]SGE{{Addr: va, Length: uint32(len(data)), LKey: rkey}}, data)
+}
+
+// attCounters snapshots the translation-cache counters; the traced DMA
+// wrappers diff two snapshots to attribute per-operation ATT behaviour.
+// The caller must hold the adapter serialised across the operation (the
+// MPI layer's dma gate does) for the delta to be exact.
+func (h *HCA) attCounters() (hits, misses, evicts int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats.ATTHits, h.stats.ATTMisses, h.stats.ATTEvictions
+}
+
+// GatherT is Gather with tracing: the DMA-read is emitted as one
+// hca-layer span at tc's position (callers put tc on an adapter track),
+// annotated with the bytes moved and the translation-cache behaviour of
+// exactly this operation.
+func (h *HCA) GatherT(tc trace.Ctx, sges []SGE) ([]byte, simtime.Ticks, error) {
+	if !tc.Enabled() {
+		return h.Gather(sges)
+	}
+	h0, m0, e0 := h.attCounters()
+	data, cost, err := h.Gather(sges)
+	if err != nil {
+		return data, cost, err
+	}
+	h1, m1, e1 := h.attCounters()
+	tc.SpanAt(trace.LHCA, "dma.gather", tc.Now(), cost,
+		trace.I64("bytes", int64(len(data))),
+		trace.I64("sges", int64(len(sges))),
+		trace.I64("att_hit", h1-h0),
+		trace.I64("att_miss", m1-m0),
+		trace.I64("att_evict", e1-e0))
+	return data, cost, nil
+}
+
+// ScatterT is Scatter with tracing (see GatherT).
+func (h *HCA) ScatterT(tc trace.Ctx, sges []SGE, data []byte) (simtime.Ticks, error) {
+	if !tc.Enabled() {
+		return h.Scatter(sges, data)
+	}
+	h0, m0, e0 := h.attCounters()
+	cost, err := h.Scatter(sges, data)
+	if err != nil {
+		return cost, err
+	}
+	h1, m1, e1 := h.attCounters()
+	tc.SpanAt(trace.LHCA, "dma.scatter", tc.Now(), cost,
+		trace.I64("bytes", int64(len(data))),
+		trace.I64("sges", int64(len(sges))),
+		trace.I64("att_hit", h1-h0),
+		trace.I64("att_miss", m1-m0),
+		trace.I64("att_evict", e1-e0))
+	return cost, nil
+}
+
+// ScatterRDMAT is ScatterRDMA with tracing (see GatherT).
+func (h *HCA) ScatterRDMAT(tc trace.Ctx, rkey uint32, va vm.VA, data []byte) (simtime.Ticks, error) {
+	return h.ScatterT(tc, []SGE{{Addr: va, Length: uint32(len(data)), LKey: rkey}}, data)
 }
 
 // WireCost is the time on the link for an n-byte message: one-way latency

@@ -82,6 +82,7 @@ func PingPong(cfg mpi.Config, sizes []int) ([]PingPongResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("imb: pingpong: %w", err)
 	}
+	w.EndTrace()
 	return results, nil
 }
 
@@ -150,5 +151,6 @@ func Exchange(cfg mpi.Config, sizes []int) ([]ExchangeResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("imb: exchange: %w", err)
 	}
+	w.EndTrace()
 	return results, nil
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/node"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // SendRecvResult is one row of the Figure 5 series.
@@ -149,12 +150,15 @@ func SendRecvNodeStats(cfg mpi.Config, sizes []int) ([]SendRecvResult, []node.St
 	if err != nil {
 		return nil, nil, err
 	}
+	w.EndTrace()
 	return results, w.NodeStats(), nil
 }
 
 // Fig5Config names one of the four Figure 5 configurations.
 type Fig5Config struct {
-	Label     string
+	Label string
+	// Slug is a short path-safe name, used to prefix trace timelines.
+	Slug      string
 	Allocator mpi.AllocatorKind
 	LazyDereg bool
 }
@@ -164,10 +168,10 @@ type Fig5Config struct {
 // lazy deregistration.
 func Fig5Configs() []Fig5Config {
 	return []Fig5Config{
-		{Label: "small pages", Allocator: mpi.AllocLibc, LazyDereg: false},
-		{Label: "hugepages", Allocator: mpi.AllocHuge, LazyDereg: false},
-		{Label: "small pages lazy deregistration", Allocator: mpi.AllocLibc, LazyDereg: true},
-		{Label: "hugepages lazy deregistration", Allocator: mpi.AllocHuge, LazyDereg: true},
+		{Label: "small pages", Slug: "small", Allocator: mpi.AllocLibc, LazyDereg: false},
+		{Label: "hugepages", Slug: "huge", Allocator: mpi.AllocHuge, LazyDereg: false},
+		{Label: "small pages lazy deregistration", Slug: "small-lazy", Allocator: mpi.AllocLibc, LazyDereg: true},
+		{Label: "hugepages lazy deregistration", Slug: "huge-lazy", Allocator: mpi.AllocHuge, LazyDereg: true},
 	}
 }
 
@@ -180,15 +184,25 @@ func RunFig5(m *machine.Machine, sizes []int) (map[string][]SendRecvResult, erro
 // curve's job carries the same deterministic schedule, so the four
 // configurations degrade comparably.
 func RunFig5Faults(m *machine.Machine, sizes []int, spec *faults.Spec) (map[string][]SendRecvResult, error) {
+	return RunFig5Traced(m, sizes, spec, nil)
+}
+
+// RunFig5Traced is RunFig5Faults recording into a trace collector (nil =
+// no tracing). The four configurations share the collector, with their
+// timelines prefixed by the configuration slug ("huge-lazy/rank0", …),
+// so one trace file shows all four regimes side by side.
+func RunFig5Traced(m *machine.Machine, sizes []int, spec *faults.Spec, col *trace.Collector) (map[string][]SendRecvResult, error) {
 	out := make(map[string][]SendRecvResult, 4)
 	for _, c := range Fig5Configs() {
 		res, err := SendRecv(mpi.Config{
-			Machine:   m,
-			Ranks:     2,
-			Allocator: c.Allocator,
-			LazyDereg: c.LazyDereg,
-			HugeATT:   true,
-			Faults:    spec,
+			Machine:     m,
+			Ranks:       2,
+			Allocator:   c.Allocator,
+			LazyDereg:   c.LazyDereg,
+			HugeATT:     true,
+			Faults:      spec,
+			Trace:       col,
+			TracePrefix: c.Slug + "/",
 		}, sizes)
 		if err != nil {
 			return nil, fmt.Errorf("imb: %s: %w", c.Label, err)
@@ -218,29 +232,44 @@ func RegistrationSweep(m *machine.Machine, sizes []uint64) ([]RegResult, error) 
 // RegistrationSweepFaults is RegistrationSweep with a fault spec armed
 // on each host (nil = clean run).
 func RegistrationSweepFaults(m *machine.Machine, sizes []uint64, spec *faults.Spec) ([]RegResult, error) {
+	return RegistrationSweepTrace(m, sizes, spec, nil)
+}
+
+// RegistrationSweepTrace is RegistrationSweepFaults recording each host's
+// registration work into a trace collector (nil = no tracing). Every
+// sweep size gets its own timeline ("reg/4096", "reg/8192", …) with the
+// small-page registration followed by the hugepage one, so the MTT fan-out
+// difference is visible span-by-span.
+func RegistrationSweepTrace(m *machine.Machine, sizes []uint64, spec *faults.Spec, col *trace.Collector) ([]RegResult, error) {
 	out := make([]RegResult, 0, len(sizes))
 	for _, size := range sizes {
 		// A fresh warmed host per size, matching the MPI world's setup so
 		// registration sweeps see the same physical scatter.
-		n, err := node.New(node.Config{Machine: m, HugeATT: true, Faults: spec})
+		n, err := node.New(node.Config{
+			Machine: m, HugeATT: true, Faults: spec,
+			Trace: col, TraceName: fmt.Sprintf("reg/%d", size),
+		})
 		if err != nil {
 			return nil, err
 		}
 		as, ctx := n.AS, n.Verbs
+		var now simtime.Ticks
+		tc := n.Tracer().At(trace.TrackMain, now)
 
 		vaS, err := as.MapSmall(size)
 		if err != nil {
 			return nil, err
 		}
-		mrS, tS, err := ctx.RegMR(vaS, size)
+		mrS, tS, err := ctx.RegMRT(tc, vaS, size)
 		if err != nil {
 			return nil, err
 		}
+		now += tS
 		vaH, err := as.MapHuge(size)
 		if err != nil {
 			return nil, err
 		}
-		mrH, tH, err := ctx.RegMR(vaH, size)
+		mrH, tH, err := ctx.RegMRT(n.Tracer().At(trace.TrackMain, now), vaH, size)
 		if err != nil {
 			return nil, err
 		}

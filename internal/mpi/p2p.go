@@ -8,6 +8,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/hca"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -31,7 +32,7 @@ const (
 // clock or goroutine timing. A nil injector reduces to the plain
 // PollCQ cost advance.
 func (r *Rank) pollCQ(clk *simtime.Clock, stream faults.WRStream) error {
-	clk.Advance(r.ctx.PollCQ())
+	clk.Advance(r.ctx.PollCQT(r.tctx(clk)))
 	if !r.inj.WRError(stream) {
 		return nil
 	}
@@ -40,8 +41,12 @@ func (r *Rank) pollCQ(clk *simtime.Clock, stream faults.WRStream) error {
 			return fmt.Errorf("mpi: rank %d: %w", r.id, ErrWRFailed)
 		}
 		r.inj.RecordWRRetry()
-		clk.Advance(wrBackoffBase << uint(attempt))
-		clk.Advance(r.ctx.PollCQ())
+		backoff := wrBackoffBase << uint(attempt)
+		if tc := r.tctx(clk); tc.Enabled() {
+			tc.Span(trace.LMPI, "wr.retry", backoff, trace.I64("attempt", int64(attempt)))
+		}
+		clk.Advance(backoff)
+		clk.Advance(r.ctx.PollCQT(r.tctx(clk)))
 		if !r.inj.WRError(stream) {
 			return nil
 		}
@@ -90,6 +95,10 @@ type message struct {
 	kind int
 	src  int
 	tag  int
+
+	// flow is the trace arrow id linking the send post to the receive
+	// (0 when tracing is disabled).
+	flow uint64
 
 	// eager
 	data   []byte
@@ -168,11 +177,15 @@ func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) erro
 	// Flow control: consume one eager buffer credit for this peer; if the
 	// receiver has not drained its bounce buffers we block here, and our
 	// clock advances to the instant the credit was freed.
+	waitStart := clk.Now()
 	select {
 	case freed := <-r.credits[dst]:
 		clk.AdvanceTo(freed)
 	case <-r.world.abort:
 		return fmt.Errorf("mpi: rank %d awaiting eager credit for %d: %w", r.id, dst, ErrAborted)
+	}
+	if tc := r.tctx(clk); tc.Enabled() && clk.Now() > waitStart {
+		tc.SpanAt(trace.LMPI, "credit.wait", waitStart, clk.Now()-waitStart)
 	}
 	var data []byte
 	if n > 0 {
@@ -182,16 +195,25 @@ func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) erro
 		}
 	}
 	// CPU copy into the registered bounce buffer, then post + doorbell.
-	clk.Advance(r.memcpyTicks(n) + eagerPipelineTicks)
-	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1)))
+	copyCost := r.memcpyTicks(n) + eagerPipelineTicks
+	if tc := r.tctx(clk); tc.Enabled() {
+		tc.Span(trace.LMPI, "eager.copy", copyCost, trace.I64("bytes", int64(n)))
+	}
+	clk.Advance(copyCost)
+	clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1)))
 	// The adapter gathers from the hot bounce buffer and serialises.
 	arrive := clk.Now() + r.ctx.HW.WireCost(n)
+	var flowID uint64
+	if r.tr.Enabled() {
+		flowID = r.nextFlow(dst)
+		r.tctx(clk).FlowBegin(flowID)
+	}
 	// Local completion (inline/bounce: immediate).
 	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
 		return err
 	}
 	r.world.ranks[dst].inbox[r.id] <- &message{
-		kind: kindEager, src: r.id, tag: tag, data: data, arrive: arrive,
+		kind: kindEager, src: r.id, tag: tag, data: data, arrive: arrive, flow: flowID,
 	}
 	return nil
 }
@@ -201,7 +223,7 @@ func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) erro
 // read and reports completion. One control hop shorter for the receiver
 // than write-rendezvous, one wire round trip longer for the data.
 func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma *sendGate) error {
-	mr, cost, err := r.cache.Acquire(va, uint64(n))
+	mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
 	g.open()
 	// The exposed buffer is read by the receiver's RDMA engine; this
 	// half performs no local DMA, so the recv half need not wait.
@@ -216,10 +238,15 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 		doneCh: make(chan simtime.Ticks, 1),
 		srcHW:  r.ctx.HW,
 	}
-	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1)))
+	clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1)))
 	m.arrive = clk.Now() + r.ctrlWire()
+	if r.tr.Enabled() {
+		m.flow = r.nextFlow(dst)
+		r.tctx(clk).FlowBegin(m.flow)
+	}
 	r.world.ranks[dst].inbox[r.id] <- m
 
+	waitStart := clk.Now()
 	var done simtime.Ticks
 	select {
 	case done = <-m.doneCh:
@@ -228,10 +255,13 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 	}
 	// The FIN arrives one control hop after the receiver finished.
 	clk.AdvanceTo(done + r.ctrlWire())
+	if tc := r.tctx(clk); tc.Enabled() && clk.Now() > waitStart {
+		tc.SpanAt(trace.LMPI, "read.fin.wait", waitStart, clk.Now()-waitStart)
+	}
 	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
 		return err
 	}
-	relCost, err := r.cache.Release(mr)
+	relCost, err := r.cache.ReleaseT(r.tctx(clk), mr)
 	if err != nil {
 		return err
 	}
@@ -241,7 +271,7 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 
 // sendRendezvous runs the registration + RDMA-write protocol.
 func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma *sendGate) error {
-	mr, cost, err := r.cache.Acquire(va, uint64(n))
+	mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
 	g.open()
 	if err != nil {
 		return fmt.Errorf("mpi: rendezvous register: %w", err)
@@ -253,10 +283,15 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 		ctsCh: make(chan ctsMsg, 1),
 		finCh: make(chan finMsg, 1),
 	}
-	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1)))
+	clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1)))
 	m.arrive = clk.Now() + r.ctrlWire()
+	if r.tr.Enabled() {
+		m.flow = r.nextFlow(dst)
+		r.tctx(clk).FlowBegin(m.flow)
+	}
 	r.world.ranks[dst].inbox[r.id] <- m
 
+	waitStart := clk.Now()
 	var cts ctsMsg
 	select {
 	case cts = <-m.ctsCh:
@@ -264,19 +299,27 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 		return fmt.Errorf("mpi: rank %d awaiting CTS from %d: %w", r.id, dst, ErrAborted)
 	}
 	clk.AdvanceTo(cts.t + r.ctrlWire())
+	if tc := r.tctx(clk); tc.Enabled() && clk.Now() > waitStart {
+		tc.SpanAt(trace.LMPI, "cts.wait", waitStart, clk.Now()-waitStart)
+	}
 	// CTS completion.
 	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
 		return err
 	}
 
 	// Post the RDMA write; the adapter gathers the user buffer (real
-	// bytes) while the wire serialises — the two stages pipeline.
-	data, gather, err := r.ctx.HW.Gather([]hca.SGE{{Addr: va, Length: uint32(n), LKey: mr.LKey}})
+	// bytes) while the wire serialises — the two stages pipeline. The
+	// gather is drawn on the adapter's TX track, where it runs.
+	var tcg trace.Ctx
+	if r.tr.Enabled() {
+		tcg = r.tr.At(trace.TrackHCATx, clk.Now())
+	}
+	data, gather, err := r.ctx.HW.GatherT(tcg, []hca.SGE{{Addr: va, Length: uint32(n), LKey: mr.LKey}})
 	dma.open() // gather done; the recv half may now drive the adapter
 	if err != nil {
 		return fmt.Errorf("mpi: rendezvous gather: %w", err)
 	}
-	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1)))
+	clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1)))
 	start := clk.Now()
 	serialize := simtime.BandwidthTicks(int64(n), r.world.cfg.Machine.HCA.WireBandwidthMBs)
 	m.finCh <- finMsg{data: data, start: start, gather: gather, serialize: serialize}
@@ -284,11 +327,14 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 	// Local completion: RC ack after remote placement of the last packet.
 	wire := r.world.cfg.Machine.HCA.WireLatency
 	clk.AdvanceTo(start + wire + simtime.Max(gather, serialize) + wire)
+	if tc := r.tctx(clk); tc.Enabled() && clk.Now() > start {
+		tc.SpanAt(trace.LMPI, "rdma.ack.wait", start, clk.Now()-start)
+	}
 	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
 		return err
 	}
 
-	relCost, err := r.cache.Release(mr)
+	relCost, err := r.cache.ReleaseT(r.tctx(clk), mr)
 	if err != nil {
 		return err
 	}
@@ -315,6 +361,7 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 	if err := r.checkPeer(src); err != nil {
 		return 0, err
 	}
+	waitStart := clk.Now()
 	m := r.matchRecv(src, tag)
 	if m == nil {
 		return 0, fmt.Errorf("mpi: rank %d receiving from %d: %w", r.id, src, ErrAborted)
@@ -326,11 +373,23 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 			return 0, fmt.Errorf("mpi: eager truncation: got %d bytes, capacity %d", n, capacity)
 		}
 		clk.AdvanceTo(m.arrive)
+		if tc := r.tctx(clk); tc.Enabled() {
+			if clk.Now() > waitStart {
+				tc.SpanAt(trace.LMPI, "recv.wait", waitStart, clk.Now()-waitStart)
+			}
+			if m.flow != 0 {
+				tc.FlowEnd(m.flow)
+			}
+		}
 		if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
 			return 0, err
 		}
 		if n > 0 {
-			clk.Advance(r.memcpyTicks(n) + eagerPipelineTicks)
+			copyCost := r.memcpyTicks(n) + eagerPipelineTicks
+			if tc := r.tctx(clk); tc.Enabled() {
+				tc.Span(trace.LMPI, "eager.copy", copyCost, trace.I64("bytes", int64(n)))
+			}
+			clk.Advance(copyCost)
 			if err := r.as.Write(va, m.data); err != nil {
 				return 0, err
 			}
@@ -349,6 +408,14 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 			return 0, fmt.Errorf("mpi: rendezvous truncation: got %d bytes, capacity %d", n, capacity)
 		}
 		clk.AdvanceTo(m.arrive)
+		if tc := r.tctx(clk); tc.Enabled() {
+			if clk.Now() > waitStart {
+				tc.SpanAt(trace.LMPI, "recv.wait", waitStart, clk.Now()-waitStart)
+			}
+			if m.flow != 0 {
+				tc.FlowEnd(m.flow)
+			}
+		}
 		// RTS completion.
 		if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
 			return 0, err
@@ -357,14 +424,15 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 			return r.recvRendezvousRead(clk, m, va, g, dma)
 		}
 		g.wait()
-		mr, cost, err := r.cache.Acquire(va, uint64(n))
+		mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
 		if err != nil {
 			return 0, fmt.Errorf("mpi: rendezvous recv register: %w", err)
 		}
 		clk.Advance(cost)
-		clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1))) // CTS post
+		clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1))) // CTS post
 		m.ctsCh <- ctsMsg{rkey: mr.RKey, va: va, t: clk.Now()}
 
+		rdmaStart := clk.Now()
 		var fin finMsg
 		select {
 		case fin = <-m.finCh:
@@ -372,18 +440,25 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 			return 0, fmt.Errorf("mpi: rank %d awaiting data from %d: %w", r.id, src, ErrAborted)
 		}
 		dma.wait() // the send half's gather drives the adapter first
-		scatter, err := r.ctx.HW.ScatterRDMA(mr.RKey, va, fin.data)
+		var tcs trace.Ctx
+		if r.tr.Enabled() {
+			tcs = r.tr.At(trace.TrackHCARx, clk.Now())
+		}
+		scatter, err := r.ctx.HW.ScatterRDMAT(tcs, mr.RKey, va, fin.data)
 		if err != nil {
 			return 0, fmt.Errorf("mpi: rendezvous scatter: %w", err)
 		}
 		wire := r.world.cfg.Machine.HCA.WireLatency
 		done := fin.start + wire + simtime.Max(simtime.Max(fin.gather, fin.serialize), scatter)
 		clk.AdvanceTo(done)
+		if tc := r.tctx(clk); tc.Enabled() && clk.Now() > rdmaStart {
+			tc.SpanAt(trace.LMPI, "rdma.wait", rdmaStart, clk.Now()-rdmaStart)
+		}
 		// FIN completion.
 		if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
 			return 0, err
 		}
-		relCost, err := r.cache.Release(mr)
+		relCost, err := r.cache.ReleaseT(r.tctx(clk), mr)
 		if err != nil {
 			return 0, err
 		}
@@ -398,22 +473,34 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g, dma *sendGate) (int, error) {
 	n := m.size
 	g.wait()
-	mr, cost, err := r.cache.Acquire(va, uint64(n))
+	mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
 	if err != nil {
 		return 0, fmt.Errorf("mpi: read-rendezvous recv register: %w", err)
 	}
 	clk.Advance(cost)
-	clk.Advance(r.ctx.PostSend(make([]hca.SGE, 1))) // RDMA READ WR
+	clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1))) // RDMA READ WR
 
+	rdmaStart := clk.Now()
 	// The read request crosses the wire, the sender's adapter gathers,
 	// the response streams back, our adapter scatters. Data and request
 	// both traverse the link: one extra one-way latency vs RDMA write.
-	data, gather, err := m.srcHW.Gather([]hca.SGE{{Addr: m.srcVA, Length: uint32(n), LKey: m.srcRKey}})
+	// The receiver drives the read, so the remote gather is drawn on the
+	// receiver's TX track — a documented simplification (the arrow in
+	// the trace still points at the data's true origin via the flow).
+	var tcg trace.Ctx
+	if r.tr.Enabled() {
+		tcg = r.tr.At(trace.TrackHCATx, clk.Now())
+	}
+	data, gather, err := m.srcHW.GatherT(tcg, []hca.SGE{{Addr: m.srcVA, Length: uint32(n), LKey: m.srcRKey}})
 	if err != nil {
 		return 0, fmt.Errorf("mpi: RDMA read gather: %w", err)
 	}
 	dma.wait() // never interleave with the send half's adapter traffic
-	scatter, err := r.ctx.HW.ScatterRDMA(mr.RKey, va, data)
+	var tcs trace.Ctx
+	if r.tr.Enabled() {
+		tcs = r.tr.At(trace.TrackHCARx, clk.Now())
+	}
+	scatter, err := r.ctx.HW.ScatterRDMAT(tcs, mr.RKey, va, data)
 	if err != nil {
 		return 0, fmt.Errorf("mpi: RDMA read scatter: %w", err)
 	}
@@ -421,11 +508,14 @@ func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g, d
 	serialize := simtime.BandwidthTicks(int64(n), r.world.cfg.Machine.HCA.WireBandwidthMBs)
 	done := clk.Now() + 2*wire + simtime.Max(simtime.Max(gather, serialize), scatter)
 	clk.AdvanceTo(done)
+	if tc := r.tctx(clk); tc.Enabled() && clk.Now() > rdmaStart {
+		tc.SpanAt(trace.LMPI, "rdma.wait", rdmaStart, clk.Now()-rdmaStart)
+	}
 	if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
 		return 0, err
 	}
 	m.doneCh <- clk.Now()
-	relCost, err := r.cache.Release(mr)
+	relCost, err := r.cache.ReleaseT(r.tctx(clk), mr)
 	if err != nil {
 		return 0, err
 	}

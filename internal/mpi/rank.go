@@ -13,6 +13,7 @@ import (
 	"repro/internal/regcache"
 	"repro/internal/simtime"
 	"repro/internal/tlb"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 	"repro/internal/vm"
 )
@@ -37,6 +38,8 @@ type Rank struct {
 	dtlb  *tlb.DTLB
 	inj   *faults.Injector // nil when faults are disabled (nil-safe)
 	prof  *mpip.Profile
+	tr    *trace.Tracer // nil when tracing is disabled (nil-safe)
+	cur   *trace.Cursor // stamps the clockless layers' instant events
 
 	inbox   []chan *message // indexed by source rank
 	pending [][]*message    // unexpected-message queues, per source
@@ -53,6 +56,32 @@ type Rank struct {
 	// collective's internal point-to-point calls are not double-counted
 	// (mpiP attributes time to the outermost call site).
 	mpiDepth int32
+
+	// flowSeq[d] numbers the traced messages sent to rank d, so every
+	// message arrow in the trace gets a globally unique id. Touched only
+	// by the one goroutine currently sending to d.
+	flowSeq []uint64
+}
+
+// tctx positions a trace context at clk's current instant: on the main
+// track for the rank's own clock, on the send track for a Sendrecv's
+// forked send half. Disabled tracing yields the inert zero Ctx.
+func (r *Rank) tctx(clk *simtime.Clock) trace.Ctx {
+	if r.tr == nil {
+		return trace.Ctx{}
+	}
+	track := trace.TrackMain
+	if clk != &r.clock {
+		track = trace.TrackSend
+	}
+	return r.tr.At(track, clk.Now())
+}
+
+// nextFlow allocates a message-arrow id for a send to dst. Call only
+// when tracing is enabled.
+func (r *Rank) nextFlow(dst int) uint64 {
+	r.flowSeq[dst]++
+	return (uint64(r.id)*uint64(len(r.world.ranks))+uint64(dst))<<32 | r.flowSeq[dst]
 }
 
 // enterMPI marks entry into a profiled MPI call; it reports whether this
@@ -67,7 +96,13 @@ func (r *Rank) enterMPI() bool {
 func (r *Rank) exitMPI(name string, start simtime.Ticks, outer bool) {
 	atomic.AddInt32(&r.mpiDepth, -1)
 	if outer {
-		r.prof.AddCall(name, r.clock.Now()-start)
+		end := r.clock.Now()
+		r.prof.AddCall(name, end-start)
+		// Every outermost MPI call is one span on the rank's main track —
+		// the single emission point all entry points funnel through.
+		if r.tr.Enabled() {
+			r.tr.At(trace.TrackMain, start).SpanAt(trace.LMPI, name, start, end-start)
+		}
 	}
 }
 
@@ -107,6 +142,9 @@ func (r *Rank) Profile() *mpip.Profile { return r.prof }
 
 // Compute advances the rank's clock by application time and records it.
 func (r *Rank) Compute(d simtime.Ticks) {
+	if r.tr.Enabled() && d > 0 {
+		r.tctx(&r.clock).Span(trace.LApp, "compute", d)
+	}
 	r.clock.Advance(d)
 	r.prof.AddCompute(d)
 }
@@ -115,12 +153,16 @@ func (r *Rank) Compute(d simtime.Ticks) {
 // allocator's own time to the compute side of the profile (that is where
 // the Abinit +1.5 % lives).
 func (r *Rank) Malloc(n uint64) (vm.VA, error) {
+	r.cur.Set(r.clock.Now()) // position the vm/phys instant markers
 	before := r.alloc.Stats().Ticks
 	va, err := r.alloc.Alloc(n)
 	if err != nil {
 		return 0, err
 	}
 	d := r.alloc.Stats().Ticks - before
+	if r.tr.Enabled() {
+		r.tctx(&r.clock).Span(trace.LAlloc, "malloc", d, trace.I64("bytes", int64(n)))
+	}
 	r.clock.Advance(d)
 	r.prof.AddAlloc(d)
 	return va, nil
@@ -129,6 +171,7 @@ func (r *Rank) Malloc(n uint64) (vm.VA, error) {
 // Free releases a buffer, invalidating any cached registration over it
 // first (a correctness requirement of lazy deregistration).
 func (r *Rank) Free(va vm.VA) error {
+	r.cur.Set(r.clock.Now())
 	inv, err := r.cache.Invalidate(va, r.alloc.UsableSize(va))
 	if err != nil {
 		return err
@@ -138,6 +181,9 @@ func (r *Rank) Free(va vm.VA) error {
 		return err
 	}
 	d := r.alloc.Stats().Ticks - before
+	if r.tr.Enabled() {
+		r.tctx(&r.clock).Span(trace.LAlloc, "free", d+inv)
+	}
 	r.clock.Advance(d + inv)
 	r.prof.AddAlloc(d + inv)
 	return nil
@@ -251,7 +297,7 @@ func (r *Rank) matchRecv(src, tag int) *message {
 // acquire registers [va,va+n) through the rank's registration cache and
 // charges the time.
 func (r *Rank) acquire(va vm.VA, n uint64) (*verbs.MR, error) {
-	mr, cost, err := r.cache.Acquire(va, n)
+	mr, cost, err := r.cache.AcquireT(r.tctx(&r.clock), va, n)
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +308,7 @@ func (r *Rank) acquire(va vm.VA, n uint64) (*verbs.MR, error) {
 // release returns a registration, charging deregistration time when lazy
 // deregistration is off.
 func (r *Rank) release(mr *verbs.MR) error {
-	cost, err := r.cache.Release(mr)
+	cost, err := r.cache.ReleaseT(r.tctx(&r.clock), mr)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mpip"
 	"repro/internal/node"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 )
 
 // AllocatorKind selects the per-rank allocation library — the variable of
@@ -67,6 +68,13 @@ type Config struct {
 	// (nil = no faults). Each rank is salted with its rank number, so
 	// the hosts run decorrelated schedules that replay bit-identically.
 	Faults *faults.Spec
+	// Trace, when set, records every rank's activity into the collector
+	// (nil = no tracing; disabled tracing is allocation-free on the hot
+	// paths). Timelines are named "rank0", "rank1", … — prefixed with
+	// TracePrefix, which lets several worlds (benchmark configurations)
+	// share one collector without colliding.
+	Trace       *trace.Collector
+	TracePrefix string
 }
 
 // nodeConfig is the homogeneous per-rank host configuration the job
@@ -78,6 +86,7 @@ func (c Config) nodeConfig() node.Config {
 		LazyDereg: c.LazyDereg,
 		HugeATT:   c.HugeATT,
 		Faults:    c.Faults,
+		Trace:     c.Trace,
 	}
 }
 
@@ -136,6 +145,7 @@ func NewWorld(cfg Config) (*World, error) {
 	for i := 0; i < cfg.Ranks; i++ {
 		ncfg := cfg.nodeConfig()
 		ncfg.FaultSalt = uint64(i)
+		ncfg.TraceName = fmt.Sprintf("%srank%d", cfg.TracePrefix, i)
 		if cfg.PerRank != nil {
 			ncfg = cfg.PerRank(i, ncfg)
 		}
@@ -154,6 +164,8 @@ func NewWorld(cfg Config) (*World, error) {
 			dtlb:  n.DTLB,
 			inj:   n.Faults(),
 			prof:  mpip.New(),
+			tr:    n.Tracer(),
+			cur:   n.TraceCursor(),
 		}
 		w.nodes = append(w.nodes, n)
 		w.ranks = append(w.ranks, r)
@@ -163,6 +175,7 @@ func NewWorld(cfg Config) (*World, error) {
 		r.inbox = make([]chan *message, cfg.Ranks)
 		r.pending = make([][]*message, cfg.Ranks)
 		r.credits = make([]chan simtime.Ticks, cfg.Ranks)
+		r.flowSeq = make([]uint64, cfg.Ranks)
 		for j := 0; j < cfg.Ranks; j++ {
 			r.inbox[j] = make(chan *message, cfg.ChannelDepth)
 			// credits[j] holds tokens for SENDING to rank j from r.
@@ -248,6 +261,20 @@ func (w *World) MaxTime() simtime.Ticks {
 		t = simtime.Max(t, r.clock.Now())
 	}
 	return t
+}
+
+// EndTrace stamps every rank's timeline with a job.end marker at the
+// job's makespan, so the trace's elapsed time equals MaxTime even for
+// ranks that went idle early. Call it after Run, before writing the
+// trace. A world without tracing ignores the call.
+func (w *World) EndTrace() {
+	if w.cfg.Trace == nil {
+		return
+	}
+	end := w.MaxTime()
+	for _, r := range w.ranks {
+		r.tr.At(trace.TrackMain, end).Event(trace.LApp, "job.end")
+	}
 }
 
 // Profile aggregates all ranks' mpiP profiles.

@@ -89,6 +89,7 @@ func RunKernelConfig(cfg mpi.Config, k Kernel) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("nas: %s/%s: %w", k.Name(), ak, err)
 	}
+	w.EndTrace()
 	res := Result{
 		Kernel:    k.Name(),
 		Allocator: ak,

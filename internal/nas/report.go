@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mpi"
+	"repro/internal/trace"
 )
 
 // Fig6Row is one benchmark's bar group in Figure 6: the communication /
@@ -34,17 +35,27 @@ func RunFig6(m *machine.Machine, ranks int, kernels []Kernel) ([]Fig6Row, error)
 // allocators face the same deterministic schedule, so the improvement
 // split stays a like-for-like comparison under pressure.
 func RunFig6Faults(m *machine.Machine, ranks int, kernels []Kernel, spec *faults.Spec) ([]Fig6Row, error) {
+	return RunFig6Traced(m, ranks, kernels, spec, nil)
+}
+
+// RunFig6Traced is RunFig6Faults recording every kernel run into a trace
+// collector (nil = no tracing). Timelines are prefixed by machine,
+// kernel and allocator ("opteron/cg-huge/rank0", …), so one trace file
+// holds the whole figure even across machines.
+func RunFig6Traced(m *machine.Machine, ranks int, kernels []Kernel, spec *faults.Spec, col *trace.Collector) ([]Fig6Row, error) {
 	if kernels == nil {
 		kernels = All()
 	}
 	run := func(ak mpi.AllocatorKind, k Kernel) (Result, error) {
 		return RunKernelConfig(mpi.Config{
-			Machine:   m,
-			Ranks:     ranks,
-			Allocator: ak,
-			LazyDereg: true,
-			HugeATT:   true,
-			Faults:    spec,
+			Machine:     m,
+			Ranks:       ranks,
+			Allocator:   ak,
+			LazyDereg:   true,
+			HugeATT:     true,
+			Faults:      spec,
+			Trace:       col,
+			TracePrefix: fmt.Sprintf("%s/%s-%s/", m.Name, k.Name(), ak),
 		}, k)
 	}
 	rows := make([]Fig6Row, 0, len(kernels))

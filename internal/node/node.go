@@ -18,6 +18,7 @@ import (
 	"repro/internal/phys"
 	"repro/internal/regcache"
 	"repro/internal/tlb"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 	"repro/internal/vm"
 )
@@ -66,6 +67,13 @@ type Config struct {
 	// FaultSalt decorrelates the fault schedules of hosts sharing one
 	// Spec (the MPI world salts with the rank number).
 	FaultSalt uint64
+	// Trace, when set, records this host's activity into the collector
+	// under the timeline named TraceName (nil = no tracing; every trace
+	// method is nil-safe and free when disabled).
+	Trace *trace.Collector
+	// TraceName labels the host's timeline in the trace ("rank0", …).
+	// Empty defaults to "node".
+	TraceName string
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +119,11 @@ type Node struct {
 
 	// inj is the node's fault injector (nil when faults are disabled).
 	inj *faults.Injector
+	// tr is the node's timeline in the trace collector (nil when tracing
+	// is disabled); cur is the shared cursor the clockless layers (vm,
+	// phys) stamp instant events through.
+	tr  *trace.Tracer
+	cur *trace.Cursor
 }
 
 // New builds a host from a configuration. This is the single place the
@@ -134,7 +147,21 @@ func New(cfg Config) (*Node, error) {
 		// every hugepage the library ever sees.
 		mem.SetFaults(inj)
 	}
+	var tr *trace.Tracer
+	var cur *trace.Cursor
+	if cfg.Trace != nil {
+		name := cfg.TraceName
+		if name == "" {
+			name = "node"
+		}
+		tr = cfg.Trace.Tracer(name)
+		cur = tr.Cursor(trace.TrackMain)
+		mem.SetTrace(cur)
+	}
 	as := vm.New(mem)
+	if cur != nil {
+		as.SetTrace(cur)
+	}
 	ctx := verbs.Open(cfg.Machine, as)
 	ctx.HugeATT = cfg.HugeATT
 	ctx.MemlockLimit = inj.MemlockLimit()
@@ -154,6 +181,8 @@ func New(cfg Config) (*Node, error) {
 		Alloc: a,
 		Cache: regcache.New(ctx, cfg.LazyDereg),
 		inj:   inj,
+		tr:    tr,
+		cur:   cur,
 	}, nil
 }
 
@@ -191,3 +220,12 @@ func (n *Node) Faults() *faults.Injector { return n.inj }
 
 // Machine returns the node's machine description.
 func (n *Node) Machine() *machine.Machine { return n.cfg.Machine }
+
+// Tracer returns the node's trace timeline (nil when tracing is
+// disabled; all tracer methods are nil-safe).
+func (n *Node) Tracer() *trace.Tracer { return n.tr }
+
+// TraceCursor returns the cursor the node's clockless layers stamp
+// instant events through (nil when tracing is disabled). Owners with a
+// clock should Set it before entering the allocation or mapping layers.
+func (n *Node) TraceCursor() *trace.Cursor { return n.cur }

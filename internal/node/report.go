@@ -3,6 +3,9 @@ package node
 import (
 	"encoding/json"
 	"io"
+	"os"
+
+	"repro/internal/trace"
 )
 
 // Report is the shared -stats JSON schema every cmd tool emits: one
@@ -45,4 +48,24 @@ func WriteReports(w io.Writer, reports []Report) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(reports)
+}
+
+// WriteTraceFile renders a collector as Perfetto trace_event JSON into
+// path ("-" writes to stdout) — the one rendering path behind every
+// tool's -trace flag, mirroring WriteReports for -stats. The byte
+// stream is canonical (trace.WritePerfetto sorts records under a total
+// order), so two same-seed runs produce identical files.
+func WriteTraceFile(path string, c *trace.Collector) error {
+	if path == "-" {
+		return c.WritePerfetto(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

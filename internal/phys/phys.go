@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // Frame is a physical frame number (4 KiB units). The physical byte
@@ -73,6 +74,10 @@ type Memory struct {
 	inj *faults.Injector
 
 	stats Stats
+
+	// cur, when set, stamps hugepage-pool incidents (injected failures,
+	// shrinks, exhaustion) as instant trace markers. Nil = no tracing.
+	cur *trace.Cursor
 
 	data dataStore
 }
@@ -158,6 +163,15 @@ func (m *Memory) SetFaults(inj *faults.Injector) {
 	}
 }
 
+// SetTrace attaches a trace cursor; hugepage-pool incidents stamp at its
+// current position (the owning rank moves the cursor at its entry points,
+// the same way the address space is traced).
+func (m *Memory) SetTrace(cur *trace.Cursor) {
+	m.mu.Lock()
+	m.cur = cur
+	m.mu.Unlock()
+}
+
 // removeFreeLocked permanently drops up to n free hugepages from the
 // pool (the pages that would have been handed out last, keeping the
 // imminent allocation order stable).
@@ -178,19 +192,33 @@ func (m *Memory) AllocHuge() (Frame, error) {
 	if fail, shrink := m.inj.HugeAllocFault(); fail || shrink > 0 {
 		if shrink > 0 {
 			m.removeFreeLocked(shrink)
+			if m.cur.Enabled() {
+				m.cur.Event(trace.LPhys, "hugepool.shrink",
+					trace.I64("pages", int64(shrink)), trace.I64("free", int64(len(m.hugeFree))))
+			}
 		}
 		if fail {
 			m.stats.HugeFailures++
 			m.stats.HugeInjected++
+			if m.cur.Enabled() {
+				m.cur.Event(trace.LPhys, "hugepool.fail", trace.I64("injected", 1))
+			}
 			return 0, fmt.Errorf("injected fault: %w", ErrOutOfHugepages)
 		}
 	}
 	if len(m.hugeFree) == 0 {
 		m.stats.HugeFailures++
+		if m.cur.Enabled() {
+			m.cur.Event(trace.LPhys, "hugepool.empty")
+		}
 		return 0, ErrOutOfHugepages
 	}
 	if len(m.hugeFree) <= m.hugeReserved {
 		m.stats.HugeFailures++
+		if m.cur.Enabled() {
+			m.cur.Event(trace.LPhys, "hugepool.reserve.held",
+				trace.I64("free", int64(len(m.hugeFree))), trace.I64("reserved", int64(m.hugeReserved)))
+		}
 		return 0, ErrReserveHeld
 	}
 	idx := m.hugeFree[len(m.hugeFree)-1]

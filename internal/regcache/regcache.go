@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 	"repro/internal/vm"
 )
@@ -106,6 +107,15 @@ func New(ctx *verbs.Context, lazy bool) *Cache {
 // is what lets byte-level message-length jitter (IS's varying partition
 // sizes) reuse a cached registration.
 func (c *Cache) Acquire(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, error) {
+	return c.AcquireT(trace.Ctx{}, va, length)
+}
+
+// AcquireT is Acquire with tracing: the call is recorded as a
+// regcache-layer "acquire" span at tc's position, with the cache
+// lookup's outcome in its args and the registration work (RegMR spans,
+// synchronous memlock evictions) nested inside. A zero Ctx records
+// nothing and follows the exact untraced code path.
+func (c *Cache) AcquireT(tc trace.Ctx, va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, error) {
 	if _, class, err := c.ctx.AS.Translate(va); err == nil {
 		ps := class.Size()
 		end := (uint64(va) + length + ps - 1) / ps * ps
@@ -113,7 +123,7 @@ func (c *Cache) Acquire(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, erro
 		length = end - uint64(va)
 	}
 	if !c.Lazy {
-		mr, cost, err := c.ctx.RegMR(va, length)
+		mr, cost, err := c.ctx.RegMRT(tc, va, length)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -131,6 +141,10 @@ func (c *Cache) Acquire(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, erro
 		e.refs++
 		c.stats.Hits++
 		c.mu.Unlock()
+		if tc.Enabled() {
+			tc.SpanAt(trace.LRegcache, "acquire", tc.Now(), cost,
+				trace.I64("bytes", int64(length)), trace.I64("hit", 1))
+		}
 		return e.mr, cost, nil
 	}
 	for _, e := range c.entries {
@@ -139,17 +153,25 @@ func (c *Cache) Acquire(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, erro
 			e.refs++
 			c.stats.Hits++
 			c.mu.Unlock()
+			if tc.Enabled() {
+				tc.SpanAt(trace.LRegcache, "acquire", tc.Now(), cost,
+					trace.I64("bytes", int64(length)), trace.I64("hit", 1))
+			}
 			return e.mr, cost, nil
 		}
 	}
 	c.stats.Misses++
 	c.mu.Unlock()
 
-	mr, regCost, err := c.regWithEvict(va, length)
+	mr, regCost, err := c.regWithEvict(tc.Advance(lookupTicks), va, length)
 	if err != nil {
 		return nil, 0, err
 	}
 	cost += regCost
+	if tc.Enabled() {
+		tc.SpanAt(trace.LRegcache, "acquire", tc.Now(), cost,
+			trace.I64("bytes", int64(length)), trace.I64("hit", 0))
+	}
 	c.mu.Lock()
 	c.stats.RegTicks += regCost
 	// A re-registration at the same base (e.g. a longer slice of the
@@ -172,7 +194,12 @@ func (c *Cache) Acquire(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, erro
 	c.mu.Unlock()
 	// Deregistration of superseded/evicted regions happens off the
 	// critical path (MVAPICH2 defers it to a garbage list), so no time
-	// is charged to this Acquire.
+	// is charged to this Acquire — the trace records them as instant
+	// markers, not spans.
+	if tc.Enabled() && len(stale) > 0 {
+		tc.Advance(cost).Event(trace.LRegcache, "evict.deferred",
+			trace.I64("count", int64(len(stale))))
+	}
 	for _, victim := range stale {
 		if _, err := c.ctx.DeregMR(victim); err != nil {
 			return nil, 0, err
@@ -189,8 +216,9 @@ func (c *Cache) Acquire(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, erro
 // transfer needs right now. The returned cost includes the synchronous
 // deregistrations — unlike normal (deferred) eviction, the caller is
 // stalled on them.
-func (c *Cache) regWithEvict(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, error) {
-	mr, cost, err := c.ctx.RegMR(va, length)
+func (c *Cache) regWithEvict(tc trace.Ctx, va vm.VA, length uint64) (*verbs.MR, simtime.Ticks, error) {
+	mr, cost, err := c.ctx.RegMRT(tc, va, length)
+	tc = tc.Advance(cost)
 	for attempt := 0; err != nil && errors.Is(err, verbs.ErrMemlockExceeded) && attempt < memlockRetryLimit; attempt++ {
 		c.mu.Lock()
 		victims := c.evictForMemlockLocked(int64(length))
@@ -199,18 +227,20 @@ func (c *Cache) regWithEvict(va vm.VA, length uint64) (*verbs.MR, simtime.Ticks,
 			break // everything pinned is in use; the ceiling is real
 		}
 		for _, victim := range victims {
-			d, derr := c.ctx.DeregMR(victim)
+			d, derr := c.ctx.DeregMRT(tc, victim)
 			if derr != nil {
 				return nil, 0, derr
 			}
 			cost += d
+			tc = tc.Advance(d)
 		}
 		c.mu.Lock()
 		c.stats.MemlockRetries++
 		c.mu.Unlock()
 		var rc simtime.Ticks
-		mr, rc, err = c.ctx.RegMR(va, length)
+		mr, rc, err = c.ctx.RegMRT(tc, va, length)
 		cost += rc
+		tc = tc.Advance(rc)
 	}
 	if err != nil {
 		return nil, 0, err
@@ -277,6 +307,13 @@ func (c *Cache) evictLocked() []*verbs.MR {
 // (deregistering only zombies whose last user just left); otherwise it
 // deregisters immediately and returns that cost.
 func (c *Cache) Release(mr *verbs.MR) (simtime.Ticks, error) {
+	return c.ReleaseT(trace.Ctx{}, mr)
+}
+
+// ReleaseT is Release with tracing: an eager (non-lazy) deregistration
+// emits its DeregMR span at tc; a zombie teardown — uncharged, off the
+// critical path — is recorded as an instant marker.
+func (c *Cache) ReleaseT(tc trace.Ctx, mr *verbs.MR) (simtime.Ticks, error) {
 	if c.Lazy {
 		c.mu.Lock()
 		e := c.byMR[mr]
@@ -292,13 +329,16 @@ func (c *Cache) Release(mr *verbs.MR) (simtime.Ticks, error) {
 		}
 		c.mu.Unlock()
 		if dead != nil {
+			if tc.Enabled() {
+				tc.Event(trace.LRegcache, "zombie.dereg", trace.I64("bytes", int64(mr.Length)))
+			}
 			if _, err := c.ctx.DeregMR(dead); err != nil {
 				return 0, err
 			}
 		}
 		return 0, nil
 	}
-	cost, err := c.ctx.DeregMR(mr)
+	cost, err := c.ctx.DeregMRT(tc, mr)
 	if err != nil {
 		return 0, err
 	}

@@ -20,10 +20,12 @@ const TickHz = 512_000_000
 // Ticks is a duration or point in virtual time, measured in time-base ticks.
 type Ticks int64
 
-// Common durations expressed in ticks.
+// Common durations expressed in ticks. There is deliberately no
+// Nanosecond constant: at 512 MHz a nanosecond is sub-tick, so the
+// integer constant would be 0 and silently drop every duration it
+// scales. Use FromNanos, which rounds to nearest, instead.
 const (
-	Nanosecond  Ticks = TickHz / 1_000_000_000 // 0 (sub-tick); use FromNanos
-	Microsecond Ticks = TickHz / 1_000_000     // 512
+	Microsecond Ticks = TickHz / 1_000_000 // 512
 	Millisecond Ticks = TickHz / 1_000
 	Second      Ticks = TickHz
 )

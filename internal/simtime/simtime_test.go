@@ -24,6 +24,23 @@ func TestTickConversions(t *testing.T) {
 	}
 }
 
+// TestNanosecondScaleRounds pins why the package exports no Nanosecond
+// constant: TickHz/1e9 truncates to 0 in integer arithmetic, so a
+// `duration * Nanosecond` scaling would silently yield zero ticks.
+// Sub-tick durations must go through FromNanos, which rounds to nearest.
+func TestNanosecondScaleRounds(t *testing.T) {
+	if TickHz/1_000_000_000 != 0 {
+		t.Fatalf("a 512 MHz tick is coarser than 1ns; integer ns-per-tick = %d, want 0",
+			TickHz/1_000_000_000)
+	}
+	if got := FromNanos(1); got != 1 {
+		t.Fatalf("FromNanos(1) = %d, want 1 (round to nearest, not truncate)", got)
+	}
+	if got := FromNanos(500); got != 256 {
+		t.Fatalf("FromNanos(500) = %d, want 256", got)
+	}
+}
+
 func TestNanosRoundTrip(t *testing.T) {
 	f := func(n uint16) bool {
 		tk := Ticks(n)

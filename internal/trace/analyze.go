@@ -1,0 +1,516 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/simtime"
+)
+
+// This file is the consumer half of the subsystem: it parses a trace
+// file written by WritePerfetto back into ticks and computes the three
+// reports cmd/tracetool prints — the per-layer time breakdown, the
+// critical path through a communication step, and the top-N slowest
+// spans. It lives here (not in cmd/) so tests can close the loop:
+// record → write → parse → analyze inside one package.
+
+// Data is a parsed trace.
+type Data struct {
+	Meta  map[string]string
+	Procs []Proc
+	Spans []PSpan
+	Flows []PFlow
+	// Events are the instant markers (hugepage-pool pressure, map
+	// fallbacks, cache evictions).
+	Events []PEvent
+}
+
+// Proc is one traced process.
+type Proc struct {
+	PID  int
+	Name string
+}
+
+// PSpan is one parsed interval.
+type PSpan struct {
+	PID, TID    int
+	Layer, Name string
+	Start, Dur  simtime.Ticks
+	Args        map[string]int64
+}
+
+// End returns the span's end instant.
+func (s PSpan) End() simtime.Ticks { return s.Start + s.Dur }
+
+// PEvent is one parsed instant marker.
+type PEvent struct {
+	PID, TID    int
+	Layer, Name string
+	At          simtime.Ticks
+	Args        map[string]int64
+}
+
+// PFlow is one parsed flow endpoint.
+type PFlow struct {
+	PID, TID int
+	ID       uint64
+	At       simtime.Ticks
+	Begin    bool
+}
+
+// jsonEvent is the wire shape of one trace_event entry. Args values are
+// integers on spans/events but strings on metadata records, hence the
+// interface-typed map.
+type jsonEvent struct {
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Cat  string         `json:"cat"`
+	Name string         `json:"name"`
+	ID   float64        `json:"id"`
+	Args map[string]any `json:"args"`
+}
+
+type jsonTrace struct {
+	// OtherData values are strings for annotations but a number for
+	// tickHz, hence the interface-typed map.
+	OtherData   map[string]any `json:"otherData"`
+	TraceEvents []jsonEvent    `json:"traceEvents"`
+}
+
+// usToTicks inverts the writer's tick→µs conversion exactly (512 is a
+// power of two, so the product is integral before rounding).
+func usToTicks(us float64) simtime.Ticks {
+	return simtime.Ticks(math.Round(us * 512.0))
+}
+
+// intArgs converts a parsed args object back to the integer annotations
+// the recorder wrote.
+func intArgs(in map[string]any) map[string]int64 {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(in))
+	for k, v := range in {
+		if f, ok := v.(float64); ok {
+			out[k] = int64(math.Round(f))
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// ParsePerfetto reads a trace file written by WritePerfetto.
+func ParsePerfetto(r io.Reader) (*Data, error) {
+	var jt jsonTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	d := &Data{Meta: make(map[string]string, len(jt.OtherData))}
+	for k, v := range jt.OtherData {
+		d.Meta[k] = fmt.Sprint(v)
+	}
+	for _, e := range jt.TraceEvents {
+		switch e.Ph {
+		case "M":
+			if e.Name == "process_name" {
+				name, _ := e.Args["name"].(string)
+				d.Procs = append(d.Procs, Proc{PID: e.PID, Name: name})
+			}
+		case "X":
+			d.Spans = append(d.Spans, PSpan{
+				PID: e.PID, TID: e.TID, Layer: e.Cat, Name: e.Name,
+				Start: usToTicks(e.TS), Dur: usToTicks(e.Dur),
+				Args: intArgs(e.Args),
+			})
+		case "i":
+			d.Events = append(d.Events, PEvent{
+				PID: e.PID, TID: e.TID, Layer: e.Cat, Name: e.Name,
+				At: usToTicks(e.TS), Args: intArgs(e.Args),
+			})
+		case "s", "f":
+			d.Flows = append(d.Flows, PFlow{
+				PID: e.PID, TID: e.TID, ID: uint64(e.ID),
+				At: usToTicks(e.TS), Begin: e.Ph == "s",
+			})
+		}
+	}
+	sort.Slice(d.Procs, func(i, j int) bool { return d.Procs[i].PID < d.Procs[j].PID })
+	return d, nil
+}
+
+// Elapsed reports the trace's end instant: the latest point any record
+// touches. Runs that close their trace with a job.end marker make this
+// the job's makespan.
+func (d *Data) Elapsed() simtime.Ticks {
+	var end simtime.Ticks
+	for _, s := range d.Spans {
+		end = simtime.Max(end, s.End())
+	}
+	for _, e := range d.Events {
+		end = simtime.Max(end, e.At)
+	}
+	for _, f := range d.Flows {
+		end = simtime.Max(end, f.At)
+	}
+	return end
+}
+
+// Breakdown is one process's per-layer partition of the run.
+type Breakdown struct {
+	PID  int
+	Name string
+	// Self maps layer → self time on the process's main track: the time
+	// inside spans of that layer not covered by a nested child span.
+	Self map[string]simtime.Ticks
+	// Idle is the main-track time outside any span (waiting on peers,
+	// plus virtual time charged without instrumentation).
+	Idle simtime.Ticks
+	// Adapter is DMA-engine busy time on the hca-tx/hca-rx tracks (the
+	// union of their span intervals, so nested or repeated spans are not
+	// double-counted); it overlaps the main track (offloaded work) and is
+	// reported separately so the main partition still sums to Elapsed.
+	Adapter simtime.Ticks
+	// SendTrack is busy time on the forked send-half track (union, like
+	// Adapter), also overlapping the main track (Sendrecv's outer span
+	// covers it).
+	SendTrack simtime.Ticks
+}
+
+// Total sums the main-track partition. By construction it equals the
+// trace's Elapsed: every instant is either inside exactly one innermost
+// span (charged to its layer) or outside all spans (Idle).
+func (b Breakdown) Total() simtime.Ticks {
+	t := b.Idle
+	for _, v := range b.Self {
+		t += v
+	}
+	return t
+}
+
+// Breakdowns partitions [0, Elapsed] of every process's main track into
+// per-layer self time plus idle.
+func (d *Data) Breakdowns() []Breakdown {
+	elapsed := d.Elapsed()
+	out := make([]Breakdown, 0, len(d.Procs))
+	for _, p := range d.Procs {
+		b := Breakdown{PID: p.PID, Name: p.Name, Self: map[string]simtime.Ticks{}}
+		var main, send, hcaTx, hcaRx []PSpan
+		for _, s := range d.Spans {
+			if s.PID != p.PID {
+				continue
+			}
+			switch s.TID {
+			case TrackMain:
+				main = append(main, s)
+			case TrackSend:
+				send = append(send, s)
+			case TrackHCATx:
+				hcaTx = append(hcaTx, s)
+			case TrackHCARx:
+				hcaRx = append(hcaRx, s)
+			}
+		}
+		b.Idle = selfTimes(main, elapsed, b.Self)
+		b.SendTrack = covered(send)
+		b.Adapter = covered(hcaTx) + covered(hcaRx)
+		out = append(out, b)
+	}
+	return out
+}
+
+// covered returns the length of the union of the spans' intervals on one
+// track: busy time with nested and back-to-back spans counted once.
+func covered(spans []PSpan) simtime.Ticks {
+	if len(spans) == 0 {
+		return 0
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Dur > spans[j].Dur
+	})
+	var total simtime.Ticks
+	cur, end := spans[0].Start, spans[0].End()
+	for _, s := range spans[1:] {
+		if s.Start > end {
+			total += end - cur
+			cur, end = s.Start, s.End()
+			continue
+		}
+		if s.End() > end {
+			end = s.End()
+		}
+	}
+	return total + (end - cur)
+}
+
+// selfTimes partitions [0, elapsed] across the given single-track spans:
+// each instant is attributed to the innermost span covering it, or to
+// the returned idle time when no span covers it. Spans are assumed
+// properly nested (the recorder emits them that way); a child running
+// past its parent is clamped to the parent's end so the partition stays
+// exact even on malformed input.
+func selfTimes(spans []PSpan, elapsed simtime.Ticks, self map[string]simtime.Ticks) simtime.Ticks {
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].Dur != spans[j].Dur {
+			return spans[i].Dur > spans[j].Dur // enclosing first
+		}
+		return spans[i].Layer < spans[j].Layer
+	})
+	type frame struct {
+		layer string
+		end   simtime.Ticks
+	}
+	var stack []frame
+	var idle simtime.Ticks
+	cur := simtime.Ticks(0)
+	account := func(to simtime.Ticks) {
+		if to <= cur {
+			return
+		}
+		if len(stack) == 0 {
+			idle += to - cur
+		} else {
+			self[stack[len(stack)-1].layer] += to - cur
+		}
+		cur = to
+	}
+	for _, s := range spans {
+		for len(stack) > 0 && stack[len(stack)-1].end <= s.Start {
+			account(stack[len(stack)-1].end)
+			stack = stack[:len(stack)-1]
+		}
+		account(s.Start)
+		end := s.End()
+		if len(stack) > 0 && end > stack[len(stack)-1].end {
+			end = stack[len(stack)-1].end // clamp runaway child
+		}
+		if end > cur {
+			stack = append(stack, frame{layer: s.Layer, end: end})
+		}
+	}
+	for len(stack) > 0 {
+		account(stack[len(stack)-1].end)
+		stack = stack[:len(stack)-1]
+	}
+	account(elapsed)
+	return idle
+}
+
+// CPStep is one hop of the critical path, in chronological order. Via
+// explains how the step was reached from the previous (earlier) one:
+// "start" for the first, "flow" when a message chained two processes,
+// "track" when it is simply the next span on the same timeline.
+type CPStep struct {
+	Span PSpan
+	Proc string
+	Via  string
+}
+
+// CriticalPath walks backwards from the globally latest-ending MPI span
+// using last-arrival chaining: if a message (flow) arrives inside the
+// current span, the path jumps to the span that sent it; otherwise it
+// steps to the previous MPI span on the same timeline. The result is a
+// heuristic — the recorder does not capture full dataflow — but on
+// send/recv chains it reproduces the textbook critical path. Steps are
+// returned in chronological order.
+func (d *Data) CriticalPath() []CPStep {
+	procName := map[int]string{}
+	for _, p := range d.Procs {
+		procName[p.PID] = p.Name
+	}
+	var roots []PSpan
+	for _, s := range d.Spans {
+		if s.Layer == string(LMPI) && (s.TID == TrackMain || s.TID == TrackSend) {
+			roots = append(roots, s)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+	begins := map[uint64]PFlow{}
+	var ends []PFlow
+	for _, f := range d.Flows {
+		if f.Begin {
+			begins[f.ID] = f
+		} else {
+			ends = append(ends, f)
+		}
+	}
+	sort.Slice(ends, func(i, j int) bool {
+		if ends[i].At != ends[j].At {
+			return ends[i].At < ends[j].At
+		}
+		return ends[i].ID < ends[j].ID
+	})
+	// Start from the latest-ending root span.
+	cur := roots[0]
+	for _, s := range roots[1:] {
+		if s.End() > cur.End() || (s.End() == cur.End() && cpSpanLess(s, cur)) {
+			cur = s
+		}
+	}
+	type spanKey struct {
+		pid, tid int
+		start    simtime.Ticks
+		name     string
+	}
+	seen := map[spanKey]bool{}
+	// rev collects steps latest-first; via[i] records the link between
+	// rev[i] (earlier) and rev[i-1] (later).
+	var rev []CPStep
+	via := "start"
+	for len(rev) < 256 {
+		k := spanKey{cur.PID, cur.TID, cur.Start, cur.Name}
+		if seen[k] {
+			break
+		}
+		seen[k] = true
+		rev = append(rev, CPStep{Span: cur, Proc: procName[cur.PID], Via: via})
+		// Latest message arriving into this process inside the span.
+		next, nextVia, ok := cpPredecessor(roots, begins, ends, cur)
+		if !ok {
+			break
+		}
+		cur, via = next, nextVia
+	}
+	// Reverse into chronological order. rev[i].Via currently explains
+	// the link from rev[i] back to rev[i-1]; chronologically that same
+	// label belongs to the later endpoint rev[i-1].
+	out := make([]CPStep, len(rev))
+	for i := range rev {
+		out[len(rev)-1-i] = rev[i]
+	}
+	for i := len(out) - 1; i >= 1; i-- {
+		out[i].Via = out[i-1].Via
+	}
+	if len(out) > 0 {
+		out[0].Via = "start"
+	}
+	return out
+}
+
+// cpPredecessor picks the step before cur: the sender of the latest
+// message arriving inside cur, else the previous span on cur's timeline.
+func cpPredecessor(roots []PSpan, begins map[uint64]PFlow, ends []PFlow, cur PSpan) (PSpan, string, bool) {
+	for i := len(ends) - 1; i >= 0; i-- {
+		f := ends[i]
+		if f.PID != cur.PID || f.At < cur.Start || f.At > cur.End() {
+			continue
+		}
+		src, ok := begins[f.ID]
+		if !ok {
+			continue
+		}
+		if next, ok := spanCovering(roots, src.PID, src.TID, src.At); ok && !sameSpan(next, cur) {
+			return next, "flow", true
+		}
+		break
+	}
+	if next, ok := prevOnTrack(roots, cur); ok {
+		return next, "track", true
+	}
+	return PSpan{}, "", false
+}
+
+func sameSpan(a, b PSpan) bool {
+	return a.PID == b.PID && a.TID == b.TID && a.Start == b.Start && a.Name == b.Name
+}
+
+// cpSpanLess is the deterministic tiebreak for critical-path choices.
+func cpSpanLess(a, b PSpan) bool {
+	if a.Start != b.Start {
+		return a.Start < b.Start
+	}
+	if a.PID != b.PID {
+		return a.PID < b.PID
+	}
+	if a.TID != b.TID {
+		return a.TID < b.TID
+	}
+	return a.Name < b.Name
+}
+
+// spanCovering finds the innermost root span of (pid, tid) covering t.
+func spanCovering(roots []PSpan, pid, tid int, t simtime.Ticks) (PSpan, bool) {
+	var best PSpan
+	found := false
+	for _, s := range roots {
+		if s.PID != pid || s.TID != tid || t < s.Start || t > s.End() {
+			continue
+		}
+		if !found || s.Start > best.Start || (s.Start == best.Start && s.Dur < best.Dur) {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// prevOnTrack finds the latest root span on cur's timeline ending at or
+// before cur starts.
+func prevOnTrack(roots []PSpan, cur PSpan) (PSpan, bool) {
+	var best PSpan
+	found := false
+	for _, s := range roots {
+		if s.PID != cur.PID || s.TID != cur.TID || s.End() > cur.Start {
+			continue
+		}
+		if !found || s.End() > best.End() || (s.End() == best.End() && s.Start > best.Start) {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// TopSlow returns the n slowest spans (all layers, all tracks), most
+// expensive first, with a deterministic tiebreak. Registration and
+// ATT-miss attribution rides along in the spans' Args.
+func (d *Data) TopSlow(n int) []PSpan {
+	spans := append([]PSpan(nil), d.Spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Dur != spans[j].Dur {
+			return spans[i].Dur > spans[j].Dur
+		}
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].PID != spans[j].PID {
+			return spans[i].PID < spans[j].PID
+		}
+		if spans[i].TID != spans[j].TID {
+			return spans[i].TID < spans[j].TID
+		}
+		return spans[i].Name < spans[j].Name
+	})
+	if n > len(spans) {
+		n = len(spans)
+	}
+	return spans[:n]
+}
+
+// LayerTotals aggregates the main-track self-time breakdown across all
+// processes.
+func (d *Data) LayerTotals() (map[string]simtime.Ticks, simtime.Ticks) {
+	totals := map[string]simtime.Ticks{}
+	var idle simtime.Ticks
+	for _, b := range d.Breakdowns() {
+		for l, v := range b.Self {
+			totals[l] += v
+		}
+		idle += b.Idle
+	}
+	return totals, idle
+}

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// buildData records a scene and parses it back, closing the loop the
+// analyzer is consumed through in cmd/tracetool.
+func buildData(t *testing.T, emit func(col *Collector)) *Data {
+	t.Helper()
+	col := NewCollector()
+	emit(col)
+	var buf bytes.Buffer
+	if err := col.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParsePerfetto(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestBreakdownPartitionsExactly pins the acceptance invariant: nested
+// spans attribute each instant to the innermost layer, gaps become idle,
+// and the per-layer partition sums exactly to the trace's elapsed time.
+func TestBreakdownPartitionsExactly(t *testing.T) {
+	d := buildData(t, func(col *Collector) {
+		tr := col.Tracer("rank0")
+		// [0,100) mpi, containing [10,40) verbs, containing [20,25) hca.
+		tc := tr.At(TrackMain, 0)
+		tc.SpanAt(LMPI, "Sendrecv", 0, 100)
+		tc.SpanAt(LVerbs, "RegMR", 10, 30)
+		tc.SpanAt(LHCA, "post", 20, 5)
+		// Gap [100,150) is idle; [150,160) app closes the run.
+		tr.At(TrackMain, 150).Span(LApp, "compute", 10)
+	})
+	bs := d.Breakdowns()
+	if len(bs) != 1 {
+		t.Fatalf("got %d breakdowns, want 1", len(bs))
+	}
+	b := bs[0]
+	want := map[string]simtime.Ticks{
+		"mpi": 70, "verbs": 25, "hca": 5, "app": 10,
+	}
+	for l, w := range want {
+		if b.Self[l] != w {
+			t.Errorf("self[%s] = %d, want %d", l, b.Self[l], w)
+		}
+	}
+	if b.Idle != 50 {
+		t.Errorf("idle = %d, want 50", b.Idle)
+	}
+	if b.Total() != d.Elapsed() {
+		t.Fatalf("partition broken: total %d != elapsed %d", b.Total(), d.Elapsed())
+	}
+}
+
+// TestBreakdownOverlayTracksUseUnion pins that the send-half and adapter
+// overlays count busy time once: nested or duplicated spans on those
+// tracks must not inflate the totals.
+func TestBreakdownOverlayTracksUseUnion(t *testing.T) {
+	d := buildData(t, func(col *Collector) {
+		tr := col.Tracer("rank0")
+		tc := tr.At(TrackMain, 0)
+		tc.SpanAt(LMPI, "Sendrecv", 0, 100)
+		// Send track: outer [0,60) with nested [10,20) — union 60.
+		tc.OnTrack(TrackSend).SpanAt(LMPI, "send.half", 0, 60)
+		tc.OnTrack(TrackSend).SpanAt(LVerbs, "RegMR", 10, 10)
+		// HCA tx [0,30) and [20,50): union 50; rx [70,80): 10.
+		tc.OnTrack(TrackHCATx).SpanAt(LHCA, "dma.gather", 0, 30)
+		tc.OnTrack(TrackHCATx).SpanAt(LHCA, "dma.gather", 20, 30)
+		tc.OnTrack(TrackHCARx).SpanAt(LHCA, "dma.scatter", 70, 10)
+	})
+	b := d.Breakdowns()[0]
+	if b.SendTrack != 60 {
+		t.Errorf("SendTrack = %d, want 60 (union, not 70)", b.SendTrack)
+	}
+	if b.Adapter != 60 {
+		t.Errorf("Adapter = %d, want 60 (tx union 50 + rx 10)", b.Adapter)
+	}
+	if b.Total() != d.Elapsed() {
+		t.Fatalf("overlay tracks leaked into the main partition: %d != %d", b.Total(), d.Elapsed())
+	}
+}
+
+// TestCriticalPathFollowsFlow pins the last-arrival chaining: the path
+// from the latest-ending span must jump across the message arrow to the
+// sender's span.
+func TestCriticalPathFollowsFlow(t *testing.T) {
+	d := buildData(t, func(col *Collector) {
+		a := col.Tracer("rank0")
+		b := col.Tracer("rank1")
+		// rank0 sends during [0,50); the message lands in rank1's recv
+		// span [10,120).
+		tc := a.At(TrackMain, 0)
+		tc.SpanAt(LMPI, "Send", 0, 50)
+		a.At(TrackMain, 40).FlowBegin(9)
+		rb := b.At(TrackMain, 10)
+		rb.SpanAt(LMPI, "Recv", 10, 110)
+		b.At(TrackMain, 90).FlowEnd(9)
+	})
+	steps := d.CriticalPath()
+	if len(steps) != 2 {
+		t.Fatalf("got %d steps, want 2: %+v", len(steps), steps)
+	}
+	if steps[0].Span.Name != "Send" || steps[0].Proc != "rank0" || steps[0].Via != "start" {
+		t.Errorf("step 0 = %s on %s via %s, want Send on rank0 via start",
+			steps[0].Span.Name, steps[0].Proc, steps[0].Via)
+	}
+	if steps[1].Span.Name != "Recv" || steps[1].Proc != "rank1" || steps[1].Via != "flow" {
+		t.Errorf("step 1 = %s on %s via %s, want Recv on rank1 via flow",
+			steps[1].Span.Name, steps[1].Proc, steps[1].Via)
+	}
+}
+
+// TestTopSlowOrdersDeterministically pins the ordering and tiebreak.
+func TestTopSlowOrdersDeterministically(t *testing.T) {
+	d := buildData(t, func(col *Collector) {
+		tr := col.Tracer("n")
+		tc := tr.At(TrackMain, 0)
+		tc.SpanAt(LMPI, "a", 0, 30)
+		tc.SpanAt(LMPI, "b", 100, 50)
+		tc.SpanAt(LMPI, "c", 50, 30) // ties a on dur; later start loses
+	})
+	top := d.TopSlow(2)
+	if len(top) != 2 || top[0].Name != "b" || top[1].Name != "a" {
+		names := make([]string, len(top))
+		for i, s := range top {
+			names[i] = s.Name
+		}
+		t.Fatalf("TopSlow order %v, want [b a]", names)
+	}
+	if got := len(d.TopSlow(99)); got != 3 {
+		t.Fatalf("TopSlow clamps to %d spans, want 3", got)
+	}
+}
+
+// TestCoveredUnion checks the interval-union helper directly on the
+// awkward shapes: containment, exact abutment, disjoint gaps.
+func TestCoveredUnion(t *testing.T) {
+	mk := func(start, dur simtime.Ticks) PSpan { return PSpan{Start: start, Dur: dur} }
+	cases := []struct {
+		spans []PSpan
+		want  simtime.Ticks
+	}{
+		{nil, 0},
+		{[]PSpan{mk(0, 10)}, 10},
+		{[]PSpan{mk(0, 10), mk(10, 5)}, 15},          // abutting
+		{[]PSpan{mk(0, 10), mk(2, 3)}, 10},           // contained
+		{[]PSpan{mk(0, 10), mk(20, 5)}, 15},          // disjoint
+		{[]PSpan{mk(5, 10), mk(0, 7), mk(3, 1)}, 15}, // overlap, unsorted
+	}
+	for i, c := range cases {
+		if got := covered(c.spans); got != c.want {
+			t.Errorf("case %d: covered = %d, want %d", i, got, c.want)
+		}
+	}
+}

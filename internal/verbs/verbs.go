@@ -28,6 +28,7 @@ import (
 	"repro/internal/hca"
 	"repro/internal/machine"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -98,6 +99,15 @@ func Open(m *machine.Machine, as *vm.AddressSpace) *Context {
 // RegMR registers [va, va+length) and returns the MR plus the time the
 // registration took.
 func (c *Context) RegMR(va vm.VA, length uint64) (*MR, simtime.Ticks, error) {
+	return c.RegMRT(trace.Ctx{}, va, length)
+}
+
+// RegMRT is RegMR with tracing: a successful registration emits a
+// verbs-layer RegMR span decomposed into the paper's three steps (pin,
+// translate, MTT push) plus the syscall entry, starting at the trace
+// position tc. A zero (disabled) Ctx records nothing and adds no
+// allocations — this is the hot path guarded by the zero-alloc tests.
+func (c *Context) RegMRT(tc trace.Ctx, va vm.VA, length uint64) (*MR, simtime.Ticks, error) {
 	if length == 0 {
 		return nil, 0, fmt.Errorf("verbs: zero-length registration at %#x", uint64(va))
 	}
@@ -122,6 +132,10 @@ func (c *Context) RegMR(va vm.VA, length uint64) (*MR, simtime.Ticks, error) {
 		c.stats.MemlockRejections++
 		c.mu.Unlock()
 		_ = c.AS.Unpin(va, length)
+		if tc.Enabled() {
+			tc.Event(trace.LVerbs, "memlock.reject",
+				trace.I64("held_bytes", held), trace.I64("req_bytes", pinned))
+		}
 		return nil, 0, fmt.Errorf("verbs: %d pinned + %d requested > limit %d: %w",
 			held, pinned, c.MemlockLimit, ErrMemlockExceeded)
 	}
@@ -139,6 +153,20 @@ func (c *Context) RegMR(va vm.VA, length uint64) (*MR, simtime.Ticks, error) {
 	// Step 3: push translations to the NIC, batched.
 	batches := (hw.NumEntries() + c.mach.HCA.MTTPushBatch - 1) / c.mach.HCA.MTTPushBatch
 	cost += simtime.Ticks(batches) * c.mach.HCA.MTTPushTicks
+
+	if tc.Enabled() {
+		np := simtime.Ticks(len(pages))
+		tc.SpanAt(trace.LVerbs, "RegMR", tc.Now(), cost,
+			trace.I64("bytes", int64(length)),
+			trace.I64("pages", int64(len(pages))),
+			trace.I64("entries", int64(hw.NumEntries())),
+			trace.I64("huge", b2i(pages[0].Class == vm.Huge)))
+		child := tc.Span(trace.LVerbs, "syscall", c.mach.Mem.SyscallTicks)
+		child = child.Span(trace.LVerbs, "pin", np*c.mach.Mem.PinTicks)
+		child = child.Span(trace.LVerbs, "translate", np*c.mach.Mem.TranslateTicks)
+		child.Span(trace.LVerbs, "mtt.push", simtime.Ticks(batches)*c.mach.HCA.MTTPushTicks,
+			trace.I64("batches", int64(batches)))
+	}
 
 	mr := &MR{
 		VA:          va,
@@ -159,8 +187,21 @@ func (c *Context) RegMR(va vm.VA, length uint64) (*MR, simtime.Ticks, error) {
 	return mr, cost, nil
 }
 
+// b2i renders a bool as a span argument value.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // DeregMR releases a region: MTT teardown, unpin.
 func (c *Context) DeregMR(mr *MR) (simtime.Ticks, error) {
+	return c.DeregMRT(trace.Ctx{}, mr)
+}
+
+// DeregMRT is DeregMR with tracing; the span starts at tc's position.
+func (c *Context) DeregMRT(tc trace.Ctx, mr *MR) (simtime.Ticks, error) {
 	cost := c.mach.Mem.SyscallTicks
 	if err := c.HW.RemoveMR(mr.LKey); err != nil {
 		return 0, err
@@ -180,6 +221,10 @@ func (c *Context) DeregMR(mr *MR) (simtime.Ticks, error) {
 	c.stats.PinnedBytes -= mr.pinnedBytes
 	c.stats.PagesPinned -= mr.pinnedPages
 	c.mu.Unlock()
+	if tc.Enabled() {
+		tc.SpanAt(trace.LVerbs, "DeregMR", tc.Now(), cost,
+			trace.I64("bytes", int64(mr.Length)), trace.I64("pages", mr.pinnedPages))
+	}
 	return cost, nil
 }
 
@@ -190,13 +235,43 @@ func (c *Context) PostSend(sges []hca.SGE) simtime.Ticks {
 	return c.HW.PostCost(len(sges))
 }
 
+// PostSendT is PostSend with tracing: the post cost is emitted as an
+// hca-layer span at tc. The disabled path must stay allocation-free
+// (this is the per-message hot path), hence the Enabled guard around
+// the argument construction.
+func (c *Context) PostSendT(tc trace.Ctx, sges []hca.SGE) simtime.Ticks {
+	cost := c.HW.PostCost(len(sges))
+	if tc.Enabled() {
+		tc.SpanAt(trace.LHCA, "post", tc.Now(), cost, trace.I64("sges", int64(len(sges))))
+	}
+	return cost
+}
+
 // PostRecv charges for posting a receive work request.
 func (c *Context) PostRecv(sges []hca.SGE) simtime.Ticks {
 	return c.HW.PostCost(len(sges))
 }
 
+// PostRecvT is PostRecv with tracing (see PostSendT).
+func (c *Context) PostRecvT(tc trace.Ctx, sges []hca.SGE) simtime.Ticks {
+	cost := c.HW.PostCost(len(sges))
+	if tc.Enabled() {
+		tc.SpanAt(trace.LHCA, "post", tc.Now(), cost, trace.I64("sges", int64(len(sges))))
+	}
+	return cost
+}
+
 // PollCQ charges for reaping one completion.
 func (c *Context) PollCQ() simtime.Ticks { return c.HW.PollCost() }
+
+// PollCQT is PollCQ with tracing.
+func (c *Context) PollCQT(tc trace.Ctx) simtime.Ticks {
+	cost := c.HW.PollCost()
+	if tc.Enabled() {
+		tc.SpanAt(trace.LHCA, "poll", tc.Now(), cost)
+	}
+	return cost
+}
 
 // Stats returns a snapshot.
 func (c *Context) Stats() Stats {

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/phys"
+	"repro/internal/trace"
 )
 
 // VA is a virtual byte address within one address space.
@@ -99,6 +100,10 @@ type AddressSpace struct {
 	regions []region
 
 	stats Stats
+
+	// cur, when set, stamps mapping decisions as instant trace markers at
+	// the position the owning rank last set. Nil = no tracing.
+	cur *trace.Cursor
 }
 
 // Stats counts translation activity for the PAPI facade and tests.
@@ -126,6 +131,16 @@ func New(mem *phys.Memory) *AddressSpace {
 
 // Mem exposes the backing physical memory (for the DMA engine).
 func (as *AddressSpace) Mem() *phys.Memory { return as.mem }
+
+// SetTrace attaches a trace cursor; mapping events (map.small, map.huge,
+// map.fallback, sbrk, unmap) stamp at its current position. The address
+// space has no clock of its own, so the owner moves the cursor at its
+// entry points.
+func (as *AddressSpace) SetTrace(cur *trace.Cursor) {
+	as.mu.Lock()
+	as.cur = cur
+	as.mu.Unlock()
+}
 
 func roundUp(n, to uint64) uint64 { return (n + to - 1) / to * to }
 
@@ -173,6 +188,9 @@ func (as *AddressSpace) Sbrk(size uint64) (VA, error) {
 	}
 	as.brk += VA(grown)
 	as.regions = append(as.regions, region{start, grown, Small})
+	if as.cur.Enabled() {
+		as.cur.Event(trace.LVM, "sbrk", trace.I64("bytes", int64(grown)))
+	}
 	return start, nil
 }
 
@@ -191,6 +209,9 @@ func (as *AddressSpace) MapSmall(size uint64) (VA, error) {
 	}
 	as.mmapNext += VA(sz)
 	as.regions = append(as.regions, region{start, sz, Small})
+	if as.cur.Enabled() {
+		as.cur.Event(trace.LVM, "map.small", trace.I64("bytes", int64(sz)))
+	}
 	return start, nil
 }
 
@@ -229,6 +250,10 @@ func (as *AddressSpace) mapHugeLocked(size uint64) (VA, error) {
 	}
 	as.hugeNext += VA(sz)
 	as.regions = append(as.regions, region{start, sz, Huge})
+	if as.cur.Enabled() {
+		as.cur.Event(trace.LVM, "map.huge",
+			trace.I64("bytes", int64(sz)), trace.I64("pages", int64(n)))
+	}
 	return start, nil
 }
 
@@ -258,6 +283,9 @@ func (as *AddressSpace) MapHugeOrSmall(size uint64) (VA, bool, error) {
 	as.mmapNext += VA(sz)
 	as.regions = append(as.regions, region{start, sz, Small})
 	as.stats.HugeFallbackBytes += int64(sz)
+	if as.cur.Enabled() {
+		as.cur.Event(trace.LVM, "map.fallback", trace.I64("bytes", int64(sz)))
+	}
 	return start, false, nil
 }
 
@@ -309,6 +337,9 @@ func (as *AddressSpace) Unmap(start VA, size uint64) error {
 		}
 	}
 	as.regions = append(as.regions[:idx], as.regions[idx+1:]...)
+	if as.cur.Enabled() {
+		as.cur.Event(trace.LVM, "unmap", trace.I64("bytes", int64(reg.size)))
+	}
 	return nil
 }
 

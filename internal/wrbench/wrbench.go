@@ -21,6 +21,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/node"
 	"repro/internal/simtime"
+	"repro/internal/trace"
 	"repro/internal/verbs"
 	"repro/internal/vm"
 )
@@ -52,6 +53,11 @@ type rig struct {
 	span       uint64
 	sendQP     *hca.QP
 	recvQP     *hca.QP
+	// tr is the sender-side timeline (nil when untraced); now is the
+	// rig's running virtual position — the rig has no MPI clock, so
+	// measured durations are strung end to end along one timeline.
+	tr  *trace.Tracer
+	now simtime.Ticks
 }
 
 // newRig builds sender and receiver with registered buffers laid out so
@@ -59,18 +65,23 @@ type rig struct {
 // chosen offset within its own memory page, as in the paper's test. A
 // non-nil fault spec arms both hosts, salted by side, so a sweep under
 // pressure replays bit-identically.
-func newRig(m *machine.Machine, maxSGEs int, spec *faults.Spec) (*rig, error) {
+func newRig(m *machine.Machine, maxSGEs int, spec *faults.Spec, col *trace.Collector) (*rig, error) {
 	span := uint64(maxSGEs+1) * machine.SmallPageSize * 2
 	rg := &rig{m: m, span: span}
+	names := []string{"wr/sender", "wr/receiver"}
 	mk := func(salt uint64) (*verbs.Context, vm.VA, *verbs.MR, error) {
 		// The Section 4 rig's hosts are less aged than a long-running MPI
 		// node; half the default scramble depth matches the seed setup.
 		n, err := node.New(node.Config{
 			Machine: m, ScrambleDepth: node.DefaultScramble / 2,
 			Faults: spec, FaultSalt: salt,
+			Trace: col, TraceName: names[salt],
 		})
 		if err != nil {
 			return nil, 0, nil, err
+		}
+		if salt == 0 {
+			rg.tr = n.Tracer()
 		}
 		rg.nodes = append(rg.nodes, n)
 		ctx := n.Verbs
@@ -181,6 +192,17 @@ func (rg *rig) measure(sges, sgeSize, offset int) (Result, error) {
 	}
 	post := res.Post
 	poll := res.Complete() + rg.recv.PollCQ() + rg.send.PollCQ()
+	if rg.tr != nil {
+		tc := rg.tr.At(trace.TrackMain, rg.now)
+		args := []trace.Arg{
+			trace.I64("sges", int64(sges)),
+			trace.I64("sge_size", int64(sgeSize)),
+			trace.I64("offset", int64(offset)),
+		}
+		tc.Span(trace.LHCA, "wr.post", post, args...).
+			Span(trace.LHCA, "wr.poll", poll, args...)
+	}
+	rg.now += post + poll
 	drainCQs(rg)
 
 	// Verify delivery.
@@ -216,13 +238,21 @@ func SGESweep(m *machine.Machine, sgeCounts, sgeSizes []int) ([]Result, error) {
 // Section 4 rig itself never calls an allocator. Snapshots are returned
 // in order sender, receiver, probe.
 func SGESweepNodeStats(m *machine.Machine, sgeCounts, sgeSizes []int, spec *faults.Spec) ([]Result, []node.Stats, error) {
+	return SGESweepTrace(m, sgeCounts, sgeSizes, spec, nil)
+}
+
+// SGESweepTrace is SGESweepNodeStats recording the rig's work requests
+// into a trace collector (nil = no tracing): each measured combination
+// appears as a wr.post + wr.poll span pair on the sender timeline, strung
+// end to end in sweep order.
+func SGESweepTrace(m *machine.Machine, sgeCounts, sgeSizes []int, spec *faults.Spec, col *trace.Collector) ([]Result, []node.Stats, error) {
 	maxSGEs := 1
 	for _, c := range sgeCounts {
 		if c > maxSGEs {
 			maxSGEs = c
 		}
 	}
-	rg, err := newRig(m, maxSGEs, spec)
+	rg, err := newRig(m, maxSGEs, spec, col)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -253,7 +283,13 @@ func OffsetSweep(m *machine.Machine, offsets, sizes []int) ([]Result, error) {
 // OffsetSweepNodeStats is OffsetSweep with fault injection and
 // telemetry, shaped exactly like SGESweepNodeStats.
 func OffsetSweepNodeStats(m *machine.Machine, offsets, sizes []int, spec *faults.Spec) ([]Result, []node.Stats, error) {
-	rg, err := newRig(m, 1, spec)
+	return OffsetSweepTrace(m, offsets, sizes, spec, nil)
+}
+
+// OffsetSweepTrace is OffsetSweepNodeStats recording into a trace
+// collector, shaped exactly like SGESweepTrace.
+func OffsetSweepTrace(m *machine.Machine, offsets, sizes []int, spec *faults.Spec, col *trace.Collector) ([]Result, []node.Stats, error) {
+	rg, err := newRig(m, 1, spec, col)
 	if err != nil {
 		return nil, nil, err
 	}
