@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-analyzers
+.PHONY: all build test race lint lint-analyzers bench
 
 all: build test
 
@@ -26,6 +26,23 @@ lint: lint-analyzers
 	$(GO) run ./cmd/reprolint ./...
 
 # lint-analyzers: run reprolint's analyzers over their own testdata in
-# analysistest mode (every // want expectation must fire, nothing else).
+# analysistest mode (every // want expectation must fire, nothing else),
+# then over the sweep engine explicitly — the one package whose output
+# contract (byte-identical BENCH documents) dies instantly on any
+# wall-clock or map-order leak.
 lint-analyzers:
 	$(GO) test ./internal/analysis/...
+	$(GO) run ./cmd/reprolint ./internal/sweep/...
+
+# bench: the sweep engine's end-to-end gate. The smoke grid must render
+# byte-identical BENCH documents at pool widths 1 and 4, both documents
+# must pass benchcheck, and a fresh seed-grid run must hold the
+# committed BENCH_seed.json baseline within the default tolerance.
+bench:
+	$(GO) build -o /tmp/reprosweep ./cmd/sweeprun
+	GOMAXPROCS=1 /tmp/reprosweep -grid smoke -workers 1 -o /tmp/BENCH_smoke.w1.json
+	GOMAXPROCS=4 /tmp/reprosweep -grid smoke -workers 4 -o /tmp/BENCH_smoke.w4.json
+	cmp /tmp/BENCH_smoke.w1.json /tmp/BENCH_smoke.w4.json
+	$(GO) run ./internal/tools/benchcheck < /tmp/BENCH_smoke.w1.json
+	/tmp/reprosweep -grid seed -o /tmp/BENCH_seed.json -baseline BENCH_seed.json -gate
+	$(GO) run ./internal/tools/benchcheck < /tmp/BENCH_seed.json

@@ -7,64 +7,37 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"repro/internal/alloc"
-	"repro/internal/faults"
-	"repro/internal/machine"
+	"repro/internal/cli"
 	"repro/internal/node"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
-// col is the -trace collector (nil when the flag is absent). The replay
-// hosts have no virtual clock, so their timelines carry the vm/phys
-// instant markers (map.huge, map.fallback, hugepool.shrink, …) at tick 0
-// rather than spans — still enough to see each library's placement mix.
-var col *trace.Collector
+// env carries the shared flag configuration. The -trace collector (when
+// armed) records allocation instant markers: the replay hosts have no
+// virtual clock, so their timelines carry the vm/phys markers (map.huge,
+// map.fallback, hugepool.shrink, …) at tick 0 rather than spans — still
+// enough to see each library's placement mix.
+var env *cli.Env
 
 // newNode builds a fresh simulated host carrying one allocation library.
 // The salt decorrelates fault schedules across the libraries compared.
-func newNode(m *machine.Machine, kind node.AllocatorKind, hc *alloc.HugeConfig, spec *faults.Spec, salt uint64, traceName string) (*node.Node, error) {
+func newNode(kind node.AllocatorKind, hc *alloc.HugeConfig, salt uint64, traceName string) (*node.Node, error) {
 	return node.New(node.Config{
-		Machine: m, Allocator: kind, HugeConfig: hc,
-		Faults: spec, FaultSalt: salt,
-		Trace: col, TraceName: traceName,
+		Machine: env.Machine, Allocator: kind, HugeConfig: hc,
+		Faults: env.Spec, FaultSalt: salt,
+		Trace: env.Col, TraceName: traceName,
 	})
 }
 
 func main() {
-	mach := flag.String("machine", "opteron", "machine (opteron|xeon|systemp)")
 	ablate := flag.Bool("ablate", false, "run the hugepage-library design ablations instead")
-	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
-	stats := flag.Bool("stats", false, "emit per-node telemetry as JSON instead of the table")
-	traceFlag := flag.String("trace", "", "write a Perfetto trace (allocation instant markers) to this file ('-' = stdout)")
-	flag.Parse()
-	m := machine.ByName(*mach)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "allocbench: unknown machine %q\n", *mach)
-		os.Exit(1)
-	}
-	spec, err := faults.ParseSpec(*faultsFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
-		os.Exit(1)
-	}
-	if *traceFlag != "" {
-		col = trace.NewCollector()
-		col.SetMeta("tool", "allocbench")
-		col.SetMeta("machine", m.Name)
-		col.SetMeta("faults", spec.String())
-	}
-	writeTrace := func() {
-		if col == nil {
-			return
-		}
-		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
-			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
-			os.Exit(1)
-		}
-	}
+	env = cli.New("allocbench").
+		MachineFlag("opteron").
+		StatsFlag("emit per-node telemetry as JSON instead of the table").
+		Parse()
+	m := env.Machine
 	ops, slots := workload.AbinitTrace(workload.DefaultAbinitParams())
 
 	if *ablate {
@@ -83,15 +56,13 @@ func main() {
 		for i, v := range variants {
 			cfg := alloc.DefaultHugeConfig()
 			v.mutate(&cfg)
-			n, err := newNode(m, node.AllocHuge, &cfg, spec, uint64(i), fmt.Sprintf("ablate/%d", i))
+			n, err := newNode(node.AllocHuge, &cfg, uint64(i), fmt.Sprintf("ablate/%d", i))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
-				os.Exit(1)
+				env.Fail(err)
 			}
 			res, err := alloc.Replay(n.Alloc, ops, slots)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "allocbench: %s: %v\n", v.name, err)
-				os.Exit(1)
+				env.Failf("%s: %v", v.name, err)
 			}
 			if i == 0 {
 				base = float64(res.AllocTime)
@@ -99,7 +70,7 @@ func main() {
 			fmt.Printf("%-75s %12v  (%.2fx paper design)\n", v.name, res.AllocTime,
 				float64(res.AllocTime)/base)
 		}
-		writeTrace()
+		env.WriteTrace()
 		return
 	}
 
@@ -119,46 +90,37 @@ func main() {
 	}
 	rows := make([]row, 0, len(mk))
 	for i, entry := range mk {
-		n, err := newNode(m, entry.kind, nil, spec, uint64(i), "abinit/"+entry.name)
+		n, err := newNode(entry.kind, nil, uint64(i), "abinit/"+entry.name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
-			os.Exit(1)
+			env.Fail(err)
 		}
 		res, err := alloc.Replay(n.Alloc, ops, slots)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "allocbench: %s: %v\n", entry.name, err)
-			os.Exit(1)
+			env.Failf("%s: %v", entry.name, err)
 		}
 		rows = append(rows, row{name: entry.name, res: res, st: n.Stats()})
 	}
 
-	if *stats {
+	if env.Stats {
 		reports := make([]node.Report, 0, len(rows)+1)
 		for _, r := range rows {
-			reports = append(reports, node.NewReport(
-				"allocbench", "abinit/"+r.name, m.Name, spec.String(), []node.Stats{r.st}))
+			reports = append(reports, env.NewReport("abinit/"+r.name, m.Name, []node.Stats{r.st}))
 		}
 		// The trace never registers memory, so drive a probe host through
 		// the full allocate/register path to surface memlock recoveries.
 		probe, err := node.New(node.Config{
 			Machine: m, Allocator: node.AllocHuge, LazyDereg: true,
-			Faults: spec, FaultSalt: uint64(len(rows)),
+			Faults: env.Spec, FaultSalt: uint64(len(rows)),
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "allocbench: probe host: %v\n", err)
-			os.Exit(1)
+			env.Failf("probe host: %v", err)
 		}
 		if err := probe.DegradationProbe(); err != nil {
-			fmt.Fprintf(os.Stderr, "allocbench: degradation probe: %v\n", err)
-			os.Exit(1)
+			env.Failf("degradation probe: %v", err)
 		}
-		reports = append(reports, node.NewReport(
-			"allocbench", "degradation-probe", m.Name, spec.String(), []node.Stats{probe.Stats()}))
-		if err := node.WriteReports(os.Stdout, reports); err != nil {
-			fmt.Fprintf(os.Stderr, "allocbench: %v\n", err)
-			os.Exit(1)
-		}
-		writeTrace()
+		reports = append(reports, env.NewReport("degradation-probe", m.Name, []node.Stats{probe.Stats()}))
+		env.EmitReports(reports)
+		env.WriteTrace()
 		return
 	}
 
@@ -171,5 +133,5 @@ func main() {
 			float64(r.res.Stats.PeakLive)/float64(1<<20))
 	}
 	fmt.Println("\nnote: libhugepagealloc is additionally not thread safe (modelled; see DESIGN.md)")
-	writeTrace()
+	env.WriteTrace()
 }

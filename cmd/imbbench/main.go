@@ -7,54 +7,31 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 
-	"repro/internal/faults"
+	"repro/internal/cli"
 	"repro/internal/imb"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/node"
-	"repro/internal/trace"
 )
 
-// spec is the parsed -faults configuration, shared by every mode (nil
-// when the flag is absent).
-var spec *faults.Spec
-
-// col is the -trace collector, shared by every mode (nil when the flag
-// is absent).
-var col *trace.Collector
+// env carries the shared flag configuration (fault spec and trace
+// collector), used by every mode.
+var env *cli.Env
 
 func main() {
-	mach := flag.String("machine", "opteron", "machine (opteron|xeon|systemp)")
 	att := flag.Bool("att", false, "run the Xeon ATT experiment (patched vs unpatched driver) instead of Figure 5")
 	reg := flag.Bool("reg", false, "run the registration-cost sweep instead of Figure 5")
 	pingpong := flag.Bool("pingpong", false, "run the IMB PingPong latency test instead of Figure 5")
 	exchange := flag.Bool("exchange", false, "run the IMB Exchange test instead of Figure 5")
-	stats := flag.Bool("stats", false, "run a short SendRecv ladder and emit per-node telemetry as JSON")
-	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
-	traceFlag := flag.String("trace", "", "write a Perfetto trace of the run to this file ('-' = stdout)")
-	flag.Parse()
-
-	m := machine.ByName(*mach)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "imbbench: unknown machine %q\n", *mach)
-		os.Exit(1)
-	}
-	var err error
-	if spec, err = faults.ParseSpec(*faultsFlag); err != nil {
-		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
-		os.Exit(1)
-	}
-	if *traceFlag != "" {
-		col = trace.NewCollector()
-		col.SetMeta("tool", "imbbench")
-		col.SetMeta("machine", m.Name)
-		col.SetMeta("faults", spec.String())
-	}
+	env = cli.New("imbbench").
+		MachineFlag("opteron").
+		StatsFlag("run a short SendRecv ladder and emit per-node telemetry as JSON").
+		Parse()
+	m := env.Machine
 	switch {
-	case *stats:
+	case env.Stats:
 		runStats(m)
 	case *reg:
 		runReg(m)
@@ -67,12 +44,7 @@ func main() {
 	default:
 		runFig5(m)
 	}
-	if col != nil {
-		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
-			fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
-			os.Exit(1)
-		}
-	}
+	env.WriteTrace()
 }
 
 // runStats runs the recommended-placement SendRecv over a short size
@@ -81,28 +53,22 @@ func runStats(m *machine.Machine) {
 	_, nodes, err := imb.SendRecvNodeStats(mpi.Config{
 		Machine: m, Ranks: 2,
 		Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: m.HCA.SupportsHugeATT,
-		Faults: spec, Trace: col,
+		Faults: env.Spec, Trace: env.Col,
 	}, []int{64 << 10, 1 << 20, 4 << 20})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
-		os.Exit(1)
+		env.Fail(err)
 	}
-	rep := node.NewReport("imbbench", "sendrecv", m.Name, spec.String(), nodes)
-	if err := node.WriteReports(os.Stdout, []node.Report{rep}); err != nil {
-		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
-		os.Exit(1)
-	}
+	env.EmitReports([]node.Report{env.NewReport("sendrecv", m.Name, nodes)})
 }
 
 func runPingPong(m *machine.Machine) {
 	sizes := []int{0, 1, 64, 1024, 8 << 10, 64 << 10, 1 << 20}
 	rs, err := imb.PingPong(mpi.Config{
 		Machine: m, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
-		Faults: spec, Trace: col,
+		Faults: env.Spec, Trace: env.Col,
 	}, sizes)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
-		os.Exit(1)
+		env.Fail(err)
 	}
 	fmt.Printf("IMB PingPong (%s)\n%-12s %14s %14s\n", m.Name, "bytes", "latency [us]", "ticks")
 	for _, r := range rs {
@@ -114,11 +80,10 @@ func runExchange(m *machine.Machine) {
 	sizes := []int{4 << 10, 64 << 10, 1 << 20}
 	rs, err := imb.Exchange(mpi.Config{
 		Machine: m, Ranks: 4, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
-		Faults: spec, Trace: col,
+		Faults: env.Spec, Trace: env.Col,
 	}, sizes)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
-		os.Exit(1)
+		env.Fail(err)
 	}
 	fmt.Printf("IMB Exchange, 4 ranks (%s)\n%-12s %14s\n", m.Name, "bytes", "MB/s")
 	for _, r := range rs {
@@ -128,10 +93,9 @@ func runExchange(m *machine.Machine) {
 
 func runFig5(m *machine.Machine) {
 	sizes := imb.DefaultSizes()
-	curves, err := imb.RunFig5Traced(m, sizes, spec, col)
+	curves, err := imb.RunFig5Traced(m, sizes, env.Spec, env.Col)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
-		os.Exit(1)
+		env.Fail(err)
 	}
 	labels := make([]string, 0, len(curves))
 	for _, c := range imb.Fig5Configs() {
@@ -164,11 +128,10 @@ func runATT(m *machine.Machine) {
 		rs, err := imb.SendRecv(mpi.Config{
 			Machine: m, Ranks: 2,
 			Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: patched,
-			Faults: spec, Trace: col, TracePrefix: prefix,
+			Faults: env.Spec, Trace: env.Col, TracePrefix: prefix,
 		}, sizes)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
-			os.Exit(1)
+			env.Fail(err)
 		}
 		return rs
 	}
@@ -186,10 +149,9 @@ func runReg(m *machine.Machine) {
 		sizes = append(sizes, s)
 	}
 	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
-	rows, err := imb.RegistrationSweepTrace(m, sizes, spec, col)
+	rows, err := imb.RegistrationSweepTrace(m, sizes, env.Spec, env.Col)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "imbbench: %v\n", err)
-		os.Exit(1)
+		env.Fail(err)
 	}
 	fmt.Printf("memory registration cost by page size (%s)\n", m.Name)
 	fmt.Printf("%-12s %14s %14s %10s %10s %10s\n",

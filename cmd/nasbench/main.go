@@ -6,67 +6,44 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 
-	"repro/internal/faults"
-	"repro/internal/machine"
+	"repro/internal/cli"
 	"repro/internal/nas"
 	"repro/internal/node"
-	"repro/internal/trace"
 )
 
 func main() {
-	machines := flag.String("machines", "opteron,systemp", "comma-separated machine list")
 	ranks := flag.Int("ranks", 8, "rank count (paper: 2 nodes x 4 processes)")
 	kernels := flag.String("kernels", "", "comma-separated kernel subset (default: all)")
 	counters := flag.Bool("counters", false, "print absolute PAPI TLB counters per kernel")
 	profile := flag.Bool("profile", false, "print the mpiP-style per-callsite profile of each hugepage run")
-	stats := flag.Bool("stats", false, "emit per-node telemetry of every run as JSON instead of the tables")
-	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
-	traceFlag := flag.String("trace", "", "write a Perfetto trace of every kernel run to this file ('-' = stdout)")
-	flag.Parse()
+	env := cli.New("nasbench").
+		MachinesFlag("opteron,systemp").
+		StatsFlag("emit per-node telemetry of every run as JSON instead of the tables").
+		Parse()
 
-	spec, err := faults.ParseSpec(*faultsFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
-		os.Exit(1)
-	}
-	var col *trace.Collector
-	if *traceFlag != "" {
-		col = trace.NewCollector()
-		col.SetMeta("tool", "nasbench")
-		col.SetMeta("faults", spec.String())
-	}
 	var ks []nas.Kernel
 	if *kernels != "" {
 		for _, n := range strings.Split(*kernels, ",") {
 			k := nas.ByName(strings.TrimSpace(n))
 			if k == nil {
-				fmt.Fprintf(os.Stderr, "nasbench: unknown kernel %q\n", n)
-				os.Exit(1)
+				env.Failf("unknown kernel %q", n)
 			}
 			ks = append(ks, k)
 		}
 	}
 	var reports []node.Report
-	for _, name := range strings.Split(*machines, ",") {
-		m := machine.ByName(strings.TrimSpace(name))
-		if m == nil {
-			fmt.Fprintf(os.Stderr, "nasbench: unknown machine %q\n", name)
-			os.Exit(1)
-		}
-		rows, err := nas.RunFig6Traced(m, *ranks, ks, spec, col)
+	for _, m := range env.Machines {
+		rows, err := nas.RunFig6Traced(m, *ranks, ks, env.Spec, env.Col)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
-			os.Exit(1)
+			env.Fail(err)
 		}
-		if *stats {
+		if env.Stats {
 			for _, r := range rows {
 				for _, res := range []nas.Result{r.Small, r.Huge} {
-					reports = append(reports, node.NewReport(
-						"nasbench", res.Kernel+"/"+string(res.Allocator),
-						m.Name, spec.String(), res.Nodes))
+					reports = append(reports, env.NewReport(
+						res.Kernel+"/"+string(res.Allocator), m.Name, res.Nodes))
 				}
 			}
 			continue
@@ -88,16 +65,8 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if *stats {
-		if err := node.WriteReports(os.Stdout, reports); err != nil {
-			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
-			os.Exit(1)
-		}
+	if env.Stats {
+		env.EmitReports(reports)
 	}
-	if col != nil {
-		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
-			fmt.Fprintf(os.Stderr, "nasbench: %v\n", err)
-			os.Exit(1)
-		}
-	}
+	env.WriteTrace()
 }

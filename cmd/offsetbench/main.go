@@ -4,59 +4,28 @@
 package main
 
 import (
-	"flag"
 	"fmt"
-	"os"
 
-	"repro/internal/faults"
-	"repro/internal/machine"
+	"repro/internal/cli"
 	"repro/internal/node"
-	"repro/internal/trace"
 	"repro/internal/wrbench"
 )
 
 func main() {
-	mach := flag.String("machine", "systemp", "machine (opteron|xeon|systemp)")
-	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
-	stats := flag.Bool("stats", false, "emit per-node telemetry as JSON instead of the table")
-	traceFlag := flag.String("trace", "", "write a Perfetto trace of the sweep to this file ('-' = stdout)")
-	flag.Parse()
-	m := machine.ByName(*mach)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "offsetbench: unknown machine %q\n", *mach)
-		os.Exit(1)
-	}
-	spec, err := faults.ParseSpec(*faultsFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
-		os.Exit(1)
-	}
-	var col *trace.Collector
-	if *traceFlag != "" {
-		col = trace.NewCollector()
-		col.SetMeta("tool", "offsetbench")
-		col.SetMeta("machine", m.Name)
-		col.SetMeta("faults", spec.String())
-	}
+	env := cli.New("offsetbench").
+		MachineFlag("systemp").
+		StatsFlag("emit per-node telemetry as JSON instead of the table").
+		Parse()
+	m := env.Machine
 	sizes := []int{8, 16, 32, 64}
 	offsets := wrbench.DefaultOffsets()
-	results, nodes, err := wrbench.OffsetSweepTrace(m, offsets, sizes, spec, col)
+	results, nodes, err := wrbench.OffsetSweepTrace(m, offsets, sizes, env.Spec, env.Col)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
-		os.Exit(1)
+		env.Fail(err)
 	}
-	if col != nil {
-		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
-			fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if *stats {
-		rep := node.NewReport("offsetbench", "offset-sweep", m.Name, spec.String(), nodes)
-		if err := node.WriteReports(os.Stdout, []node.Report{rep}); err != nil {
-			fmt.Fprintf(os.Stderr, "offsetbench: %v\n", err)
-			os.Exit(1)
-		}
+	env.WriteTrace()
+	if env.Stats {
+		env.EmitReports([]node.Report{env.NewReport("offset-sweep", m.Name, nodes)})
 		return
 	}
 	fmt.Printf("work request execution time with different offsets (%s)\n", m.Name)

@@ -10,29 +10,19 @@ import (
 	"os"
 
 	"repro"
-	"repro/internal/faults"
+	"repro/internal/cli"
 	"repro/internal/imb"
 	"repro/internal/machine"
 	"repro/internal/mpi"
 	"repro/internal/nas"
 	"repro/internal/node"
-	"repro/internal/trace"
 	"repro/internal/wrbench"
 )
 
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "repro: %v\n", err)
-	os.Exit(1)
-}
-
-// spec is the parsed -faults configuration, applied to every run the
-// tool performs (nil when the flag is absent).
-var spec *faults.Spec
-
-// col is the -trace collector (nil when the flag is absent). In full
-// mode it records the E3 Figure 5 runs; under -stats it records the
-// telemetry run itself.
-var col *trace.Collector
+// env carries the shared flag configuration. The -trace collector (nil
+// when the flag is absent) records the E3 Figure 5 runs in full mode;
+// under -stats it records the telemetry run itself.
+var env *cli.Env
 
 // runStats runs a small Figure 5 cell under the paper's recommended
 // placement and emits every rank's host telemetry as JSON — the
@@ -46,42 +36,27 @@ func runStats(w io.Writer) error {
 		Allocator: mpi.AllocHuge,
 		LazyDereg: true,
 		HugeATT:   true,
-		Faults:    spec,
-		Trace:     col,
+		Faults:    env.Spec,
+		Trace:     env.Col,
 	}, []int{64 << 10, 1 << 20})
 	if err != nil {
 		return err
 	}
-	rep := node.NewReport("repro", "sendrecv", m.Name, spec.String(), nodes)
-	return node.WriteReports(w, []node.Report{rep})
+	return node.WriteReports(w, []node.Report{env.NewReport("sendrecv", m.Name, nodes)})
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "skip the slow NAS runs")
-	stats := flag.Bool("stats", false, "emit per-node telemetry of a small Figure 5 run as JSON and exit")
-	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
-	traceFlag := flag.String("trace", "", "write a Perfetto trace of the E3 run (or the -stats run) to this file ('-' = stdout)")
-	flag.Parse()
+	env = cli.New("repro").
+		StatsFlag("emit per-node telemetry of a small Figure 5 run as JSON and exit").
+		Parse()
+	spec, col := env.Spec, env.Col
 
-	var err error
-	if spec, err = faults.ParseSpec(*faultsFlag); err != nil {
-		fail(err)
-	}
-	if *traceFlag != "" {
-		col = trace.NewCollector()
-		col.SetMeta("tool", "repro")
-		col.SetMeta("faults", spec.String())
-	}
-
-	if *stats {
+	if env.Stats {
 		if err := runStats(os.Stdout); err != nil {
-			fail(err)
+			env.Fail(err)
 		}
-		if col != nil {
-			if err := node.WriteTraceFile(*traceFlag, col); err != nil {
-				fail(err)
-			}
-		}
+		env.WriteTrace()
 		return
 	}
 
@@ -89,7 +64,7 @@ func main() {
 	sysp := machine.SystemP()
 	rs, _, err := wrbench.SGESweepNodeStats(sysp, []int{1, 2, 4, 8, 128}, []int{1, 64, 128, 512, 4096}, spec)
 	if err != nil {
-		fail(err)
+		env.Fail(err)
 	}
 	fmt.Printf("%6s %8s %10s %10s %10s\n", "sges", "sgesize", "post", "poll", "total")
 	for _, r := range rs {
@@ -105,7 +80,7 @@ func main() {
 	fmt.Println("=== E2 (Figure 4): work-request duration by buffer offset (IBM System p) ===")
 	or, _, err := wrbench.OffsetSweepNodeStats(sysp, []int{0, 16, 32, 48, 64, 80, 96, 128}, []int{8, 64}, spec)
 	if err != nil {
-		fail(err)
+		env.Fail(err)
 	}
 	fmt.Printf("%8s %14s %14s\n", "offset", "8B total", "64B total")
 	for _, off := range []int{0, 16, 32, 48, 64, 80, 96, 128} {
@@ -129,13 +104,11 @@ func main() {
 	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
 	curves, err := imb.RunFig5Traced(machine.Opteron(), sizes, spec, col)
 	if err != nil {
-		fail(err)
+		env.Fail(err)
 	}
 	if col != nil {
-		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
-			fail(err)
-		}
-		fmt.Printf("trace: E3 Figure 5 runs written to %s\n", *traceFlag)
+		env.WriteTrace()
+		fmt.Printf("trace: E3 Figure 5 runs written to %s\n", env.TracePath())
 	}
 	fmt.Printf("%-10s", "size[KB]")
 	for _, c := range imb.Fig5Configs() {
@@ -160,7 +133,7 @@ func main() {
 			Faults: spec,
 		}, []int{4 << 20})
 		if err != nil {
-			fail(err)
+			env.Fail(err)
 		}
 		fmt.Printf("driver patched=%-5v bandwidth=%.1f MB/s (ATT miss rate %.2f)\n",
 			patched, r[0].BandwidthMBs, r[0].ATTMissRate)
@@ -171,7 +144,7 @@ func main() {
 	fmt.Println("=== E9: registration cost by page size (AMD Opteron) ===")
 	regs, err := imb.RegistrationSweepFaults(machine.Opteron(), []uint64{2 << 20, 8 << 20, 32 << 20}, spec)
 	if err != nil {
-		fail(err)
+		env.Fail(err)
 	}
 	for _, r := range regs {
 		fmt.Printf("size %6d KB: 4K pages %12v, 2M pages %10v (%.1f%%)\n",
@@ -183,7 +156,7 @@ func main() {
 	fmt.Println("=== E7 (Section 2/3): allocator comparison on the Abinit trace ===")
 	libcT, hugeT, err := repro.AbinitComparison(machine.Opteron())
 	if err != nil {
-		fail(err)
+		env.Fail(err)
 	}
 	fmt.Printf("libc %v, hugepage library %v -> %.1fx faster\n", libcT, hugeT,
 		float64(libcT)/float64(hugeT))
@@ -198,7 +171,7 @@ func main() {
 	for _, m := range []*machine.Machine{machine.Opteron(), machine.SystemP()} {
 		rows, err := nas.RunFig6Faults(m, 8, nil, spec)
 		if err != nil {
-			fail(err)
+			env.Fail(err)
 		}
 		fmt.Print(nas.FormatFig6(m.Name, rows))
 		fmt.Println()

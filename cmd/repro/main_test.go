@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/cli"
 	"repro/internal/node"
 )
 
 func TestRunStatsEmitsValidJSON(t *testing.T) {
+	env = cli.NewEnv("repro")
 	var buf bytes.Buffer
 	if err := runStats(&buf); err != nil {
 		t.Fatal(err)

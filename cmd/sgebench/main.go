@@ -6,69 +6,37 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
-	"repro/internal/faults"
-	"repro/internal/machine"
+	"repro/internal/cli"
 	"repro/internal/node"
-	"repro/internal/trace"
 	"repro/internal/wrbench"
 )
 
 func main() {
-	mach := flag.String("machine", "systemp", "machine (opteron|xeon|systemp); the paper used the IBM System p")
 	counts := flag.String("sges", "1,2,4,8", "comma-separated SGE counts (Figure 3 plots 1,2,4,8; the text also discusses 128)")
-	faultsFlag := flag.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
-	stats := flag.Bool("stats", false, "emit per-node telemetry as JSON instead of the table")
-	traceFlag := flag.String("trace", "", "write a Perfetto trace of the sweep to this file ('-' = stdout)")
-	flag.Parse()
-
-	m := machine.ByName(*mach)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "sgebench: unknown machine %q\n", *mach)
-		os.Exit(1)
-	}
-	spec, err := faults.ParseSpec(*faultsFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
-		os.Exit(1)
-	}
+	env := cli.New("sgebench").
+		MachineFlag("systemp").
+		StatsFlag("emit per-node telemetry as JSON instead of the table").
+		Parse()
+	m := env.Machine
 	var sgeCounts []int
 	for _, c := range strings.Split(*counts, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(c))
 		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "sgebench: bad SGE count %q\n", c)
-			os.Exit(1)
+			env.Failf("bad SGE count %q", c)
 		}
 		sgeCounts = append(sgeCounts, n)
 	}
-	var col *trace.Collector
-	if *traceFlag != "" {
-		col = trace.NewCollector()
-		col.SetMeta("tool", "sgebench")
-		col.SetMeta("machine", m.Name)
-		col.SetMeta("faults", spec.String())
-	}
 	sizes := wrbench.DefaultSGESizes()
-	results, nodes, err := wrbench.SGESweepTrace(m, sgeCounts, sizes, spec, col)
+	results, nodes, err := wrbench.SGESweepTrace(m, sgeCounts, sizes, env.Spec, env.Col)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
-		os.Exit(1)
+		env.Fail(err)
 	}
-	if col != nil {
-		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
-			fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if *stats {
-		rep := node.NewReport("sgebench", "sge-sweep", m.Name, spec.String(), nodes)
-		if err := node.WriteReports(os.Stdout, []node.Report{rep}); err != nil {
-			fmt.Fprintf(os.Stderr, "sgebench: %v\n", err)
-			os.Exit(1)
-		}
+	env.WriteTrace()
+	if env.Stats {
+		env.EmitReports([]node.Report{env.NewReport("sge-sweep", m.Name, nodes)})
 		return
 	}
 	fmt.Printf("send operations with different number of scatter gather elements (%s)\n", m.Name)

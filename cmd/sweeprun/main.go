@@ -1,0 +1,125 @@
+// Command sweeprun executes a declarative experiment grid — workloads ×
+// machines × placement strategies × fault specs, replicated over seeds —
+// on a worker pool, and emits the canonical BENCH_<name>.json document
+// with per-cell statistics and paired strategy comparisons. With
+// -baseline and -gate it compares the run against a committed baseline
+// and exits non-zero naming every regressed cell; any cell whose run
+// fails also produces a non-zero exit naming the cell, without aborting
+// sibling cells.
+//
+// Usage:
+//
+//	sweeprun -grid seed -o BENCH_seed.json
+//	sweeprun -grid smoke -workers 8 -table
+//	sweeprun -grid seed -baseline BENCH_seed.json -gate -tol 5
+//	sweeprun -grid @mygrid.json -trace slowest.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/node"
+	"repro/internal/sweep"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sweeprun: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	gridArg := flag.String("grid", "seed", "grid to run: a built-in name (see -list) or @file.json")
+	out := flag.String("o", "-", "write the BENCH document to this file ('-' = stdout)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	baseline := flag.String("baseline", "", "BENCH document to gate against")
+	gate := flag.Bool("gate", false, "fail (non-zero exit) on any cell regressed beyond -tol vs -baseline")
+	tol := flag.Float64("tol", 5, "gate tolerance in percent of the baseline primary-metric mean")
+	table := flag.Bool("table", false, "print the statistics and paired-comparison tables to stderr")
+	traceFlag := flag.String("trace", "", "re-run the slowest cell with tracing and write the Perfetto trace here")
+	list := flag.Bool("list", false, "list built-in grids, workloads and strategies, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("grids:")
+		for _, g := range sweep.BuiltinGrids() {
+			fmt.Printf("  %-8s %d workload(s) x %d machine(s) x %d strategy(ies) x %d seed(s)\n",
+				g.Name, len(g.Workloads), len(g.Machines), len(g.Strategies), len(g.Seeds))
+		}
+		fmt.Println("workloads:")
+		for _, w := range sweep.Workloads() {
+			dir := "lower is better"
+			if w.HigherIsBetter {
+				dir = "higher is better"
+			}
+			fmt.Printf("  %-14s primary %s (%s)\n", w.Name, w.Primary, dir)
+		}
+		fmt.Println("strategies:")
+		for _, s := range sweep.Strategies() {
+			fmt.Printf("  %-16s allocator=%s lazy_dereg=%v huge_att=%v\n", s.Name, s.Allocator, s.LazyDereg, s.HugeATT)
+		}
+		return
+	}
+
+	grid, err := sweep.LoadGrid(*gridArg)
+	if err != nil {
+		fail(err)
+	}
+	bench, runErrs, err := sweep.Execute(grid, sweep.Options{Workers: *workers})
+	if err != nil {
+		fail(err)
+	}
+	if err := bench.WriteFile(*out); err != nil {
+		fail(err)
+	}
+	if *table {
+		fmt.Fprint(os.Stderr, sweep.FormatCells(bench))
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, sweep.FormatComparisons(bench))
+	}
+
+	if *traceFlag != "" {
+		slowest := sweep.SlowestCell(bench)
+		if slowest == "" {
+			fail(fmt.Errorf("no completed cell to trace"))
+		}
+		col, err := sweep.TraceCell(grid, slowest)
+		if err != nil {
+			fail(err)
+		}
+		if err := node.WriteTraceFile(*traceFlag, col); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweeprun: slowest cell %s traced to %s\n", slowest, *traceFlag)
+	}
+
+	failed := false
+	for _, re := range runErrs {
+		fmt.Fprintf(os.Stderr, "sweeprun: run failed: %v\n", re)
+		failed = true
+	}
+
+	if *gate {
+		if *baseline == "" {
+			fail(fmt.Errorf("-gate needs -baseline"))
+		}
+		base, err := sweep.LoadFile(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		regs := sweep.Gate(bench, base, *tol)
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "sweeprun: REGRESSION %s\n", r)
+			failed = true
+		}
+		if len(regs) == 0 {
+			fmt.Fprintf(os.Stderr, "sweeprun: gate ok (%d cell(s) vs %s, tolerance %.1f%%)\n",
+				len(bench.Cells), *baseline, *tol)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+func newTestApp(t *testing.T, tool string, args []string) *App {
+	t.Helper()
+	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return newWith(tool, fs, args)
+}
+
+func TestParseResolvesSharedFlags(t *testing.T) {
+	app := newTestApp(t, "x", []string{
+		"-machine", "systemp", "-stats", "-faults", "seed=7,hugecap=8", "-trace", "out.json",
+	})
+	app.MachineFlag("opteron").StatsFlag("usage")
+	e := app.Parse()
+	if e.Tool != "x" {
+		t.Fatalf("tool = %q", e.Tool)
+	}
+	if e.Machine == nil || e.Machine.Name != "ibm-systemp-ehca-gx" {
+		t.Fatalf("machine = %+v", e.Machine)
+	}
+	if !e.Stats {
+		t.Fatal("stats flag not resolved")
+	}
+	if e.Spec == nil || e.Spec.Seed != 7 {
+		t.Fatalf("spec = %+v", e.Spec)
+	}
+	if e.Col == nil {
+		t.Fatal("trace collector not built")
+	}
+	if e.TracePath() != "out.json" {
+		t.Fatalf("trace path = %q", e.TracePath())
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	app := newTestApp(t, "x", nil)
+	app.MachineFlag("opteron")
+	e := app.Parse()
+	if e.Machine == nil {
+		t.Fatal("default machine not resolved")
+	}
+	if e.Spec != nil {
+		t.Fatalf("clean run should have nil spec, got %+v", e.Spec)
+	}
+	if e.Col != nil || e.Stats {
+		t.Fatal("trace/stats should default off")
+	}
+}
+
+func TestParseMachinesList(t *testing.T) {
+	app := newTestApp(t, "x", []string{"-machines", "opteron, xeon"})
+	app.MachinesFlag("opteron,systemp")
+	e := app.Parse()
+	if len(e.Machines) != 2 {
+		t.Fatalf("got %d machines, want 2", len(e.Machines))
+	}
+	if e.Machines[0].Name == e.Machines[1].Name {
+		t.Fatal("machines not distinct")
+	}
+}
+
+func TestTraceMetaOmitsMachineWhenUnregistered(t *testing.T) {
+	app := newTestApp(t, "x", []string{"-trace", "-"})
+	e := app.Parse()
+	if e.Col == nil {
+		t.Fatal("trace collector not built")
+	}
+}

@@ -144,15 +144,16 @@ const eagerPipelineTicks = simtime.Ticks(220)
 func (r *Rank) Send(dst, tag int, va vm.VA, n int) error {
 	start := r.clock.Now()
 	outer := r.enterMPI()
-	err := r.sendOn(&r.clock, dst, tag, va, n, nil, nil)
+	err := r.sendOn(&r.clock, dst, tag, va, n, nil, nil, nil)
 	r.exitMPI("Send", start, outer)
 	return err
 }
 
 // sendOn is Send against an explicit clock (Sendrecv forks a send half).
 // dma, when non-nil, orders this half's DMA gather before the recv
-// half's scatter on the shared adapter (see Sendrecv).
-func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma *sendGate) error {
+// half's scatter on the shared adapter; rel holds this half's cache
+// release until the recv half has finished with the cache (see Sendrecv).
+func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma, rel *sendGate) error {
 	defer g.open() // never leave a gated recv half waiting
 	defer dma.open()
 	if err := r.checkPeer(dst); err != nil {
@@ -163,9 +164,9 @@ func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma 
 	}
 	if n > r.world.cfg.RdmaLimit {
 		if r.world.cfg.RendezvousProtocol == "read" {
-			return r.sendRendezvousRead(clk, dst, tag, va, n, g, dma)
+			return r.sendRendezvousRead(clk, dst, tag, va, n, g, dma, rel)
 		}
-		return r.sendRendezvous(clk, dst, tag, va, n, g, dma)
+		return r.sendRendezvous(clk, dst, tag, va, n, g, dma, rel)
 	}
 	g.open() // eager path never touches the registration cache
 	return r.sendEager(clk, dst, tag, va, n)
@@ -222,7 +223,7 @@ func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) erro
 // exposes its registered buffer in the RTS; the receiver issues an RDMA
 // read and reports completion. One control hop shorter for the receiver
 // than write-rendezvous, one wire round trip longer for the data.
-func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma *sendGate) error {
+func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma, rel *sendGate) error {
 	mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
 	g.open()
 	// The exposed buffer is read by the receiver's RDMA engine; this
@@ -261,6 +262,7 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
 		return err
 	}
+	rel.wait() // the recv half finishes with the cache first
 	relCost, err := r.cache.ReleaseT(r.tctx(clk), mr)
 	if err != nil {
 		return err
@@ -270,7 +272,7 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 }
 
 // sendRendezvous runs the registration + RDMA-write protocol.
-func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma *sendGate) error {
+func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma, rel *sendGate) error {
 	mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
 	g.open()
 	if err != nil {
@@ -334,6 +336,7 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 		return err
 	}
 
+	rel.wait() // the recv half finishes with the cache first
 	relCost, err := r.cache.ReleaseT(r.tctx(clk), mr)
 	if err != nil {
 		return err
@@ -350,14 +353,18 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 func (r *Rank) Recv(src, tag int, va vm.VA, capacity int) (int, error) {
 	start := r.clock.Now()
 	outer := r.enterMPI()
-	n, err := r.recvOn(&r.clock, src, tag, va, capacity, nil, nil)
+	n, err := r.recvOn(&r.clock, src, tag, va, capacity, nil, nil, nil)
 	r.exitMPI("Recv", start, outer)
 	return n, err
 }
 
 // recvOn matches and completes one incoming message. It must run on the
-// rank's main goroutine (it owns the pending queues).
-func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, g, dma *sendGate) (int, error) {
+// rank's main goroutine (it owns the pending queues). rel is opened when
+// this half is completely done with the registration cache, releasing a
+// gated send half; opening happens on every exit path so an early error
+// cannot strand the sender.
+func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, g, dma, rel *sendGate) (int, error) {
+	defer rel.open()
 	if err := r.checkPeer(src); err != nil {
 		return 0, err
 	}
@@ -549,12 +556,16 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendVA vm.VA, sendN int,
 	// goroutine scheduling; disjoint spans miss independently and need no
 	// ordering.
 	var gate *sendGate
-	if r.ctx.MemlockLimit > 0 {
+	if r.ctx.MemlockLimit > 0 || r.cache.MaxPinned > 0 {
 		// Under a memlock ceiling the halves contend for the shared
 		// pinned-bytes budget even with disjoint spans: either half's
 		// registration may trip evict-and-retry against state the other
 		// half just changed, so the registration order must be pinned
-		// down regardless of overlap.
+		// down regardless of overlap. A pin-down cache bound (MaxPinned)
+		// raises the same hazard through a different door: every acquire
+		// reorders the shared LRU list that eviction walks, so which
+		// entry is sacrificed later would depend on which half's acquire
+		// won the race.
 		gate = newSendGate()
 	} else if sLo, sHi := r.roundedRange(sendVA, sendN); true {
 		if rLo, rHi := r.roundedRange(recvVA, recvCap); sLo < rHi && rLo < sHi {
@@ -569,11 +580,18 @@ func (r *Rank) Sendrecv(dst, sendTag int, sendVA vm.VA, sendN int,
 	// Unlike the registration gate this one is unconditional: any two
 	// interleaved page walks can contend for the same cache set.
 	dma := newSendGate()
+	// Releases mutate the shared registration cache too (reference
+	// counts, zombie teardown and its ATT shoot-down), so they need a
+	// fixed order just like the acquires. The recv half finishes first
+	// in virtual time (the sender still waits out the RC ack), so the
+	// real-time schedule agrees: the send half releases only after the
+	// recv half is completely done with the cache.
+	rel := newSendGate()
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- r.sendOn(&sendClk, dst, sendTag, sendVA, sendN, gate, dma)
+		errCh <- r.sendOn(&sendClk, dst, sendTag, sendVA, sendN, gate, dma, rel)
 	}()
-	n, recvErr := r.recvOn(&r.clock, src, recvTag, recvVA, recvCap, gate, dma)
+	n, recvErr := r.recvOn(&r.clock, src, recvTag, recvVA, recvCap, gate, dma, rel)
 	sendErr := <-errCh
 	r.clock.AdvanceTo(sendClk.Now())
 	r.exitMPI("Sendrecv", start, outer)

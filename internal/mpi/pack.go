@@ -49,7 +49,7 @@ func (r *Rank) SendPacked(dst, tag int, pieces []Piece) error {
 		r.clock.Advance(r.memcpyTicks(p.Len))
 		off += p.Len
 	}
-	return r.sendOn(&r.clock, dst, tag, stage, total, nil, nil)
+	return r.sendOn(&r.clock, dst, tag, stage, total, nil, nil, nil)
 }
 
 // SendGathered transmits a non-contiguous buffer the way Section 4
@@ -116,7 +116,7 @@ func (r *Rank) RecvUnpack(src, tag int, pieces []Piece) error {
 	if err != nil {
 		return err
 	}
-	n, err := r.recvOn(&r.clock, src, tag, stage, total, nil, nil)
+	n, err := r.recvOn(&r.clock, src, tag, stage, total, nil, nil, nil)
 	if err != nil {
 		return err
 	}

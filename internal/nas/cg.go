@@ -26,7 +26,7 @@ type CG struct {
 }
 
 // DefaultCG returns the reduced class-C-shaped instance.
-func DefaultCG() *CG { return &CG{N: 786432, Iters: 10, ScatterTouches: 30_000} }
+func DefaultCG() *CG { return &CG{N: 786432, Iters: 10, ScatterTouches: 26_000} }
 
 // Name implements Kernel.
 func (*CG) Name() string { return "cg" }

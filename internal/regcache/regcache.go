@@ -147,18 +147,30 @@ func (c *Cache) AcquireT(tc trace.Ctx, va vm.VA, length uint64) (*verbs.MR, simt
 		}
 		return e.mr, cost, nil
 	}
+	// Several cached regions can contain the range (overlapping
+	// page-rounded registrations at shifted displacements — IS's key
+	// exchange produces exactly this), so the winner must be a pure
+	// function of the cache contents: take the lowest base, never the
+	// first map-iteration match. Bases are unique (the map key), so
+	// lowest-base is a total order.
+	var best *entry
 	for _, e := range c.entries {
 		if e.mr.VA <= va && uint64(va)+length <= uint64(e.mr.VA)+e.mr.Length {
-			c.lru.MoveToFront(e.ele)
-			e.refs++
-			c.stats.Hits++
-			c.mu.Unlock()
-			if tc.Enabled() {
-				tc.SpanAt(trace.LRegcache, "acquire", tc.Now(), cost,
-					trace.I64("bytes", int64(length)), trace.I64("hit", 1))
+			if best == nil || e.mr.VA < best.mr.VA {
+				best = e
 			}
-			return e.mr, cost, nil
 		}
+	}
+	if best != nil {
+		c.lru.MoveToFront(best.ele)
+		best.refs++
+		c.stats.Hits++
+		c.mu.Unlock()
+		if tc.Enabled() {
+			tc.SpanAt(trace.LRegcache, "acquire", tc.Now(), cost,
+				trace.I64("bytes", int64(length)), trace.I64("hit", 1))
+		}
+		return best.mr, cost, nil
 	}
 	c.stats.Misses++
 	c.mu.Unlock()

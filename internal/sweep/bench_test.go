@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// executedFixture runs the cheapest meaningful grid once per test
+// process and hands out a fresh decoded copy each call, so tests can
+// mutate freely.
+var fixtureBytes []byte
+
+func fixture(t *testing.T) *Bench {
+	t.Helper()
+	if fixtureBytes == nil {
+		g := Grid{
+			Name:       "fixture",
+			Machines:   []string{"opteron"},
+			Workloads:  []string{"alloc/abinit"},
+			Strategies: []string{"small-lazy", "huge-lazy"},
+			Seeds:      []uint64{1, 2, 3},
+		}
+		b, runErrs, err := Execute(g, Options{Workers: 2})
+		if err != nil || len(runErrs) != 0 {
+			t.Fatalf("fixture grid failed: err=%v runErrs=%v", err, runErrs)
+		}
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		fixtureBytes = buf.Bytes()
+	}
+	b, err := Load(bytes.NewReader(fixtureBytes))
+	if err != nil {
+		t.Fatalf("fixture does not round-trip: %v", err)
+	}
+	return b
+}
+
+func TestBenchRoundTripsByteIdentically(t *testing.T) {
+	b := fixture(t)
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), fixtureBytes) {
+		t.Fatal("Write(Load(doc)) differs from doc: the canonical rendering is not stable")
+	}
+}
+
+func TestBenchCarriesComparisonsAndCI(t *testing.T) {
+	b := fixture(t)
+	if len(b.Comparisons) != 1 {
+		t.Fatalf("got %d comparisons, want the small-lazy -> huge-lazy pair", len(b.Comparisons))
+	}
+	c := b.Comparisons[0]
+	if c.Base != "small-lazy" || c.Test != "huge-lazy" || c.Primary != "alloc_ticks" {
+		t.Fatalf("comparison = %+v", c)
+	}
+	if c.PrimaryImprovementPct != c.ImprovementPct["alloc_ticks"] {
+		t.Fatal("headline improvement does not match the primary metric column")
+	}
+	for i := range b.Cells {
+		d, ok := b.Cells[i].Stats["alloc_ticks"]
+		if !ok || d.N != 3 {
+			t.Fatalf("cell %s missing three-replicate alloc_ticks stats", b.Cells[i].Key())
+		}
+		if d.Stddev == 0 || d.CI95 == 0 {
+			t.Fatalf("cell %s has degenerate spread — seed replication is not perturbing runs", b.Cells[i].Key())
+		}
+	}
+}
+
+func TestGatePassesAgainstItself(t *testing.T) {
+	b := fixture(t)
+	if regs := Gate(b, b, 0.5); len(regs) != 0 {
+		t.Fatalf("self-gate found regressions: %v", regs)
+	}
+}
+
+// TestGateFlagsDoctoredBaseline doctors the baseline so its huge-lazy
+// cell looks faster than the current run beyond tolerance, and expects
+// the gate to name exactly that cell.
+func TestGateFlagsDoctoredBaseline(t *testing.T) {
+	cur := fixture(t)
+	base := fixture(t)
+	var doctored string
+	for i := range base.Cells {
+		if base.Cells[i].Strategy != "huge-lazy" {
+			continue
+		}
+		d := base.Cells[i].Stats["alloc_ticks"]
+		d.Mean /= 2 // baseline twice as fast => current is 100% worse
+		base.Cells[i].Stats["alloc_ticks"] = d
+		doctored = base.Cells[i].Key()
+	}
+	regs := Gate(cur, base, 5)
+	if len(regs) != 1 {
+		t.Fatalf("gate found %d regressions, want 1: %v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Cell != doctored || r.Metric != "alloc_ticks" || r.WorsePct < 90 {
+		t.Fatalf("regression = %+v, want the doctored cell ~100%% worse", r)
+	}
+	if !strings.Contains(r.String(), doctored) {
+		t.Fatalf("regression string %q does not name the cell", r.String())
+	}
+}
+
+// TestGateDirectionAware checks both metric directions on hand-built
+// documents: for higher-is-better primaries a *drop* is the regression.
+func TestGateDirectionAware(t *testing.T) {
+	mk := func(mean float64) *Bench {
+		return &Bench{
+			SchemaVersion: SchemaVersion,
+			Name:          "t",
+			Cells: []Cell{{
+				Workload: "imb/sendrecv", Machine: "opteron", Strategy: "huge-lazy",
+				Seeds: []uint64{1},
+				Runs:  []Run{{Seed: 1, Metrics: Metrics{"bw_mbs_4m": mean}}},
+				Stats: map[string]Dist{"bw_mbs_4m": {N: 1, Mean: mean, Median: mean, Min: mean, Max: mean}},
+			}},
+		}
+	}
+	// Bandwidth fell 20%: regression.
+	if regs := Gate(mk(800), mk(1000), 5); len(regs) != 1 {
+		t.Fatalf("bandwidth drop not flagged: %v", regs)
+	}
+	// Bandwidth rose 20%: improvement, not a regression.
+	if regs := Gate(mk(1200), mk(1000), 5); len(regs) != 0 {
+		t.Fatalf("bandwidth gain flagged as regression: %v", regs)
+	}
+	// Within tolerance: quiet.
+	if regs := Gate(mk(970), mk(1000), 5); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", regs)
+	}
+	// Cells missing from the baseline are ignored.
+	empty := &Bench{SchemaVersion: SchemaVersion, Name: "t"}
+	if regs := Gate(mk(800), empty, 5); len(regs) != 0 {
+		t.Fatalf("cell absent from baseline flagged: %v", regs)
+	}
+}
+
+func TestLoadRejectsCorruptDocuments(t *testing.T) {
+	b := fixture(t)
+	b.Cells[0].Stats["alloc_ticks"] = Dist{N: 99, Mean: 1, Median: 1, Min: 1, Max: 1}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "n=99") {
+		t.Fatalf("err = %v, want stat-sanity complaint", err)
+	}
+}
+
+func TestFormatTablesCoverEveryCell(t *testing.T) {
+	b := fixture(t)
+	cells := FormatCells(b)
+	for i := range b.Cells {
+		if !strings.Contains(cells, b.Cells[i].Key()) {
+			t.Fatalf("FormatCells omits %s", b.Cells[i].Key())
+		}
+	}
+	cmps := FormatComparisons(b)
+	if !strings.Contains(cmps, "small-lazy -> huge-lazy") {
+		t.Fatal("FormatComparisons omits the strategy pair")
+	}
+	if strings.Contains(cmps, VirtTicks) {
+		t.Fatal("FormatComparisons leaks the internal virt_ticks metric")
+	}
+}

@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"math"
+	"sort"
+)
+
+// Dist summarizes one metric across a cell's seed replicates.
+type Dist struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// Stddev is the sample standard deviation (n-1); 0 when N < 2.
+	Stddev float64 `json:"stddev"`
+	// CI95 is the half-width of the normal-approximation 95% confidence
+	// interval of the mean: 1.96 * stddev / sqrt(n).
+	CI95 float64 `json:"ci95"`
+}
+
+// newDist computes the summary of one metric's replicate values, which
+// must be non-empty. The input order does not matter (values are
+// re-sorted), so worker interleaving cannot leak into the output.
+func newDist(values []float64) Dist {
+	vs := append([]float64(nil), values...)
+	sort.Float64s(vs)
+	n := len(vs)
+	d := Dist{N: n, Min: vs[0], Max: vs[n-1]}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	d.Mean = sum / float64(n)
+	if n%2 == 1 {
+		d.Median = vs[n/2]
+	} else {
+		d.Median = (vs[n/2-1] + vs[n/2]) / 2
+	}
+	if n > 1 {
+		var ss float64
+		for _, v := range vs {
+			dv := v - d.Mean
+			ss += dv * dv
+		}
+		d.Stddev = math.Sqrt(ss / float64(n-1))
+		d.CI95 = 1.96 * d.Stddev / math.Sqrt(float64(n))
+	}
+	return d
+}
+
+// sortedKeys returns a map's string keys in sorted order — the one way
+// map contents reach any output path in this package.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// aggregate fills a cell's Stats from its completed runs: one Dist per
+// metric name appearing in any run. Metric keys are collected in sorted
+// order, and each Dist sees the values in seed order — the result is
+// independent of worker scheduling.
+func (c *Cell) aggregate() {
+	keys := map[string]bool{}
+	for _, r := range c.Runs {
+		for k := range r.Metrics {
+			keys[k] = true
+		}
+	}
+	names := sortedKeys(keys)
+	c.Stats = make(map[string]Dist, len(names))
+	for _, name := range names {
+		var vals []float64
+		for _, r := range c.Runs {
+			if v, ok := r.Metrics[name]; ok {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) > 0 {
+			c.Stats[name] = newDist(vals)
+		}
+	}
+}

@@ -1,0 +1,308 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/alloc"
+	"repro/internal/faults"
+	"repro/internal/imb"
+	"repro/internal/machine"
+	"repro/internal/mpi"
+	"repro/internal/nas"
+	"repro/internal/node"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/wrbench"
+)
+
+// Metrics is one run's measurement set; keys are metric names, values
+// the measurements (virtual ticks unless the name says otherwise).
+type Metrics = map[string]float64
+
+// VirtTicks is the metric every workload reports: the total virtual
+// time of the run. The engine uses it to pick the slowest cell for
+// optional trace capture, deterministically.
+const VirtTicks = "virt_ticks"
+
+// RunContext is everything one (cell, seed) run may consume. Runs share
+// no mutable state: every workload builds fresh worlds/nodes from it.
+type RunContext struct {
+	Machine  *machine.Machine
+	Strategy Strategy
+	// Spec is the per-replicate fault spec (the grid spec with its seed
+	// already mixed with the replicate seed); nil = clean run.
+	Spec *faults.Spec
+	// Seed is the replicate seed, for workloads with their own seed
+	// input (the allocator replays).
+	Seed uint64
+	// Ranks is the grid's NAS rank count.
+	Ranks int
+	// Trace, when non-nil, records the run (only set on the dedicated
+	// slowest-cell re-run; grid runs never trace).
+	Trace *trace.Collector
+	// TracePrefix namespaces the run's timelines within Trace.
+	TracePrefix string
+}
+
+// MPIConfig assembles the mpi job configuration the context implies.
+func (c *RunContext) MPIConfig(ranks int) mpi.Config {
+	return mpi.Config{
+		Machine:     c.Machine,
+		Ranks:       ranks,
+		Allocator:   c.Strategy.Allocator,
+		LazyDereg:   c.Strategy.LazyDereg,
+		HugeATT:     c.Strategy.HugeATT,
+		Faults:      c.Spec,
+		Trace:       c.Trace,
+		TracePrefix: c.TracePrefix,
+	}
+}
+
+// Workload is one registered experiment the sweep engine can run
+// in-process — the library entry points behind the cmd tools
+// (imbbench, nasbench, sgebench, offsetbench, allocbench, repro).
+type Workload struct {
+	// Name is the grid-facing identifier ("imb/sendrecv", "nas/cg", ...).
+	Name string
+	// Primary names the headline metric regression gating compares.
+	Primary string
+	// HigherIsBetter gives the primary metric's direction (bandwidth
+	// up, ticks down).
+	HigherIsBetter bool
+	// Strategied marks workloads that consume a placement strategy;
+	// strategy-agnostic microbenchmarks collapse to one cell per
+	// (machine, faults).
+	Strategied bool
+	// Run executes one replicate and returns its metrics. It must be
+	// deterministic in the context and must not retain shared state.
+	Run func(RunContext) (Metrics, error)
+}
+
+var (
+	registryMu sync.Mutex
+	registry   map[string]*Workload
+)
+
+// Register adds a workload (test harnesses and future tools); it
+// rejects duplicates and workloads missing a name, primary, or runner.
+func Register(w Workload) error {
+	if w.Name == "" || w.Primary == "" || w.Run == nil {
+		return fmt.Errorf("sweep: workload needs a name, a primary metric and a runner")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	ensureBuiltins()
+	if _, dup := registry[w.Name]; dup {
+		return fmt.Errorf("sweep: workload %q already registered", w.Name)
+	}
+	registry[w.Name] = &w
+	return nil
+}
+
+// WorkloadByName resolves a workload (nil if unknown).
+func WorkloadByName(name string) *Workload {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	ensureBuiltins()
+	return registry[name]
+}
+
+// Workloads lists every registered workload in name order.
+func Workloads() []*Workload {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	ensureBuiltins()
+	out := make([]*Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ensureBuiltins populates the registry once; callers hold registryMu.
+func ensureBuiltins() {
+	if registry != nil {
+		return
+	}
+	registry = make(map[string]*Workload)
+	for _, w := range builtins() {
+		w := w
+		registry[w.Name] = &w
+	}
+}
+
+// sendrecvSizes is the sweep's IMB SendRecv ladder: both Figure 5
+// regimes (cache-resident and re-registering) without the slow tail.
+var sendrecvSizes = []int{64 << 10, 1 << 20, 4 << 20}
+
+// builtins returns the six tools' workloads.
+func builtins() []Workload {
+	wls := []Workload{
+		{
+			// imbbench / repro E3: IMB SendRecv bandwidth.
+			Name:           "imb/sendrecv",
+			Primary:        "bw_mbs_4m",
+			HigherIsBetter: true,
+			Strategied:     true,
+			Run: func(c RunContext) (Metrics, error) {
+				rs, err := imb.SendRecv(c.MPIConfig(2), sendrecvSizes)
+				if err != nil {
+					return nil, err
+				}
+				m := Metrics{}
+				var virt float64
+				for i, size := range sendrecvSizes {
+					m[fmt.Sprintf("bw_mbs_%s", sizeSlug(size))] = rs[i].BandwidthMBs
+					virt += float64(rs[i].TicksPerIter) * float64(rs[i].Iters)
+				}
+				m["reg_ticks_4m"] = float64(rs[len(rs)-1].RegTicks)
+				m[VirtTicks] = virt
+				return m, nil
+			},
+		},
+		{
+			// imbbench -pingpong: small-message latency.
+			Name:           "imb/pingpong",
+			Primary:        "lat_ticks_64k",
+			HigherIsBetter: false,
+			Strategied:     true,
+			Run: func(c RunContext) (Metrics, error) {
+				sizes := []int{1 << 10, 64 << 10}
+				rs, err := imb.PingPong(c.MPIConfig(2), sizes)
+				if err != nil {
+					return nil, err
+				}
+				m := Metrics{}
+				var virt float64
+				for i, size := range sizes {
+					m[fmt.Sprintf("lat_ticks_%s", sizeSlug(size))] = float64(rs[i].LatencyTicks)
+					virt += float64(rs[i].LatencyTicks) * float64(rs[i].Iters)
+				}
+				m[VirtTicks] = virt
+				return m, nil
+			},
+		},
+		{
+			// allocbench / repro E7: the Abinit-style allocator replay.
+			// The replicate seed feeds the trace generator, so replicates
+			// vary even on clean runs.
+			Name:           "alloc/abinit",
+			Primary:        "alloc_ticks",
+			HigherIsBetter: false,
+			Strategied:     true,
+			Run: func(c RunContext) (Metrics, error) {
+				p := workload.DefaultAbinitParams()
+				p.Seed = int64(c.Seed)
+				ops, slots := workload.AbinitTrace(p)
+				n, err := node.New(node.Config{
+					Machine:   c.Machine,
+					Allocator: node.AllocatorKind(c.Strategy.Allocator),
+					Faults:    c.Spec,
+					Trace:     c.Trace,
+					TraceName: c.TracePrefix + "replay",
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := alloc.Replay(n.Alloc, ops, slots)
+				if err != nil {
+					return nil, err
+				}
+				return Metrics{
+					"alloc_ticks":     float64(res.AllocTime),
+					"syscalls":        float64(res.Stats.Syscalls),
+					"peak_live_bytes": float64(res.Stats.PeakLive),
+					VirtTicks:         float64(res.AllocTime),
+				}, nil
+			},
+		},
+		{
+			// sgebench / repro E1: Figure 3 work-request sweep.
+			Name:           "wr/sge",
+			Primary:        "total_ticks",
+			HigherIsBetter: false,
+			Strategied:     false,
+			Run: func(c RunContext) (Metrics, error) {
+				rs, _, err := wrbench.SGESweepTrace(c.Machine,
+					[]int{1, 2, 4, 8}, []int{64, 512, 4096}, c.Spec, c.Trace)
+				if err != nil {
+					return nil, err
+				}
+				return wrMetrics(rs), nil
+			},
+		},
+		{
+			// offsetbench / repro E2: Figure 4 offset sweep.
+			Name:           "wr/offset",
+			Primary:        "total_ticks",
+			HigherIsBetter: false,
+			Strategied:     false,
+			Run: func(c RunContext) (Metrics, error) {
+				rs, _, err := wrbench.OffsetSweepTrace(c.Machine,
+					[]int{0, 16, 32, 64, 96, 128}, []int{8, 64}, c.Spec, c.Trace)
+				if err != nil {
+					return nil, err
+				}
+				return wrMetrics(rs), nil
+			},
+		},
+	}
+	// nasbench / repro E5: one workload per NAS kernel, so the grid can
+	// subset and the comparisons stay per-kernel (the paper's Figure 6
+	// bars).
+	for _, k := range nas.All() {
+		k := k
+		wls = append(wls, Workload{
+			Name:           "nas/" + k.Name(),
+			Primary:        "total_ticks",
+			HigherIsBetter: false,
+			Strategied:     true,
+			Run: func(c RunContext) (Metrics, error) {
+				res, err := nas.RunKernelConfig(c.MPIConfig(c.Ranks), k)
+				if err != nil {
+					return nil, err
+				}
+				return Metrics{
+					"comm_ticks":     float64(res.Comm),
+					"compute_ticks":  float64(res.Compute),
+					"total_ticks":    float64(res.Total),
+					"makespan_ticks": float64(res.Makespan),
+					"tlb_misses":     float64(res.TLB.TotalMisses()),
+					"reg_ticks":      float64(res.RegTicks),
+					VirtTicks:        float64(res.Makespan),
+				}, nil
+			},
+		})
+	}
+	return wls
+}
+
+// wrMetrics folds a work-request sweep into post/poll/total sums.
+func wrMetrics(rs []wrbench.Result) Metrics {
+	var post, poll float64
+	for _, r := range rs {
+		post += float64(r.PostTicks)
+		poll += float64(r.PollTicks)
+	}
+	return Metrics{
+		"post_ticks":  post,
+		"poll_ticks":  poll,
+		"total_ticks": post + poll,
+		VirtTicks:     post + poll,
+	}
+}
+
+// sizeSlug renders a byte count as the short form used in metric names.
+func sizeSlug(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dm", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dk", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}

@@ -1,0 +1,35 @@
+// Command benchcheck validates a BENCH document from cmd/sweeprun
+// against the canonical schema. It strictly decodes stdin as a
+// sweep.Bench (unknown fields and trailing data are errors) and enforces
+// the document invariants — schema version, canonical cell order,
+// strictly increasing seed lists, seed-aligned runs, stats covering
+// every run metric — exiting non-zero on any mismatch. CI pipes every
+// generated BENCH document through it so committed baselines and fresh
+// runs cannot drift apart.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/sweep"
+)
+
+// check validates one BENCH document and returns it decoded. All the
+// actual rules live in sweep.Load/sweep.Validate — the same path the
+// regression gate uses to read baselines — so benchcheck and the gate
+// accept exactly the same documents.
+func check(r io.Reader) (*sweep.Bench, error) {
+	return sweep.Load(r)
+}
+
+func main() {
+	b, err := check(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: ok (grid %q, %d cell(s), %d comparison(s))\n",
+		b.Name, len(b.Cells), len(b.Comparisons))
+}

@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/machine"
 	"repro/internal/phys"
@@ -55,16 +56,21 @@ func (as *AddressSpace) Fork() (*AddressSpace, error) {
 			int(src.class.Size()))
 		return &pte{frame: f, class: src.class}, nil
 	}
-	for vpn, p := range as.small {
-		np, err := copyPage(p, false)
+	// Walk the page tables in VPN order, not map order: eager copies
+	// allocate physical frames as they go, and the resulting frame
+	// layout must be a pure function of the address space — map
+	// iteration order would leak into every downstream placement
+	// decision and break run-for-run reproducibility across processes.
+	for _, vpn := range sortedVPNs(as.small) {
+		np, err := copyPage(as.small[vpn], false)
 		if err != nil {
 			return nil, fmt.Errorf("vm: fork: %w", err)
 		}
 		child.small[vpn] = np
 		child.stats.MappedSmall++
 	}
-	for vpn, p := range as.huge {
-		np, err := copyPage(p, true)
+	for _, vpn := range sortedVPNs(as.huge) {
+		np, err := copyPage(as.huge[vpn], true)
 		if err != nil {
 			return nil, fmt.Errorf("vm: fork: %w", err)
 		}
@@ -72,6 +78,17 @@ func (as *AddressSpace) Fork() (*AddressSpace, error) {
 		child.stats.MappedHuge++
 	}
 	return child, nil
+}
+
+// sortedVPNs returns a page table's virtual page numbers in ascending
+// order.
+func sortedVPNs(pt map[uint64]*pte) []uint64 {
+	vpns := make([]uint64, 0, len(pt))
+	for vpn := range pt {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
 }
 
 // breakCoW gives the pte a private copy of its page. Callers hold as.mu.

@@ -34,6 +34,7 @@ import (
 	"repro/internal/nas"
 	"repro/internal/node"
 	"repro/internal/simtime"
+	"repro/internal/sweep"
 	"repro/internal/vm"
 	"repro/internal/workload"
 	"repro/internal/wrbench"
@@ -208,6 +209,35 @@ func AbinitComparison(m *Machine) (libc, huge Ticks, err error) {
 	}
 	return rl.AllocTime, rh.AllocTime, nil
 }
+
+// SweepGrid is a declarative experiment grid: workloads × machines ×
+// placement strategies × fault specs, replicated over seeds.
+type SweepGrid = sweep.Grid
+
+// Bench is the canonical BENCH document a sweep renders: per-cell runs,
+// statistics and paired strategy comparisons, byte-identical for a given
+// grid whatever the worker count or process.
+type Bench = sweep.Bench
+
+// SweepRegression is one gate finding: a cell whose primary metric got
+// worse than the baseline beyond the tolerance.
+type SweepRegression = sweep.Regression
+
+// LoadGrid resolves a built-in grid name ("smoke", "seed") or an
+// @file.json grid definition.
+var LoadGrid = sweep.LoadGrid
+
+// RunSweep executes a grid on a worker pool (workers <= 0 means
+// GOMAXPROCS) and returns the BENCH document plus per-cell run errors;
+// a failed cell never aborts its siblings.
+func RunSweep(g SweepGrid, workers int) (*Bench, []sweep.RunError, error) {
+	return sweep.Execute(g, sweep.Options{Workers: workers})
+}
+
+// GateBench compares a BENCH document against a baseline on each
+// workload's primary-metric mean (direction-aware) and returns every
+// cell regressed beyond tolPct percent.
+var GateBench = sweep.Gate
 
 // NewNode builds one standalone simulated host (for experiments outside
 // a Cluster); its NodeStats method is the telemetry snapshot.
