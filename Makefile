@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-analyzers bench
+.PHONY: all build test race lint lint-analyzers bench scale
 
 all: build test
 
@@ -46,3 +46,20 @@ bench:
 	$(GO) run ./internal/tools/benchcheck < /tmp/BENCH_smoke.w1.json
 	/tmp/reprosweep -grid seed -o /tmp/BENCH_seed.json -baseline BENCH_seed.json -gate
 	$(GO) run ./internal/tools/benchcheck < /tmp/BENCH_seed.json
+
+# scale: the 1024-rank scheduler gate. One scale-grid run must finish
+# fast (the acceptance bound is 30 s of wall time), hold the committed
+# BENCH_scale.json throughput baseline within a generous tolerance
+# (wall clocks vary across hosts; only order-of-magnitude scheduler
+# regressions should trip it), and — after stripping the host-dependent
+# ticks_per_wallsec metrics — render byte-identical documents under
+# GOMAXPROCS 1 and 8 and different worker counts.
+scale:
+	$(GO) build -o /tmp/reprosweep ./cmd/sweeprun
+	GOMAXPROCS=1 /tmp/reprosweep -grid scale -workers 1 \
+		-o /tmp/BENCH_scale.json -stripped /tmp/BENCH_scale.det1.json \
+		-baseline BENCH_scale.json -gate -tol 75
+	GOMAXPROCS=8 /tmp/reprosweep -grid scale -workers 2 \
+		-o /dev/null -stripped /tmp/BENCH_scale.det8.json
+	cmp /tmp/BENCH_scale.det1.json /tmp/BENCH_scale.det8.json
+	$(GO) run ./internal/tools/benchcheck < /tmp/BENCH_scale.json

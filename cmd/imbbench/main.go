@@ -23,6 +23,7 @@ var env *cli.Env
 func main() {
 	att := flag.Bool("att", false, "run the Xeon ATT experiment (patched vs unpatched driver) instead of Figure 5")
 	reg := flag.Bool("reg", false, "run the registration-cost sweep instead of Figure 5")
+	ranks := flag.Int("ranks", 0, "rank count for the SendRecv-chain modes (0 = mode default: 2, Exchange 4)")
 	pingpong := flag.Bool("pingpong", false, "run the IMB PingPong latency test instead of Figure 5")
 	exchange := flag.Bool("exchange", false, "run the IMB Exchange test instead of Figure 5")
 	env = cli.New("imbbench").
@@ -32,26 +33,35 @@ func main() {
 	m := env.Machine
 	switch {
 	case env.Stats:
-		runStats(m)
+		runStats(m, orDefault(*ranks, 2))
 	case *reg:
 		runReg(m)
 	case *att:
-		runATT(m)
+		runATT(m, orDefault(*ranks, 2))
 	case *pingpong:
 		runPingPong(m)
 	case *exchange:
-		runExchange(m)
+		runExchange(m, orDefault(*ranks, 4))
 	default:
-		runFig5(m)
+		runFig5(m, orDefault(*ranks, 2))
 	}
 	env.WriteTrace()
 }
 
+// orDefault substitutes a mode's default rank count for the flag's
+// unset zero value.
+func orDefault(ranks, def int) int {
+	if ranks == 0 {
+		return def
+	}
+	return ranks
+}
+
 // runStats runs the recommended-placement SendRecv over a short size
 // ladder and prints every rank's host telemetry as JSON.
-func runStats(m *machine.Machine) {
+func runStats(m *machine.Machine, ranks int) {
 	_, nodes, err := imb.SendRecvNodeStats(mpi.Config{
-		Machine: m, Ranks: 2,
+		Machine: m, Ranks: ranks,
 		Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: m.HCA.SupportsHugeATT,
 		Faults: env.Spec, Trace: env.Col,
 	}, []int{64 << 10, 1 << 20, 4 << 20})
@@ -76,24 +86,24 @@ func runPingPong(m *machine.Machine) {
 	}
 }
 
-func runExchange(m *machine.Machine) {
+func runExchange(m *machine.Machine, ranks int) {
 	sizes := []int{4 << 10, 64 << 10, 1 << 20}
 	rs, err := imb.Exchange(mpi.Config{
-		Machine: m, Ranks: 4, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
+		Machine: m, Ranks: ranks, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
 		Faults: env.Spec, Trace: env.Col,
 	}, sizes)
 	if err != nil {
 		env.Fail(err)
 	}
-	fmt.Printf("IMB Exchange, 4 ranks (%s)\n%-12s %14s\n", m.Name, "bytes", "MB/s")
+	fmt.Printf("IMB Exchange, %d ranks (%s)\n%-12s %14s\n", ranks, m.Name, "bytes", "MB/s")
 	for _, r := range rs {
 		fmt.Printf("%-12d %14.1f\n", r.Bytes, r.BandwidthMBs)
 	}
 }
 
-func runFig5(m *machine.Machine) {
+func runFig5(m *machine.Machine, ranks int) {
 	sizes := imb.DefaultSizes()
-	curves, err := imb.RunFig5Traced(m, sizes, env.Spec, env.Col)
+	curves, err := imb.RunFig5Ranks(m, sizes, ranks, env.Spec, env.Col)
 	if err != nil {
 		env.Fail(err)
 	}
@@ -116,7 +126,7 @@ func runFig5(m *machine.Machine) {
 	}
 }
 
-func runATT(m *machine.Machine) {
+func runATT(m *machine.Machine, ranks int) {
 	sizes := []int{1 << 20, 4 << 20, 16 << 20}
 	fmt.Printf("hugepage ATT-entry effect with lazy deregistration (%s)\n", m.Name)
 	fmt.Printf("%-12s %16s %16s %8s\n", "size [KB]", "4K entries MB/s", "2M entries MB/s", "gain")
@@ -126,7 +136,7 @@ func runATT(m *machine.Machine) {
 			prefix = "patched/"
 		}
 		rs, err := imb.SendRecv(mpi.Config{
-			Machine: m, Ranks: 2,
+			Machine: m, Ranks: ranks,
 			Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: patched,
 			Faults: env.Spec, Trace: env.Col, TracePrefix: prefix,
 		}, sizes)

@@ -13,6 +13,8 @@
 //	maporder      no map-iteration-ordered output in report paths
 //	statspairing  gauge counters have paired inc/dec accounting
 //	nilspec       nil-safe types guard every exported pointer method
+//	schedonly     no raw goroutines/channels/WaitGroups in simulation
+//	              packages; blocking goes through internal/sched
 //
 // Flags:
 //
@@ -32,6 +34,7 @@ import (
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nilspec"
+	"repro/internal/analysis/schedonly"
 	"repro/internal/analysis/statspairing"
 )
 
@@ -39,6 +42,7 @@ var suite = []*analysis.Analyzer{
 	determinism.Analyzer,
 	maporder.Analyzer,
 	nilspec.Analyzer,
+	schedonly.Analyzer,
 	statspairing.Analyzer,
 }
 

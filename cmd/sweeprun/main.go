@@ -13,6 +13,7 @@
 //	sweeprun -grid smoke -workers 8 -table
 //	sweeprun -grid seed -baseline BENCH_seed.json -gate -tol 5
 //	sweeprun -grid @mygrid.json -trace slowest.json
+//	sweeprun -grid scale -stripped BENCH_scale.det.json
 package main
 
 import (
@@ -37,6 +38,7 @@ func main() {
 	gate := flag.Bool("gate", false, "fail (non-zero exit) on any cell regressed beyond -tol vs -baseline")
 	tol := flag.Float64("tol", 5, "gate tolerance in percent of the baseline primary-metric mean")
 	table := flag.Bool("table", false, "print the statistics and paired-comparison tables to stderr")
+	stripped := flag.String("stripped", "", "also write a copy with wall-clock metrics stripped — the byte-comparable deterministic view")
 	traceFlag := flag.String("trace", "", "re-run the slowest cell with tracing and write the Perfetto trace here")
 	list := flag.Bool("list", false, "list built-in grids, workloads and strategies, then exit")
 	flag.Parse()
@@ -116,6 +118,14 @@ func main() {
 		if len(regs) == 0 {
 			fmt.Fprintf(os.Stderr, "sweeprun: gate ok (%d cell(s) vs %s, tolerance %.1f%%)\n",
 				len(bench.Cells), *baseline, *tol)
+		}
+	}
+
+	// Strip last: gating above still needs the wall metrics.
+	if *stripped != "" {
+		bench.StripWall()
+		if err := bench.WriteFile(*stripped); err != nil {
+			fail(err)
 		}
 	}
 

@@ -424,12 +424,12 @@ func TestMapBSS(t *testing.T) {
 // hold (run with -race in CI to catch data races too).
 func TestHugeThreadSafety(t *testing.T) {
 	h := newHugeT(t, newAS(t))
-	var wg sync.WaitGroup
+	var wg sync.WaitGroup //reprolint:ignore schedonly: real-thread stress test of the paper's thread-safety claim
 	const workers, rounds = 8, 200
 	errs := make([]error, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(w int) { //reprolint:ignore schedonly: real-thread stress test, not simulation code
 			defer wg.Done()
 			var mine []vm.VA
 			for i := 0; i < rounds; i++ {

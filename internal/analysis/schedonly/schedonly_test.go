@@ -1,0 +1,21 @@
+package schedonly_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/schedonly"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", schedonly.Analyzer, "sim")
+}
+
+// TestExemptPackagesMayUseConcurrency pins the escape for host-side
+// code: a package listed in ExemptPkgs (internal/sched itself,
+// internal/sweep's worker pool) gets no diagnostics at all.
+func TestExemptPackagesMayUseConcurrency(t *testing.T) {
+	schedonly.ExemptPkgs["host"] = true
+	defer delete(schedonly.ExemptPkgs, "host")
+	analysistest.Run(t, "testdata", schedonly.Analyzer, "host")
+}

@@ -1,0 +1,44 @@
+// Package sim exercises the schedonly analyzer: raw goroutines,
+// channels, select and sync.WaitGroup are flagged in simulation code.
+package sim
+
+import "sync"
+
+// mailbox demonstrates that channel types are flagged wherever they
+// appear, not just in make calls.
+var mailbox chan int // want `raw channel in simulation code`
+
+func work() {}
+
+func spawn() {
+	go work() // want `go statement spawns a goroutine outside internal/sched`
+}
+
+func pipes() {
+	ch := make(chan string, 4) // want `raw channel in simulation code`
+	_ = ch
+	var wg sync.WaitGroup // want `sync\.WaitGroup synchronises raw goroutines`
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+}
+
+func pick(a chan int) int { // want `raw channel in simulation code`
+	select { // want `select races goroutines`
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+func guarded() *sync.Mutex {
+	// Mutexes stay legal: cooperative tasks never contend, and host-side
+	// telemetry snapshots may still want one.
+	return new(sync.Mutex)
+}
+
+func suppressed() {
+	done := make(chan struct{}) //reprolint:ignore fixture proving the escape hatch
+	close(done)
+}

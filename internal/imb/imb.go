@@ -192,11 +192,18 @@ func RunFig5Faults(m *machine.Machine, sizes []int, spec *faults.Spec) (map[stri
 // timelines prefixed by the configuration slug ("huge-lazy/rank0", …),
 // so one trace file shows all four regimes side by side.
 func RunFig5Traced(m *machine.Machine, sizes []int, spec *faults.Spec, col *trace.Collector) (map[string][]SendRecvResult, error) {
+	return RunFig5Ranks(m, sizes, 2, spec, col)
+}
+
+// RunFig5Ranks is RunFig5Traced at an explicit rank count: the SendRecv
+// chain closes over all ranks instead of the paper's pair, which is how
+// imbbench -ranks exercises the event scheduler at scale.
+func RunFig5Ranks(m *machine.Machine, sizes []int, ranks int, spec *faults.Spec, col *trace.Collector) (map[string][]SendRecvResult, error) {
 	out := make(map[string][]SendRecvResult, 4)
 	for _, c := range Fig5Configs() {
 		res, err := SendRecv(mpi.Config{
 			Machine:     m,
-			Ranks:       2,
+			Ranks:       ranks,
 			Allocator:   c.Allocator,
 			LazyDereg:   c.LazyDereg,
 			HugeATT:     true,

@@ -59,7 +59,7 @@ func (r *Rank) Gather(root int, sendVA, recvVA vm.VA, block int) error {
 	defer func() { r.exitMPI("Gather", start, outer) }()
 	p := r.Size()
 	if r.id != root {
-		return r.sendOn(&r.clock, root, tagGather+r.id, sendVA, block, nil, nil, nil)
+		return r.sendOn(r.task, &r.clock, root, tagGather+r.id, sendVA, block, nil, nil, nil)
 	}
 	// Root: own block is a copy; others arrive tagged by source.
 	if block > 0 {
@@ -76,7 +76,7 @@ func (r *Rank) Gather(root int, sendVA, recvVA vm.VA, block int) error {
 		if src == root {
 			continue
 		}
-		if _, err := r.recvOn(&r.clock, src, tagGather+src, recvVA+vm.VA(src*block), block, nil, nil, nil); err != nil {
+		if _, err := r.recvOn(r.task, &r.clock, src, tagGather+src, recvVA+vm.VA(src*block), block, nil, nil); err != nil {
 			return fmt.Errorf("mpi: gather from %d: %w", src, err)
 		}
 	}
@@ -91,14 +91,14 @@ func (r *Rank) Scatter(root int, sendVA, recvVA vm.VA, block int) error {
 	defer func() { r.exitMPI("Scatter", start, outer) }()
 	p := r.Size()
 	if r.id != root {
-		_, err := r.recvOn(&r.clock, root, tagScatter+r.id, recvVA, block, nil, nil, nil)
+		_, err := r.recvOn(r.task, &r.clock, root, tagScatter+r.id, recvVA, block, nil, nil)
 		return err
 	}
 	for dst := 0; dst < p; dst++ {
 		if dst == root {
 			continue
 		}
-		if err := r.sendOn(&r.clock, dst, tagScatter+dst, sendVA+vm.VA(dst*block), block, nil, nil, nil); err != nil {
+		if err := r.sendOn(r.task, &r.clock, dst, tagScatter+dst, sendVA+vm.VA(dst*block), block, nil, nil, nil); err != nil {
 			return fmt.Errorf("mpi: scatter to %d: %w", dst, err)
 		}
 	}
@@ -128,7 +128,7 @@ func (r *Rank) ScanF64(va vm.VA, count int, op ReduceOp) error {
 		if err != nil {
 			return err
 		}
-		if _, err := r.recvOn(&r.clock, r.id-1, tagScan, tmp, bytes, nil, nil, nil); err != nil {
+		if _, err := r.recvOn(r.task, &r.clock, r.id-1, tagScan, tmp, bytes, nil, nil); err != nil {
 			return fmt.Errorf("mpi: scan recv: %w", err)
 		}
 		// Combine with predecessor prefix: va = op(prefix, va).
@@ -137,7 +137,7 @@ func (r *Rank) ScanF64(va vm.VA, count int, op ReduceOp) error {
 		}
 	}
 	if r.id < r.Size()-1 {
-		if err := r.sendOn(&r.clock, r.id+1, tagScan, va, bytes, nil, nil, nil); err != nil {
+		if err := r.sendOn(r.task, &r.clock, r.id+1, tagScan, va, bytes, nil, nil, nil); err != nil {
 			return fmt.Errorf("mpi: scan send: %w", err)
 		}
 	}

@@ -3,10 +3,10 @@ package mpi
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/hca"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -53,36 +53,6 @@ func (r *Rank) pollCQ(clk *simtime.Clock, stream faults.WRStream) error {
 	}
 }
 
-// sendGate orders the two concurrent halves of a Sendrecv on the shared
-// per-rank registration cache. In virtual time the send half registers at
-// the call instant while the recv half registers only after the peer's
-// RTS has crossed the wire; the gate makes the real-time schedule agree,
-// so cost attribution — which half pays a cache miss, which touch order
-// the LRU sees — is deterministic. A nil gate (plain Send/Recv) is inert.
-type sendGate struct {
-	ch   chan struct{}
-	once sync.Once
-}
-
-func newSendGate() *sendGate { return &sendGate{ch: make(chan struct{})} }
-
-// open marks the send half as past its registration point (or as never
-// registering). It is safe to call more than once.
-func (g *sendGate) open() {
-	if g != nil {
-		g.once.Do(func() { close(g.ch) })
-	}
-}
-
-// wait blocks the recv half until the send half has opened the gate. The
-// send half opens it without ever waiting on the network, so this cannot
-// deadlock.
-func (g *sendGate) wait() {
-	if g != nil {
-		<-g.ch
-	}
-}
-
 // message kinds.
 const (
 	kindEager = iota
@@ -90,7 +60,7 @@ const (
 )
 
 // message is one wire-level unit between two ranks. Eager messages carry
-// their payload; rendezvous starts with an RTS carrying reply channels.
+// their payload; rendezvous starts with an RTS carrying reply queues.
 type message struct {
 	kind int
 	src  int
@@ -105,15 +75,15 @@ type message struct {
 	arrive simtime.Ticks // arrival instant at the receiver's NIC
 
 	// rendezvous
-	size  int
-	ctsCh chan ctsMsg
-	finCh chan finMsg
+	size int
+	cts  *sched.Queue[ctsMsg]
+	fin  *sched.Queue[finMsg]
 
-	// read-rendezvous (RGET): the sender's exposed region plus a channel
+	// read-rendezvous (RGET): the sender's exposed region plus a queue
 	// on which the receiver announces read completion.
 	srcRKey uint32
 	srcVA   vm.VA
-	doneCh  chan simtime.Ticks
+	done    *sched.Queue[simtime.Ticks]
 	srcHW   *hca.HCA
 }
 
@@ -144,18 +114,25 @@ const eagerPipelineTicks = simtime.Ticks(220)
 func (r *Rank) Send(dst, tag int, va vm.VA, n int) error {
 	start := r.clock.Now()
 	outer := r.enterMPI()
-	err := r.sendOn(&r.clock, dst, tag, va, n, nil, nil, nil)
+	err := r.sendOn(r.task, &r.clock, dst, tag, va, n, nil, nil, nil)
 	r.exitMPI("Send", start, outer)
 	return err
 }
 
-// sendOn is Send against an explicit clock (Sendrecv forks a send half).
-// dma, when non-nil, orders this half's DMA gather before the recv
-// half's scatter on the shared adapter; rel holds this half's cache
-// release until the recv half has finished with the cache (see Sendrecv).
-func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma, rel *sendGate) error {
-	defer g.open() // never leave a gated recv half waiting
-	defer dma.open()
+// sendOn is Send against an explicit task and clock (Sendrecv runs its
+// send half as a forked sub-task on a forked clock). The three gates
+// order this half against a concurrent recv half on the rank's shared
+// structures; they are nil for ungated plain sends:
+//   - started opens once this half is past its registration point (or
+//     will never register), releasing the recv half to start;
+//   - dma opens once this half's DMA gather is done (or will never
+//     happen), ordering it before the recv half's scatter on the shared
+//     adapter;
+//   - rel holds this half's cache release until the recv half has
+//     finished with the cache (see Sendrecv).
+func (r *Rank) sendOn(t *sched.Task, clk *simtime.Clock, dst, tag int, va vm.VA, n int, started, dma, rel *sched.Gate) error {
+	defer started.Open() // never leave a gated recv half waiting
+	defer dma.Open()
 	if err := r.checkPeer(dst); err != nil {
 		return err
 	}
@@ -164,27 +141,26 @@ func (r *Rank) sendOn(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma,
 	}
 	if n > r.world.cfg.RdmaLimit {
 		if r.world.cfg.RendezvousProtocol == "read" {
-			return r.sendRendezvousRead(clk, dst, tag, va, n, g, dma, rel)
+			return r.sendRendezvousRead(t, clk, dst, tag, va, n, started, dma, rel)
 		}
-		return r.sendRendezvous(clk, dst, tag, va, n, g, dma, rel)
+		return r.sendRendezvous(t, clk, dst, tag, va, n, started, dma, rel)
 	}
-	g.open() // eager path never touches the registration cache
-	return r.sendEager(clk, dst, tag, va, n)
+	started.Open() // eager path never touches the registration cache
+	return r.sendEager(t, clk, dst, tag, va, n)
 }
 
 // sendEager copies the payload through the preregistered bounce path and
 // returns as soon as the local work is done (true eager semantics).
-func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
+func (r *Rank) sendEager(t *sched.Task, clk *simtime.Clock, dst, tag int, va vm.VA, n int) error {
 	// Flow control: consume one eager buffer credit for this peer; if the
 	// receiver has not drained its bounce buffers we block here, and our
 	// clock advances to the instant the credit was freed.
 	waitStart := clk.Now()
-	select {
-	case freed := <-r.credits[dst]:
-		clk.AdvanceTo(freed)
-	case <-r.world.abort:
+	freed, ok := r.creditQ(dst).Pop(t)
+	if !ok {
 		return fmt.Errorf("mpi: rank %d awaiting eager credit for %d: %w", r.id, dst, ErrAborted)
 	}
+	clk.AdvanceTo(freed)
 	if tc := r.tctx(clk); tc.Enabled() && clk.Now() > waitStart {
 		tc.SpanAt(trace.LMPI, "credit.wait", waitStart, clk.Now()-waitStart)
 	}
@@ -213,8 +189,10 @@ func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) erro
 	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
 		return err
 	}
-	r.world.ranks[dst].inbox[r.id] <- &message{
+	if !r.world.ranks[dst].inboxQ(r.id).Push(t, &message{
 		kind: kindEager, src: r.id, tag: tag, data: data, arrive: arrive, flow: flowID,
+	}) {
+		return fmt.Errorf("mpi: rank %d sending eager to %d: %w", r.id, dst, ErrAborted)
 	}
 	return nil
 }
@@ -223,12 +201,12 @@ func (r *Rank) sendEager(clk *simtime.Clock, dst, tag int, va vm.VA, n int) erro
 // exposes its registered buffer in the RTS; the receiver issues an RDMA
 // read and reports completion. One control hop shorter for the receiver
 // than write-rendezvous, one wire round trip longer for the data.
-func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma, rel *sendGate) error {
+func (r *Rank) sendRendezvousRead(t *sched.Task, clk *simtime.Clock, dst, tag int, va vm.VA, n int, started, dma, rel *sched.Gate) error {
 	mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
-	g.open()
+	started.Open()
 	// The exposed buffer is read by the receiver's RDMA engine; this
 	// half performs no local DMA, so the recv half need not wait.
-	dma.open()
+	dma.Open()
 	if err != nil {
 		return fmt.Errorf("mpi: read-rendezvous register: %w", err)
 	}
@@ -236,8 +214,8 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 	m := &message{
 		kind: kindRTS, src: r.id, tag: tag, size: n,
 		srcRKey: mr.RKey, srcVA: va,
-		doneCh: make(chan simtime.Ticks, 1),
-		srcHW:  r.ctx.HW,
+		done:  sched.NewQueue[simtime.Ticks](r.world.sched, "rget.done", 1),
+		srcHW: r.ctx.HW,
 	}
 	clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1)))
 	m.arrive = clk.Now() + r.ctrlWire()
@@ -245,13 +223,13 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 		m.flow = r.nextFlow(dst)
 		r.tctx(clk).FlowBegin(m.flow)
 	}
-	r.world.ranks[dst].inbox[r.id] <- m
+	if !r.world.ranks[dst].inboxQ(r.id).Push(t, m) {
+		return fmt.Errorf("mpi: rank %d sending RTS to %d: %w", r.id, dst, ErrAborted)
+	}
 
 	waitStart := clk.Now()
-	var done simtime.Ticks
-	select {
-	case done = <-m.doneCh:
-	case <-r.world.abort:
+	done, ok := m.done.Pop(t)
+	if !ok {
 		return fmt.Errorf("mpi: rank %d awaiting RDMA-read completion from %d: %w", r.id, dst, ErrAborted)
 	}
 	// The FIN arrives one control hop after the receiver finished.
@@ -262,7 +240,7 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 	if err := r.pollCQ(clk, faults.StreamWRSend); err != nil {
 		return err
 	}
-	rel.wait() // the recv half finishes with the cache first
+	rel.Wait(t) // the recv half finishes with the cache first
 	relCost, err := r.cache.ReleaseT(r.tctx(clk), mr)
 	if err != nil {
 		return err
@@ -272,9 +250,9 @@ func (r *Rank) sendRendezvousRead(clk *simtime.Clock, dst, tag int, va vm.VA, n 
 }
 
 // sendRendezvous runs the registration + RDMA-write protocol.
-func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int, g, dma, rel *sendGate) error {
+func (r *Rank) sendRendezvous(t *sched.Task, clk *simtime.Clock, dst, tag int, va vm.VA, n int, started, dma, rel *sched.Gate) error {
 	mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
-	g.open()
+	started.Open()
 	if err != nil {
 		return fmt.Errorf("mpi: rendezvous register: %w", err)
 	}
@@ -282,8 +260,8 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 
 	m := &message{
 		kind: kindRTS, src: r.id, tag: tag, size: n,
-		ctsCh: make(chan ctsMsg, 1),
-		finCh: make(chan finMsg, 1),
+		cts: sched.NewQueue[ctsMsg](r.world.sched, "cts", 1),
+		fin: sched.NewQueue[finMsg](r.world.sched, "fin", 1),
 	}
 	clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1)))
 	m.arrive = clk.Now() + r.ctrlWire()
@@ -291,13 +269,13 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 		m.flow = r.nextFlow(dst)
 		r.tctx(clk).FlowBegin(m.flow)
 	}
-	r.world.ranks[dst].inbox[r.id] <- m
+	if !r.world.ranks[dst].inboxQ(r.id).Push(t, m) {
+		return fmt.Errorf("mpi: rank %d sending RTS to %d: %w", r.id, dst, ErrAborted)
+	}
 
 	waitStart := clk.Now()
-	var cts ctsMsg
-	select {
-	case cts = <-m.ctsCh:
-	case <-r.world.abort:
+	cts, ok := m.cts.Pop(t)
+	if !ok {
 		return fmt.Errorf("mpi: rank %d awaiting CTS from %d: %w", r.id, dst, ErrAborted)
 	}
 	clk.AdvanceTo(cts.t + r.ctrlWire())
@@ -317,14 +295,14 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 		tcg = r.tr.At(trace.TrackHCATx, clk.Now())
 	}
 	data, gather, err := r.ctx.HW.GatherT(tcg, []hca.SGE{{Addr: va, Length: uint32(n), LKey: mr.LKey}})
-	dma.open() // gather done; the recv half may now drive the adapter
+	dma.Open() // gather done; the recv half may now drive the adapter
 	if err != nil {
 		return fmt.Errorf("mpi: rendezvous gather: %w", err)
 	}
 	clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1)))
 	start := clk.Now()
 	serialize := simtime.BandwidthTicks(int64(n), r.world.cfg.Machine.HCA.WireBandwidthMBs)
-	m.finCh <- finMsg{data: data, start: start, gather: gather, serialize: serialize}
+	m.fin.Push(t, finMsg{data: data, start: start, gather: gather, serialize: serialize})
 
 	// Local completion: RC ack after remote placement of the last packet.
 	wire := r.world.cfg.Machine.HCA.WireLatency
@@ -336,7 +314,7 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 		return err
 	}
 
-	rel.wait() // the recv half finishes with the cache first
+	rel.Wait(t) // the recv half finishes with the cache first
 	relCost, err := r.cache.ReleaseT(r.tctx(clk), mr)
 	if err != nil {
 		return err
@@ -353,23 +331,23 @@ func (r *Rank) sendRendezvous(clk *simtime.Clock, dst, tag int, va vm.VA, n int,
 func (r *Rank) Recv(src, tag int, va vm.VA, capacity int) (int, error) {
 	start := r.clock.Now()
 	outer := r.enterMPI()
-	n, err := r.recvOn(&r.clock, src, tag, va, capacity, nil, nil, nil)
+	n, err := r.recvOn(r.task, &r.clock, src, tag, va, capacity, nil, nil)
 	r.exitMPI("Recv", start, outer)
 	return n, err
 }
 
 // recvOn matches and completes one incoming message. It must run on the
-// rank's main goroutine (it owns the pending queues). rel is opened when
+// rank's main task (it owns the pending queues). rel is opened when
 // this half is completely done with the registration cache, releasing a
 // gated send half; opening happens on every exit path so an early error
 // cannot strand the sender.
-func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, g, dma, rel *sendGate) (int, error) {
-	defer rel.open()
+func (r *Rank) recvOn(t *sched.Task, clk *simtime.Clock, src, tag int, va vm.VA, capacity int, dma, rel *sched.Gate) (int, error) {
+	defer rel.Open()
 	if err := r.checkPeer(src); err != nil {
 		return 0, err
 	}
 	waitStart := clk.Now()
-	m := r.matchRecv(src, tag)
+	m := r.matchRecv(t, src, tag)
 	if m == nil {
 		return 0, fmt.Errorf("mpi: rank %d receiving from %d: %w", r.id, src, ErrAborted)
 	}
@@ -402,11 +380,9 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 			}
 		}
 		// Return the eager buffer credit to the sender, stamped with the
-		// time the bounce buffer became free again.
-		select {
-		case r.world.ranks[src].credits[r.id] <- clk.Now():
-		default: // pool already full (e.g. duplicated teardown) — drop
-		}
+		// time the bounce buffer became free again. A full pool (e.g.
+		// duplicated teardown) drops the token.
+		r.world.ranks[src].creditQ(r.id).TryPush(clk.Now())
 		return n, nil
 
 	case kindRTS:
@@ -427,26 +403,23 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 		if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
 			return 0, err
 		}
-		if m.doneCh != nil {
-			return r.recvRendezvousRead(clk, m, va, g, dma)
+		if m.done != nil {
+			return r.recvRendezvousRead(t, clk, m, va, dma)
 		}
-		g.wait()
 		mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
 		if err != nil {
 			return 0, fmt.Errorf("mpi: rendezvous recv register: %w", err)
 		}
 		clk.Advance(cost)
 		clk.Advance(r.ctx.PostSendT(r.tctx(clk), make([]hca.SGE, 1))) // CTS post
-		m.ctsCh <- ctsMsg{rkey: mr.RKey, va: va, t: clk.Now()}
+		m.cts.Push(t, ctsMsg{rkey: mr.RKey, va: va, t: clk.Now()})
 
 		rdmaStart := clk.Now()
-		var fin finMsg
-		select {
-		case fin = <-m.finCh:
-		case <-r.world.abort:
+		fin, ok := m.fin.Pop(t)
+		if !ok {
 			return 0, fmt.Errorf("mpi: rank %d awaiting data from %d: %w", r.id, src, ErrAborted)
 		}
-		dma.wait() // the send half's gather drives the adapter first
+		dma.Wait(t) // the send half's gather drives the adapter first
 		var tcs trace.Ctx
 		if r.tr.Enabled() {
 			tcs = r.tr.At(trace.TrackHCARx, clk.Now())
@@ -477,9 +450,8 @@ func (r *Rank) recvOn(clk *simtime.Clock, src, tag int, va vm.VA, capacity int, 
 
 // recvRendezvousRead completes a read-rendezvous: register the local
 // buffer, RDMA-read from the sender's exposed region, notify the sender.
-func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g, dma *sendGate) (int, error) {
+func (r *Rank) recvRendezvousRead(t *sched.Task, clk *simtime.Clock, m *message, va vm.VA, dma *sched.Gate) (int, error) {
 	n := m.size
-	g.wait()
 	mr, cost, err := r.cache.AcquireT(r.tctx(clk), va, uint64(n))
 	if err != nil {
 		return 0, fmt.Errorf("mpi: read-rendezvous recv register: %w", err)
@@ -502,7 +474,7 @@ func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g, d
 	if err != nil {
 		return 0, fmt.Errorf("mpi: RDMA read gather: %w", err)
 	}
-	dma.wait() // never interleave with the send half's adapter traffic
+	dma.Wait(t) // never interleave with the send half's adapter traffic
 	var tcs trace.Ctx
 	if r.tr.Enabled() {
 		tcs = r.tr.At(trace.TrackHCARx, clk.Now())
@@ -521,7 +493,7 @@ func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g, d
 	if err := r.pollCQ(clk, faults.StreamWRRecv); err != nil {
 		return 0, err
 	}
-	m.doneCh <- clk.Now()
+	m.done.Push(t, clk.Now())
 	relCost, err := r.cache.ReleaseT(r.tctx(clk), mr)
 	if err != nil {
 		return 0, err
@@ -530,73 +502,73 @@ func (r *Rank) recvRendezvousRead(clk *simtime.Clock, m *message, va vm.VA, g, d
 	return n, nil
 }
 
-// roundedRange is the page-rounded span the registration cache would pin
-// for [va, va+n) — the same rounding Cache.Acquire applies.
-func (r *Rank) roundedRange(va vm.VA, n int) (lo, hi uint64) {
-	lo, hi = uint64(va), uint64(va)+uint64(n)
-	if _, class, err := r.as.Translate(va); err == nil {
-		ps := class.Size()
-		lo = lo / ps * ps
-		hi = (hi + ps - 1) / ps * ps
-	}
-	return lo, hi
-}
-
 // Sendrecv performs the simultaneous send+receive used by IMB SendRecv
-// and the NAS exchange patterns. The send half runs concurrently so two
-// ranks may Sendrecv each other without deadlock, exactly as in MPI.
+// and the NAS exchange patterns. The send half runs as a forked
+// scheduler task so two ranks may Sendrecv each other without deadlock,
+// exactly as in MPI.
+//
+// Three gates pin down the intra-rank ordering the old goroutine-pair
+// design enforced with its ad-hoc sendGate web, now reduced to scheduler
+// primitives with one invariant each:
+//   - started: the send half reaches its registration point (or its
+//     eager dispatch) before the recv half starts, so which half pays a
+//     shared-cache miss is a function of the protocol, not of timing;
+//   - dma: the send half's DMA gather hits the adapter's translation
+//     cache before the recv half's scatter, matching the virtual-time
+//     schedule where the outgoing RDMA is posted before the incoming
+//     FIN is processed;
+//   - rel: the send half releases its registration only after the recv
+//     half is completely done with the cache (reference counts, zombie
+//     teardown and its ATT shoot-down are order-sensitive), mirroring
+//     virtual time, where the sender still waits out the RC ack.
 func (r *Rank) Sendrecv(dst, sendTag int, sendVA vm.VA, sendN int,
 	src, recvTag int, recvVA vm.VA, recvCap int) (int, error) {
 	start := r.clock.Now()
 	outer := r.enterMPI()
 	sendClk := simtime.Clock{}
 	sendClk.AdvanceTo(start)
-	// Only overlapping pinned spans can make one half hit the other
-	// half's fresh registration, where who-pays-the-miss would depend on
-	// goroutine scheduling; disjoint spans miss independently and need no
-	// ordering.
-	var gate *sendGate
-	if r.ctx.MemlockLimit > 0 || r.cache.MaxPinned > 0 {
-		// Under a memlock ceiling the halves contend for the shared
-		// pinned-bytes budget even with disjoint spans: either half's
-		// registration may trip evict-and-retry against state the other
-		// half just changed, so the registration order must be pinned
-		// down regardless of overlap. A pin-down cache bound (MaxPinned)
-		// raises the same hazard through a different door: every acquire
-		// reorders the shared LRU list that eviction walks, so which
-		// entry is sacrificed later would depend on which half's acquire
-		// won the race.
-		gate = newSendGate()
-	} else if sLo, sHi := r.roundedRange(sendVA, sendN); true {
-		if rLo, rHi := r.roundedRange(recvVA, recvCap); sLo < rHi && rLo < sHi {
-			gate = newSendGate()
-		}
+
+	var n int
+	var sendErr, recvErr error
+	if r.canInlineSend(dst, sendN) {
+		// Fast path: an eager send with a credit in hand and inbox room
+		// cannot block, so running it inline to completion is exactly the
+		// schedule the forked task would produce — minus the task.
+		sendErr = r.sendOn(r.task, &sendClk, dst, sendTag, sendVA, sendN, nil, nil, nil)
+		n, recvErr = r.recvOn(r.task, &r.clock, src, recvTag, recvVA, recvCap, nil, nil)
+	} else {
+		started := sched.NewGate(r.world.sched)
+		dma := sched.NewGate(r.world.sched)
+		rel := sched.NewGate(r.world.sched)
+		sub := r.world.sched.Spawn(r.id, &sendClk, func(t *sched.Task) error {
+			sendErr = r.sendOn(t, &sendClk, dst, sendTag, sendVA, sendN, started, dma, rel)
+			// A send-half failure is Sendrecv's to report, not a reason
+			// to abort the world before the recv half has resolved.
+			return nil
+		})
+		started.Wait(r.task)
+		n, recvErr = r.recvOn(r.task, &r.clock, src, recvTag, recvVA, recvCap, dma, rel)
+		r.task.Join(sub)
 	}
-	// The two halves also share the adapter: its translation cache has
-	// real mutable state (set occupancy, replacement order), so the
-	// halves' DMA operations must hit it in a fixed order — gather
-	// before scatter, matching the virtual-time schedule where the
-	// outgoing RDMA is posted before the incoming FIN is processed.
-	// Unlike the registration gate this one is unconditional: any two
-	// interleaved page walks can contend for the same cache set.
-	dma := newSendGate()
-	// Releases mutate the shared registration cache too (reference
-	// counts, zombie teardown and its ATT shoot-down), so they need a
-	// fixed order just like the acquires. The recv half finishes first
-	// in virtual time (the sender still waits out the RC ack), so the
-	// real-time schedule agrees: the send half releases only after the
-	// recv half is completely done with the cache.
-	rel := newSendGate()
-	errCh := make(chan error, 1)
-	go func() {
-		errCh <- r.sendOn(&sendClk, dst, sendTag, sendVA, sendN, gate, dma, rel)
-	}()
-	n, recvErr := r.recvOn(&r.clock, src, recvTag, recvVA, recvCap, gate, dma, rel)
-	sendErr := <-errCh
 	r.clock.AdvanceTo(sendClk.Now())
 	r.exitMPI("Sendrecv", start, outer)
 	if sendErr != nil {
 		return n, sendErr
 	}
 	return n, recvErr
+}
+
+// canInlineSend reports whether a Sendrecv's send half can run inline on
+// the main task without ever parking: a valid eager-path send with an
+// eager credit available and room in the peer's inbox. Anything else —
+// rendezvous (always waits for CTS), an exhausted credit pool, a full
+// inbox — needs the forked sub-task.
+func (r *Rank) canInlineSend(dst, n int) bool {
+	if dst < 0 || dst >= len(r.world.ranks) || dst == r.id {
+		return false
+	}
+	if n < 0 || n > r.world.cfg.RdmaLimit {
+		return false
+	}
+	return r.creditQ(dst).Len() > 0 && r.world.ranks[dst].inboxQ(r.id).Free() > 0
 }

@@ -49,7 +49,7 @@ func (r *Rank) SendPacked(dst, tag int, pieces []Piece) error {
 		r.clock.Advance(r.memcpyTicks(p.Len))
 		off += p.Len
 	}
-	return r.sendOn(&r.clock, dst, tag, stage, total, nil, nil, nil)
+	return r.sendOn(r.task, &r.clock, dst, tag, stage, total, nil, nil, nil)
 }
 
 // SendGathered transmits a non-contiguous buffer the way Section 4
@@ -94,8 +94,10 @@ func (r *Rank) SendGathered(dst, tag int, pieces []Piece) error {
 	if err := r.pollCQ(&r.clock, faults.StreamWRSend); err != nil {
 		return err
 	}
-	r.world.ranks[dst].inbox[r.id] <- &message{
+	if !r.world.ranks[dst].inboxQ(r.id).Push(r.task, &message{
 		kind: kindEager, src: r.id, tag: tag, data: data, arrive: arrive,
+	}) {
+		return fmt.Errorf("mpi: rank %d sending gathered to %d: %w", r.id, dst, ErrAborted)
 	}
 	if relCost, err := r.cache.Release(mr); err != nil {
 		return err
@@ -116,7 +118,7 @@ func (r *Rank) RecvUnpack(src, tag int, pieces []Piece) error {
 	if err != nil {
 		return err
 	}
-	n, err := r.recvOn(&r.clock, src, tag, stage, total, nil, nil, nil)
+	n, err := r.recvOn(r.task, &r.clock, src, tag, stage, total, nil, nil)
 	if err != nil {
 		return err
 	}

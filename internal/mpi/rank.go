@@ -4,13 +4,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"repro/internal/alloc"
 	"repro/internal/faults"
 	"repro/internal/mpip"
 	"repro/internal/node"
 	"repro/internal/regcache"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/tlb"
 	"repro/internal/trace"
@@ -18,14 +18,20 @@ import (
 	"repro/internal/vm"
 )
 
-// Rank is one MPI process. All methods must be called from the rank's own
-// goroutine (the body passed to World.Run); Sendrecv internally forks a
-// send half, which is the one sanctioned exception and only touches
-// thread-safe components.
+// Rank is one MPI process — a scheduler task inside World.Run. All
+// methods must be called from the rank's own task (the body passed to
+// World.Run); Sendrecv internally forks a send-half sub-task, which is
+// the one sanctioned exception and runs under the same scheduler's
+// mutual exclusion.
 type Rank struct {
 	id    int
 	world *World
 	clock simtime.Clock
+
+	// task is the rank's scheduler task while World.Run executes the
+	// body, nil outside it. Blocking primitives park it; Compute yields
+	// it so long compute phases become scheduled events.
+	task *sched.Task
 
 	// node owns the rank's host; the fields below are aliases into it,
 	// kept so the hot paths skip a pointer hop.
@@ -41,11 +47,16 @@ type Rank struct {
 	tr    *trace.Tracer // nil when tracing is disabled (nil-safe)
 	cur   *trace.Cursor // stamps the clockless layers' instant events
 
-	inbox   []chan *message // indexed by source rank
-	pending [][]*message    // unexpected-message queues, per source
+	// Per-peer message plumbing, created lazily on first use: a rank
+	// only pays for the peers it actually talks to, which is what makes
+	// 1024-rank worlds affordable (the old design allocated a dense
+	// ranks² channel matrix, with every credit pool prefilled, before
+	// the first message moved).
+	inbox   map[int]*sched.Queue[*message] // keyed by source rank
+	pending map[int][]*message             // unexpected-message queues, per source
 	// credits[d] holds eager-buffer tokens for sending to rank d; each
 	// token carries the virtual time at which the receiver freed it.
-	credits []chan simtime.Ticks
+	credits map[int]*sched.Queue[simtime.Ticks]
 
 	// Persistent collective scratch buffer (allocated via the rank's own
 	// allocation library, so it follows the placement policy).
@@ -54,13 +65,40 @@ type Rank struct {
 
 	// mpiDepth tracks nesting of profiled MPI entry points so that a
 	// collective's internal point-to-point calls are not double-counted
-	// (mpiP attributes time to the outermost call site).
-	mpiDepth int32
+	// (mpiP attributes time to the outermost call site). Plain int: the
+	// scheduler runs at most one of the rank's tasks at a time.
+	mpiDepth int
 
 	// flowSeq[d] numbers the traced messages sent to rank d, so every
-	// message arrow in the trace gets a globally unique id. Touched only
-	// by the one goroutine currently sending to d.
-	flowSeq []uint64
+	// message arrow in the trace gets a globally unique id.
+	flowSeq map[int]uint64
+}
+
+// inboxQ returns the rank's inbox for messages from src, creating it on
+// first use.
+func (r *Rank) inboxQ(src int) *sched.Queue[*message] {
+	q := r.inbox[src]
+	if q == nil {
+		q = sched.NewQueue[*message](r.world.sched,
+			fmt.Sprintf("inbox %d<-%d", r.id, src), r.world.cfg.ChannelDepth)
+		r.inbox[src] = q
+	}
+	return q
+}
+
+// creditQ returns the eager-credit pool for sending to dst, created full
+// on first use (a fresh peer has every bounce buffer free).
+func (r *Rank) creditQ(dst int) *sched.Queue[simtime.Ticks] {
+	q := r.credits[dst]
+	if q == nil {
+		q = sched.NewQueue[simtime.Ticks](r.world.sched,
+			fmt.Sprintf("credits %d->%d", r.id, dst), r.world.cfg.EagerCredits)
+		for k := 0; k < r.world.cfg.EagerCredits; k++ {
+			q.Preload(0)
+		}
+		r.credits[dst] = q
+	}
+	return q
 }
 
 // tctx positions a trace context at clk's current instant: on the main
@@ -85,16 +123,16 @@ func (r *Rank) nextFlow(dst int) uint64 {
 }
 
 // enterMPI marks entry into a profiled MPI call; it reports whether this
-// is the outermost call (the one that should be recorded). Sendrecv's
-// forked send half runs on another goroutine, hence the atomic.
+// is the outermost call (the one that should be recorded).
 func (r *Rank) enterMPI() bool {
-	return atomic.AddInt32(&r.mpiDepth, 1) == 1
+	r.mpiDepth++
+	return r.mpiDepth == 1
 }
 
 // exitMPI leaves a profiled MPI call, recording d against name if this
 // was the outermost frame.
 func (r *Rank) exitMPI(name string, start simtime.Ticks, outer bool) {
-	atomic.AddInt32(&r.mpiDepth, -1)
+	r.mpiDepth--
 	if outer {
 		end := r.clock.Now()
 		r.prof.AddCall(name, end-start)
@@ -140,13 +178,26 @@ func (r *Rank) DTLB() *tlb.DTLB { return r.dtlb }
 // Profile exposes the rank's mpiP profile.
 func (r *Rank) Profile() *mpip.Profile { return r.prof }
 
+// computeYieldTicks is the compute-phase granularity at which a rank
+// hands the baton back to the scheduler: phases at least this long
+// become scheduled events, so the event order tracks virtual time even
+// through compute-heavy stretches, while short TLB-walk charges stay
+// yield-free.
+const computeYieldTicks = simtime.Millisecond
+
 // Compute advances the rank's clock by application time and records it.
+// Long phases yield to the scheduler so they become events on the run
+// queue rather than opaque stretches (no cost attribution changes: the
+// clock has already advanced when the yield happens).
 func (r *Rank) Compute(d simtime.Ticks) {
 	if r.tr.Enabled() && d > 0 {
 		r.tctx(&r.clock).Span(trace.LApp, "compute", d)
 	}
 	r.clock.Advance(d)
 	r.prof.AddCompute(d)
+	if d >= computeYieldTicks {
+		r.task.Yield()
+	}
 }
 
 // Malloc allocates through the rank's allocation library, charging the
@@ -272,8 +323,9 @@ func (r *Rank) checkPeer(peer int) error {
 
 // matchRecv pops the next message from src with the given tag, keeping
 // unexpected messages queued in arrival order. It returns nil if the job
-// aborted while waiting (a peer rank failed).
-func (r *Rank) matchRecv(src, tag int) *message {
+// aborted while waiting (a peer rank failed); messages already delivered
+// before the failure still match.
+func (r *Rank) matchRecv(t *sched.Task, src, tag int) *message {
 	q := r.pending[src]
 	for i, m := range q {
 		if m.tag == tag {
@@ -281,16 +333,16 @@ func (r *Rank) matchRecv(src, tag int) *message {
 			return m
 		}
 	}
+	in := r.inboxQ(src)
 	for {
-		select {
-		case m := <-r.inbox[src]:
-			if m.tag == tag {
-				return m
-			}
-			r.pending[src] = append(r.pending[src], m)
-		case <-r.world.abort:
+		m, ok := in.Pop(t)
+		if !ok {
 			return nil
 		}
+		if m.tag == tag {
+			return m
+		}
+		r.pending[src] = append(r.pending[src], m)
 	}
 }
 

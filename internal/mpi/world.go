@@ -3,8 +3,11 @@
 // eager protocol up to 8 KiB, a copy-based pipeline to 16 KiB, and an
 // RDMA-write rendezvous above 16 KiB whose buffers are registered through
 // the pin-down cache (lazy deregistration on or off). Collectives are
-// built from point-to-point. Each rank runs as a goroutine with its own
-// virtual clock; message timestamps synchronise the clocks pairwise.
+// built from point-to-point. Each rank runs as a task on the world's
+// deterministic event scheduler (internal/sched) with its own virtual
+// clock; message timestamps synchronise the clocks pairwise, and the
+// scheduler's (time, rank, sequence) run-queue order makes the whole
+// execution schedule a pure function of simulation state.
 //
 // Placement enters through the per-rank allocator: buffers allocated with
 // the hugepage library land in hugepages, which changes registration
@@ -15,12 +18,12 @@ package mpi
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/mpip"
 	"repro/internal/node"
+	"repro/internal/sched"
 	"repro/internal/simtime"
 	"repro/internal/trace"
 )
@@ -118,11 +121,11 @@ type World struct {
 	nodes []*node.Node
 	ranks []*Rank
 
-	// abort is closed when any rank's body returns an error, so ranks
-	// blocked in message matching fail fast instead of deadlocking the
-	// job (the simulator's equivalent of MPI_Abort).
-	abort     chan struct{}
-	abortOnce sync.Once
+	// sched is the job's event scheduler: it owns the run queue, the
+	// park/wake machinery behind every blocking MPI primitive, and the
+	// abort flag that makes ranks blocked in message matching fail fast
+	// when a peer errors (the simulator's equivalent of MPI_Abort).
+	sched *sched.Scheduler
 }
 
 // NewWorld builds a job: one node (physical memory + HCA + address space
@@ -141,7 +144,7 @@ func NewWorld(cfg Config) (*World, error) {
 	if cfg.RendezvousProtocol != "write" && cfg.RendezvousProtocol != "read" {
 		return nil, fmt.Errorf("mpi: unknown rendezvous protocol %q", cfg.RendezvousProtocol)
 	}
-	w := &World{cfg: cfg, abort: make(chan struct{})}
+	w := &World{cfg: cfg, sched: sched.New()}
 	for i := 0; i < cfg.Ranks; i++ {
 		ncfg := cfg.nodeConfig()
 		ncfg.FaultSalt = uint64(i)
@@ -170,23 +173,22 @@ func NewWorld(cfg Config) (*World, error) {
 		w.nodes = append(w.nodes, n)
 		w.ranks = append(w.ranks, r)
 	}
-	// Wire the all-to-all mailboxes and eager credit pools.
+	// Mailboxes, unexpected-message queues and eager credit pools are
+	// created lazily per peer pair (see Rank.inboxQ/creditQ): world
+	// construction stays O(ranks), not O(ranks²), which is what lets a
+	// 1024-rank world come up in milliseconds.
 	for _, r := range w.ranks {
-		r.inbox = make([]chan *message, cfg.Ranks)
-		r.pending = make([][]*message, cfg.Ranks)
-		r.credits = make([]chan simtime.Ticks, cfg.Ranks)
-		r.flowSeq = make([]uint64, cfg.Ranks)
-		for j := 0; j < cfg.Ranks; j++ {
-			r.inbox[j] = make(chan *message, cfg.ChannelDepth)
-			// credits[j] holds tokens for SENDING to rank j from r.
-			r.credits[j] = make(chan simtime.Ticks, cfg.EagerCredits)
-			for k := 0; k < cfg.EagerCredits; k++ {
-				r.credits[j] <- 0
-			}
-		}
+		r.inbox = make(map[int]*sched.Queue[*message])
+		r.pending = make(map[int][]*message)
+		r.credits = make(map[int]*sched.Queue[simtime.Ticks])
+		r.flowSeq = make(map[int]uint64)
 	}
 	return w, nil
 }
+
+// Scheduler exposes the job's event scheduler (for dispatch-count
+// telemetry and tests).
+func (w *World) Scheduler() *sched.Scheduler { return w.sched }
 
 // Config returns the job configuration (defaults resolved).
 func (w *World) Config() Config { return w.cfg }
@@ -211,30 +213,33 @@ func (w *World) NodeStats() []node.Stats {
 	return out
 }
 
-// Run executes body once per rank, concurrently, and returns when all
-// ranks finish. The first error aborts the result (but all goroutines are
-// joined first).
+// Run executes body once per rank as tasks on the world's event
+// scheduler and returns when all ranks finish. A rank's error aborts the
+// job: every parked peer's pending blocking operation fails with
+// ErrAborted, so the tasks unwind instead of deadlocking. The scheduler
+// dispatches tasks in (virtual time, rank, wake order), so the execution
+// schedule — and every result — is identical under any GOMAXPROCS.
 func (w *World) Run(body func(r *Rank) error) error {
-	var wg sync.WaitGroup
 	errs := make([]error, len(w.ranks))
 	for i, r := range w.ranks {
-		wg.Add(1)
-		go func(i int, r *Rank) {
-			defer wg.Done()
+		i, r := i, r
+		r.task = w.sched.Spawn(i, &r.clock, func(*sched.Task) (err error) {
 			defer func() {
 				if p := recover(); p != nil {
-					errs[i] = fmt.Errorf("mpi: rank %d panic: %v", i, p)
+					err = fmt.Errorf("mpi: rank %d panic: %v", i, p)
 				}
-				if errs[i] != nil {
-					w.abortOnce.Do(func() { close(w.abort) })
-				}
+				errs[i] = err
 			}()
-			errs[i] = body(r)
-		}(i, r)
+			return body(r)
+		})
 	}
-	wg.Wait()
+	schedErr := w.sched.Run()
+	for _, r := range w.ranks {
+		r.task = nil
+	}
 	// Prefer reporting a root-cause error over the secondary "job
-	// aborted" errors of ranks that were merely cut off mid-receive.
+	// aborted" errors of ranks that were merely cut off mid-receive; a
+	// deadlock report outranks those too.
 	var fallback error
 	for i, err := range errs {
 		if err == nil {
@@ -247,6 +252,9 @@ func (w *World) Run(body func(r *Rank) error) error {
 			continue
 		}
 		return fmt.Errorf("mpi: rank %d: %w", i, err)
+	}
+	if schedErr != nil {
+		return schedErr
 	}
 	return fallback
 }

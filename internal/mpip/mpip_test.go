@@ -83,10 +83,10 @@ func TestNilProfileIsSafe(t *testing.T) {
 
 func TestConcurrentAddCall(t *testing.T) {
 	p := New()
-	var wg sync.WaitGroup
+	var wg sync.WaitGroup //reprolint:ignore schedonly: exercises the profile's own thread safety
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
-		go func() {
+		go func() { //reprolint:ignore schedonly: exercises the profile's own thread safety
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
 				p.AddCall("Send", 1)

@@ -86,10 +86,15 @@ func (k *CG) Run(r *mpi.Rank) error {
 	if err != nil {
 		return err
 	}
+	// The scatter arena only exists when the kernel models sparse
+	// bookkeeping: at 1024 ranks an unconditional 32 MiB per rank would
+	// cost 32 GiB of host memory for bytes nobody touches.
 	const scatterBytes = 16 * (2 << 20)
-	scatterVA, err := r.Malloc(scatterBytes)
-	if err != nil {
-		return err
+	var scatterVA vm.VA
+	if k.ScatterTouches > 0 {
+		if scatterVA, err = r.Malloc(scatterBytes); err != nil {
+			return err
+		}
 	}
 
 	// Local CG state.

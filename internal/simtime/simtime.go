@@ -31,8 +31,18 @@ const (
 )
 
 // FromNanos converts a nanosecond count into ticks, rounding to nearest.
+// Negative counts panic (virtual durations are non-negative, like
+// Clock.Advance). The conversion is exact for the whole int64 range: the
+// whole-second part scales without multiplication overflow and only the
+// sub-second remainder goes through the rounding product, so inputs past
+// ~18 s no longer wrap (the old single-product form silently overflowed
+// ns·TickHz there).
 func FromNanos(ns int64) Ticks {
-	return Ticks((ns*TickHz + 500_000_000) / 1_000_000_000)
+	if ns < 0 {
+		panic("simtime: negative nanosecond count")
+	}
+	sec, rem := ns/1_000_000_000, ns%1_000_000_000
+	return Ticks(sec)*Second + Ticks((rem*TickHz+500_000_000)/1_000_000_000)
 }
 
 // FromMicros converts a microsecond count into ticks.

@@ -131,3 +131,50 @@ func TestString(t *testing.T) {
 		}
 	}
 }
+
+// TestFromNanosLargeInputs pins down the overflow fix: the old
+// single-product form computed ns*TickHz in one int64 and wrapped for
+// any input past ~18 s. The split form must be exact (and obviously
+// monotonic) across the whole range.
+func TestFromNanosLargeInputs(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want Ticks
+	}{
+		{0, 0},
+		{1, 1},      // 0.512 ticks rounds up
+		{1000, 512}, // 1 us
+		{1_000_000_000, Second},
+		{18_000_000_000, 18 * Second},      // just below the old wrap point
+		{19_000_000_000, 19 * Second},      // wrapped (went negative) before the fix
+		{3_600_000_000_000, 3600 * Second}, // an hour
+		{1<<63 - 1, 9223372036*Second + Ticks((854775807*int64(TickHz)+500_000_000)/1_000_000_000)},
+	}
+	for _, c := range cases {
+		if got := FromNanos(c.ns); got != c.want {
+			t.Errorf("FromNanos(%d) = %d, want %d", c.ns, got, c.want)
+		}
+		if got := FromNanos(c.ns); got < 0 {
+			t.Errorf("FromNanos(%d) = %d went negative", c.ns, got)
+		}
+	}
+	// Sub-second inputs must round identically to the historical form —
+	// every modelled cost in the repository funnels through here.
+	for _, ns := range []int64{1, 2, 977, 1953, 999_999_999} {
+		want := Ticks((ns*TickHz + 500_000_000) / 1_000_000_000)
+		if got := FromNanos(ns); got != want {
+			t.Errorf("FromNanos(%d) = %d, want legacy rounding %d", ns, got, want)
+		}
+	}
+}
+
+// TestFromNanosPanicsOnNegative: negative durations are configuration
+// bugs, caught like Clock's negative advance.
+func TestFromNanosPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromNanos(-1) did not panic")
+		}
+	}()
+	FromNanos(-1)
+}

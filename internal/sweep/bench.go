@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
 
 // SchemaVersion is the BENCH document version. Bump it on any change to
@@ -139,6 +140,45 @@ func comparisons(b *Bench) []Comparison {
 		return a.Test < b.Test
 	})
 	return out
+}
+
+// IsWallMetric reports whether a metric name denotes a host-dependent
+// wall-clock measurement — the "_per_wallsec" family the scale
+// workloads report. Wall metrics are the one exception to "every value
+// is a pure function of (cell, seed)": the gate compares them against a
+// baseline with a generous tolerance, and byte-identity checks strip
+// them first (StripWall).
+func IsWallMetric(name string) bool {
+	return strings.HasSuffix(name, "_per_wallsec")
+}
+
+// StripWall removes every wall-clock metric from the document's runs,
+// stats and comparisons, in place, leaving the deterministic view that
+// two executions of the same grid must reproduce byte for byte under
+// any GOMAXPROCS and worker count.
+func (b *Bench) StripWall() {
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		for j := range c.Runs {
+			for name := range c.Runs[j].Metrics {
+				if IsWallMetric(name) {
+					delete(c.Runs[j].Metrics, name)
+				}
+			}
+		}
+		for name := range c.Stats {
+			if IsWallMetric(name) {
+				delete(c.Stats, name)
+			}
+		}
+	}
+	for i := range b.Comparisons {
+		for name := range b.Comparisons[i].ImprovementPct {
+			if IsWallMetric(name) {
+				delete(b.Comparisons[i].ImprovementPct, name)
+			}
+		}
+	}
 }
 
 // Write renders the document as the canonical indented JSON byte

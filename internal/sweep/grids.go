@@ -19,6 +19,13 @@ import (
 // EXPERIMENTS.md E11 table: every NAS kernel plus IMB SendRecv and the
 // Abinit replay on the Opteron, small-lazy vs huge-lazy — the paper's
 // Figure 5/6 comparison as seed-replicated statistics.
+//
+// "scale" is the scheduler-throughput grid behind BENCH_scale.json:
+// 1024-rank IMB SendRecv and NAS CG, whose tick metrics stay
+// byte-identical under any GOMAXPROCS/worker count (after
+// Bench.StripWall removes the host-dependent ticks_per_wallsec family)
+// and whose wall throughput the CI scale job gates against the
+// committed baseline with a generous tolerance.
 func BuiltinGrids() []Grid {
 	return []Grid{
 		{
@@ -40,6 +47,14 @@ func BuiltinGrids() []Grid {
 			Faults:     []string{"seed=5,attevict=600,wr=300"},
 			Seeds:      []uint64{1, 2, 3},
 			Ranks:      4,
+		},
+		{
+			Name:       "scale",
+			Machines:   []string{"opteron"},
+			Workloads:  []string{"scale/sendrecv", "scale/cg"},
+			Strategies: []string{"huge-lazy"},
+			Seeds:      []uint64{1},
+			Ranks:      1024,
 		},
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/faults"
@@ -249,6 +250,72 @@ func builtins() []Workload {
 				return wrMetrics(rs), nil
 			},
 		},
+		{
+			// The scheduler throughput gate behind BENCH_scale.json: the
+			// IMB SendRecv chain at the grid's rank count (the scale grid
+			// sets 1024), one eager and one rendezvous size. Reports the
+			// usual deterministic tick metrics plus ticks_per_wallsec —
+			// simulated progress per wall second, the only host-dependent
+			// metric family in the registry (see IsWallMetric).
+			Name:           "scale/sendrecv",
+			Primary:        "ticks_per_wallsec",
+			HigherIsBetter: true,
+			Strategied:     true,
+			Run: func(c RunContext) (Metrics, error) {
+				ranks := c.Ranks
+				if ranks < 2 {
+					ranks = 2
+				}
+				sizes := []int{4 << 10, 64 << 10}
+				start := time.Now() //reprolint:ignore determinism: wall throughput is this workload's deliverable; the tick metrics stay deterministic
+				rs, err := imb.SendRecv(c.MPIConfig(ranks), sizes)
+				if err != nil {
+					return nil, err
+				}
+				wall := time.Since(start) //reprolint:ignore determinism: see above
+				m := Metrics{}
+				var virt float64
+				for i, size := range sizes {
+					m[fmt.Sprintf("ticks_iter_%s", sizeSlug(size))] = float64(rs[i].TicksPerIter)
+					virt += float64(rs[i].TicksPerIter) * float64(rs[i].Iters)
+				}
+				m[VirtTicks] = virt
+				m["ticks_per_wallsec"] = wallRate(virt, wall)
+				return m, nil
+			},
+		},
+		{
+			// The application half of the scale gate: NAS CG scaled down
+			// to 32 unknowns per rank (the verification bound is rank- and
+			// size-independent), iterating the full ring allgather at the
+			// grid's rank count — O(ranks²) messages per iteration, the
+			// communication pattern that made the old goroutine-per-rank
+			// engine infeasible at 1024.
+			Name:           "scale/cg",
+			Primary:        "ticks_per_wallsec",
+			HigherIsBetter: true,
+			Strategied:     true,
+			Run: func(c RunContext) (Metrics, error) {
+				ranks := c.Ranks
+				if ranks < 2 {
+					ranks = 2
+				}
+				k := &nas.CG{N: 32 * ranks, Iters: 2}
+				start := time.Now() //reprolint:ignore determinism: wall throughput is this workload's deliverable; the tick metrics stay deterministic
+				res, err := nas.RunKernelConfig(c.MPIConfig(ranks), k)
+				if err != nil {
+					return nil, err
+				}
+				wall := time.Since(start) //reprolint:ignore determinism: see above
+				return Metrics{
+					"comm_ticks":        float64(res.Comm),
+					"total_ticks":       float64(res.Total),
+					"makespan_ticks":    float64(res.Makespan),
+					VirtTicks:           float64(res.Makespan),
+					"ticks_per_wallsec": wallRate(float64(res.Makespan), wall),
+				}, nil
+			},
+		},
 	}
 	// nasbench / repro E5: one workload per NAS kernel, so the grid can
 	// subset and the comparisons stay per-kernel (the paper's Figure 6
@@ -293,6 +360,17 @@ func wrMetrics(rs []wrbench.Result) Metrics {
 		"total_ticks": post + poll,
 		VirtTicks:     post + poll,
 	}
+}
+
+// wallRate converts virtual progress into simulated-ticks-per-wall-
+// second, the scheduler-throughput number the scale grid gates. Wall
+// time is host-dependent by nature; callers strip the resulting metric
+// (Bench.StripWall) before any byte-identity comparison.
+func wallRate(virt float64, wall time.Duration) float64 {
+	if wall <= 0 {
+		wall = time.Nanosecond
+	}
+	return virt / wall.Seconds()
 }
 
 // sizeSlug renders a byte count as the short form used in metric names.
