@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-analyzers bench scale
+.PHONY: all build test race lint lint-analyzers bench scale policy
 
 all: build test
 
@@ -46,6 +46,22 @@ bench:
 	$(GO) run ./internal/tools/benchcheck < /tmp/BENCH_smoke.w1.json
 	/tmp/reprosweep -grid seed -o /tmp/BENCH_seed.json -baseline BENCH_seed.json -gate
 	$(GO) run ./internal/tools/benchcheck < /tmp/BENCH_seed.json
+
+# policy: the placement-policy gate. One policy-grid run (all four
+# fixed strategies plus the threshold and adaptive engines over the
+# seed workloads) must validate, hold the committed BENCH_policy.json
+# baseline, keep the adaptive policy best-or-tied on the primary metric
+# in every cell group, and — since policy decisions are pure functions
+# of virtual-time telemetry — render byte-identical documents under
+# different GOMAXPROCS and worker counts.
+policy:
+	$(GO) build -o /tmp/reprosweep ./cmd/sweeprun
+	GOMAXPROCS=2 /tmp/reprosweep -grid policy -workers 2 -o /tmp/BENCH_policy.w2.json \
+		-baseline BENCH_policy.json -gate -require-best adaptive
+	GOMAXPROCS=8 /tmp/reprosweep -grid policy -workers 4 -o /tmp/BENCH_policy.w4.json
+	cmp /tmp/BENCH_policy.w2.json /tmp/BENCH_policy.w4.json
+	cmp /tmp/BENCH_policy.w2.json BENCH_policy.json
+	$(GO) run ./internal/tools/benchcheck < /tmp/BENCH_policy.w2.json
 
 # scale: the 1024-rank scheduler gate. One scale-grid run must finish
 # fast (the acceptance bound is 30 s of wall time), hold the committed

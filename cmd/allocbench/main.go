@@ -28,6 +28,7 @@ func newNode(kind node.AllocatorKind, hc *alloc.HugeConfig, salt uint64, traceNa
 		Machine: env.Machine, Allocator: kind, HugeConfig: hc,
 		Faults: env.Spec, FaultSalt: salt,
 		Trace: env.Col, TraceName: traceName,
+		Policy: env.Policy,
 	})
 }
 
@@ -36,6 +37,7 @@ func main() {
 	env = cli.New("allocbench").
 		MachineFlag("opteron").
 		StatsFlag("emit per-node telemetry as JSON instead of the table").
+		PolicyFlag().
 		Parse()
 	m := env.Machine
 	ops, slots := workload.AbinitTrace(workload.DefaultAbinitParams())
@@ -111,6 +113,7 @@ func main() {
 		probe, err := node.New(node.Config{
 			Machine: m, Allocator: node.AllocHuge, LazyDereg: true,
 			Faults: env.Spec, FaultSalt: uint64(len(rows)),
+			Policy: env.Policy,
 		})
 		if err != nil {
 			env.Failf("probe host: %v", err)

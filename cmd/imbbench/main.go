@@ -29,6 +29,7 @@ func main() {
 	env = cli.New("imbbench").
 		MachineFlag("opteron").
 		StatsFlag("run a short SendRecv ladder and emit per-node telemetry as JSON").
+		PolicyFlag().
 		Parse()
 	m := env.Machine
 	switch {
@@ -63,7 +64,7 @@ func runStats(m *machine.Machine, ranks int) {
 	_, nodes, err := imb.SendRecvNodeStats(mpi.Config{
 		Machine: m, Ranks: ranks,
 		Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: m.HCA.SupportsHugeATT,
-		Faults: env.Spec, Trace: env.Col,
+		Faults: env.Spec, Trace: env.Col, Policy: env.Policy,
 	}, []int{64 << 10, 1 << 20, 4 << 20})
 	if err != nil {
 		env.Fail(err)
@@ -75,7 +76,7 @@ func runPingPong(m *machine.Machine) {
 	sizes := []int{0, 1, 64, 1024, 8 << 10, 64 << 10, 1 << 20}
 	rs, err := imb.PingPong(mpi.Config{
 		Machine: m, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
-		Faults: env.Spec, Trace: env.Col,
+		Faults: env.Spec, Trace: env.Col, Policy: env.Policy,
 	}, sizes)
 	if err != nil {
 		env.Fail(err)
@@ -90,7 +91,7 @@ func runExchange(m *machine.Machine, ranks int) {
 	sizes := []int{4 << 10, 64 << 10, 1 << 20}
 	rs, err := imb.Exchange(mpi.Config{
 		Machine: m, Ranks: ranks, Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true,
-		Faults: env.Spec, Trace: env.Col,
+		Faults: env.Spec, Trace: env.Col, Policy: env.Policy,
 	}, sizes)
 	if err != nil {
 		env.Fail(err)
@@ -103,7 +104,7 @@ func runExchange(m *machine.Machine, ranks int) {
 
 func runFig5(m *machine.Machine, ranks int) {
 	sizes := imb.DefaultSizes()
-	curves, err := imb.RunFig5Ranks(m, sizes, ranks, env.Spec, env.Col)
+	curves, err := imb.RunFig5Policy(m, sizes, ranks, env.Policy, env.Spec, env.Col)
 	if err != nil {
 		env.Fail(err)
 	}
@@ -139,6 +140,7 @@ func runATT(m *machine.Machine, ranks int) {
 			Machine: m, Ranks: ranks,
 			Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: patched,
 			Faults: env.Spec, Trace: env.Col, TracePrefix: prefix,
+			Policy: env.Policy,
 		}, sizes)
 		if err != nil {
 			env.Fail(err)

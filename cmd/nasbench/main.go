@@ -21,6 +21,7 @@ func main() {
 	env := cli.New("nasbench").
 		MachinesFlag("opteron,systemp").
 		StatsFlag("emit per-node telemetry of every run as JSON instead of the tables").
+		PolicyFlag().
 		Parse()
 
 	var ks []nas.Kernel
@@ -35,7 +36,7 @@ func main() {
 	}
 	var reports []node.Report
 	for _, m := range env.Machines {
-		rows, err := nas.RunFig6Traced(m, *ranks, ks, env.Spec, env.Col)
+		rows, err := nas.RunFig6Policy(m, *ranks, ks, env.Policy, env.Spec, env.Col)
 		if err != nil {
 			env.Fail(err)
 		}

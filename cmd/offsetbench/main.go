@@ -15,11 +15,12 @@ func main() {
 	env := cli.New("offsetbench").
 		MachineFlag("systemp").
 		StatsFlag("emit per-node telemetry as JSON instead of the table").
+		PolicyFlag().
 		Parse()
 	m := env.Machine
 	sizes := []int{8, 16, 32, 64}
 	offsets := wrbench.DefaultOffsets()
-	results, nodes, err := wrbench.OffsetSweepTrace(m, offsets, sizes, env.Spec, env.Col)
+	results, nodes, err := wrbench.OffsetSweepPolicy(m, offsets, sizes, env.Policy, env.Spec, env.Col)
 	if err != nil {
 		env.Fail(err)
 	}

@@ -38,6 +38,7 @@ func runStats(w io.Writer) error {
 		HugeATT:   true,
 		Faults:    env.Spec,
 		Trace:     env.Col,
+		Policy:    env.Policy,
 	}, []int{64 << 10, 1 << 20})
 	if err != nil {
 		return err
@@ -49,6 +50,7 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the slow NAS runs")
 	env = cli.New("repro").
 		StatsFlag("emit per-node telemetry of a small Figure 5 run as JSON and exit").
+		PolicyFlag().
 		Parse()
 	spec, col := env.Spec, env.Col
 
@@ -62,7 +64,7 @@ func main() {
 
 	fmt.Println("=== E1 (Figure 3): work-request duration by SGE count (IBM System p, TBR ticks) ===")
 	sysp := machine.SystemP()
-	rs, _, err := wrbench.SGESweepNodeStats(sysp, []int{1, 2, 4, 8, 128}, []int{1, 64, 128, 512, 4096}, spec)
+	rs, _, err := wrbench.SGESweepPolicy(sysp, []int{1, 2, 4, 8, 128}, []int{1, 64, 128, 512, 4096}, env.Policy, spec, nil)
 	if err != nil {
 		env.Fail(err)
 	}
@@ -78,7 +80,7 @@ func main() {
 		float64(p128.PostTicks)/float64(p1.PostTicks))
 
 	fmt.Println("=== E2 (Figure 4): work-request duration by buffer offset (IBM System p) ===")
-	or, _, err := wrbench.OffsetSweepNodeStats(sysp, []int{0, 16, 32, 48, 64, 80, 96, 128}, []int{8, 64}, spec)
+	or, _, err := wrbench.OffsetSweepPolicy(sysp, []int{0, 16, 32, 48, 64, 80, 96, 128}, []int{8, 64}, env.Policy, spec, nil)
 	if err != nil {
 		env.Fail(err)
 	}
@@ -102,7 +104,7 @@ func main() {
 
 	fmt.Println("=== E3 (Figure 5): IMB SendRecv bandwidth, AMD Opteron (MB/s) ===")
 	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20}
-	curves, err := imb.RunFig5Traced(machine.Opteron(), sizes, spec, col)
+	curves, err := imb.RunFig5Policy(machine.Opteron(), sizes, 2, env.Policy, spec, col)
 	if err != nil {
 		env.Fail(err)
 	}
@@ -130,7 +132,7 @@ func main() {
 		r, err := imb.SendRecv(mpi.Config{
 			Machine: machine.Xeon(), Ranks: 2,
 			Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: patched,
-			Faults: spec,
+			Faults: spec, Policy: env.Policy,
 		}, []int{4 << 20})
 		if err != nil {
 			env.Fail(err)
@@ -169,7 +171,7 @@ func main() {
 	}
 	fmt.Println("=== E5-E6 (Figure 6 + PAPI): NAS benchmarks, 8 ranks ===")
 	for _, m := range []*machine.Machine{machine.Opteron(), machine.SystemP()} {
-		rows, err := nas.RunFig6Faults(m, 8, nil, spec)
+		rows, err := nas.RunFig6Policy(m, 8, nil, env.Policy, spec, nil)
 		if err != nil {
 			env.Fail(err)
 		}

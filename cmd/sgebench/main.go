@@ -19,6 +19,7 @@ func main() {
 	env := cli.New("sgebench").
 		MachineFlag("systemp").
 		StatsFlag("emit per-node telemetry as JSON instead of the table").
+		PolicyFlag().
 		Parse()
 	m := env.Machine
 	var sgeCounts []int
@@ -30,7 +31,7 @@ func main() {
 		sgeCounts = append(sgeCounts, n)
 	}
 	sizes := wrbench.DefaultSGESizes()
-	results, nodes, err := wrbench.SGESweepTrace(m, sgeCounts, sizes, env.Spec, env.Col)
+	results, nodes, err := wrbench.SGESweepPolicy(m, sgeCounts, sizes, env.Policy, env.Spec, env.Col)
 	if err != nil {
 		env.Fail(err)
 	}

@@ -40,6 +40,7 @@ func main() {
 	table := flag.Bool("table", false, "print the statistics and paired-comparison tables to stderr")
 	stripped := flag.String("stripped", "", "also write a copy with wall-clock metrics stripped — the byte-comparable deterministic view")
 	traceFlag := flag.String("trace", "", "re-run the slowest cell with tracing and write the Perfetto trace here")
+	requireBest := flag.String("require-best", "", "fail unless this strategy is best-or-tied on the primary metric in every cell group")
 	list := flag.Bool("list", false, "list built-in grids, workloads and strategies, then exit")
 	flag.Parse()
 
@@ -59,7 +60,11 @@ func main() {
 		}
 		fmt.Println("strategies:")
 		for _, s := range sweep.Strategies() {
-			fmt.Printf("  %-16s allocator=%s lazy_dereg=%v huge_att=%v\n", s.Name, s.Allocator, s.LazyDereg, s.HugeATT)
+			pol := s.Policy
+			if pol == "" {
+				pol = "-"
+			}
+			fmt.Printf("  %-16s allocator=%s lazy_dereg=%v huge_att=%v policy=%s\n", s.Name, s.Allocator, s.LazyDereg, s.HugeATT, pol)
 		}
 		return
 	}
@@ -118,6 +123,17 @@ func main() {
 		if len(regs) == 0 {
 			fmt.Fprintf(os.Stderr, "sweeprun: gate ok (%d cell(s) vs %s, tolerance %.1f%%)\n",
 				len(bench.Cells), *baseline, *tol)
+		}
+	}
+
+	if *requireBest != "" {
+		viols := sweep.RequireBest(bench, *requireBest)
+		for _, v := range viols {
+			fmt.Fprintf(os.Stderr, "sweeprun: NOT BEST %s\n", v)
+			failed = true
+		}
+		if len(viols) == 0 {
+			fmt.Fprintf(os.Stderr, "sweeprun: %s best-or-tied in every cell group\n", *requireBest)
 		}
 	}
 

@@ -63,11 +63,34 @@ type Huge struct {
 	as    *vm.AddressSpace
 	small *Libc // tier-1 delegate for requests below the threshold
 
+	// placer, when set, is consulted before every above-threshold
+	// placement and notified of outcomes. Installed once at node
+	// construction, before any allocation traffic.
+	placer Placer
+
 	mu    sync.Mutex
 	free  []span           // tier-3 freelist, address-ordered, sizes in bytes (chunk multiples)
 	used  map[vm.VA]uint64 // live block sizes in bytes (chunk multiples)
 	stats Stats
 }
+
+// Placer decides hugepage-vs-base-page placement for above-threshold
+// requests and observes placement outcomes. internal/policy implements
+// it; the interface lives here so the allocator needs no policy import.
+type Placer interface {
+	// PlaceHuge reports whether the request should go to hugepages.
+	// Returning false routes it to the libc delegate (counted by the
+	// policy, not as a pool-pressure fallback).
+	PlaceHuge(size uint64) bool
+	// Placed reports where an above-threshold block actually landed.
+	Placed(va vm.VA, size uint64, huge bool)
+	// Freed reports that the block at va was released.
+	Freed(va vm.VA)
+}
+
+// SetPlacer installs the placement policy hook. Call before any
+// allocation traffic; nil disables consultation.
+func (h *Huge) SetPlacer(p Placer) { h.placer = p }
 
 // NewHuge builds the library over an address space. The libc delegate is
 // created internally, as in the real library ("the eponymous libc function
@@ -117,20 +140,40 @@ func (h *Huge) Alloc(size uint64) (vm.VA, error) {
 	if size < h.cfg.Threshold {
 		return h.small.Alloc(size)
 	}
+	if p := h.placer; p != nil && !p.PlaceHuge(size) {
+		va, err := h.small.Alloc(size)
+		if err == nil {
+			p.Placed(va, size, false)
+		}
+		return va, err
+	}
+	va, huge, err := h.allocLarge(size)
+	if err == nil {
+		if p := h.placer; p != nil {
+			p.Placed(va, size, huge)
+		}
+	}
+	return va, err
+}
+
+// allocLarge is the above-threshold path of Figure 2: first fit over
+// mapped hugepages, lazy coalesce + retry, tier-2 growth, libc redirect
+// when the pool is exhausted. The bool reports hugepage placement.
+func (h *Huge) allocLarge(size uint64) (vm.VA, bool, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.stats.Allocs++
 	need := alignUp(size, h.cfg.ChunkSize)
 
 	if va, ok := h.takeFirstFit(need); ok {
-		return h.commit(va, need), nil
+		return h.commit(va, need), true, nil
 	}
 	// Lazy coalescing: only when a request cannot be satisfied do we merge
 	// adjacent free areas and retry — the deferred counterpart of the
 	// "does not coalesce ... on free() calls" design point.
 	if !h.cfg.CoalesceOnFree && h.coalesceAll() {
 		if va, ok := h.takeFirstFit(need); ok {
-			return h.commit(va, need), nil
+			return h.commit(va, need), true, nil
 		}
 	}
 	// Tier 2: map in more hugepages.
@@ -145,9 +188,9 @@ func (h *Huge) Alloc(size uint64) (vm.VA, error) {
 		h.stats.Ticks += h.small.syscallTicks
 		h.insertFree(span{gva, batch})
 		if va, ok := h.takeFirstFit(need); ok {
-			return h.commit(va, need), nil
+			return h.commit(va, need), true, nil
 		}
-		return 0, fmt.Errorf("alloc: hugepage growth did not satisfy %d bytes", need)
+		return 0, false, fmt.Errorf("alloc: hugepage growth did not satisfy %d bytes", need)
 	case errors.Is(err, phys.ErrOutOfHugepages) || errors.Is(err, phys.ErrReserveHeld):
 		// Figure 2: "enough hugepages available? no -> redirect request
 		// to libc".
@@ -158,9 +201,9 @@ func (h *Huge) Alloc(size uint64) (vm.VA, error) {
 		if ferr == nil {
 			h.stats.FallbackBytes += int64(size)
 		}
-		return va, ferr
+		return va, false, ferr
 	default:
-		return 0, err
+		return 0, false, err
 	}
 }
 
@@ -242,6 +285,9 @@ func (h *Huge) coalesceAll() bool {
 // Free implements Allocator. Small-page blocks route back to the libc
 // delegate; hugepage blocks return to the freelist without coalescing.
 func (h *Huge) Free(va vm.VA) error {
+	if p := h.placer; p != nil {
+		p.Freed(va)
+	}
 	if !vm.IsHugeVA(va) {
 		return h.small.Free(va)
 	}
@@ -331,6 +377,9 @@ func (h *Huge) MapBSS(size uint64) (vm.VA, bool, error) {
 	h.account(va, mapped, +1)
 	h.used[va] = mapped
 	h.mu.Unlock()
+	if p := h.placer; p != nil {
+		p.Placed(va, size, huge)
+	}
 	return va, huge, nil
 }
 

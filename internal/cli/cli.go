@@ -16,6 +16,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/node"
+	"repro/internal/policy"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,7 @@ type App struct {
 	statsFlag    *bool
 	faultsFlag   *string
 	traceFlag    *string
+	policyFlag   *string
 }
 
 // New starts an App for a tool on the process-wide flag set (the normal
@@ -82,6 +84,15 @@ func (a *App) StatsFlag(usage string) *App {
 	return a
 }
 
+// PolicyFlag registers the -policy selector. The default is "static":
+// the decision counters come for free while every placement decision
+// stays exactly the configured strategy's.
+func (a *App) PolicyFlag() *App {
+	a.policyFlag = a.fs.String("policy", string(policy.Static),
+		"placement policy (static|threshold|adaptive)")
+	return a
+}
+
 // Env is the resolved shared configuration of one tool invocation.
 type Env struct {
 	// Tool is the invoking command's name, used in error messages and
@@ -101,6 +112,9 @@ type Env struct {
 	// Col is the -trace collector, nil when -trace is absent. Its
 	// "tool", "machine" and "faults" metadata are pre-set.
 	Col *trace.Collector
+	// Policy is the validated -policy selection ("" unless PolicyFlag
+	// was registered).
+	Policy string
 
 	tracePath string
 }
@@ -132,6 +146,12 @@ func (a *App) Parse() *Env {
 			}
 			e.Machines = append(e.Machines, m)
 		}
+	}
+	if a.policyFlag != nil {
+		if _, err := policy.ParseKind(*a.policyFlag); err != nil {
+			e.Fail(err)
+		}
+		e.Policy = *a.policyFlag
 	}
 	var err error
 	if e.Spec, err = faults.ParseSpec(*a.faultsFlag); err != nil {

@@ -199,6 +199,12 @@ func RunFig5Traced(m *machine.Machine, sizes []int, spec *faults.Spec, col *trac
 // chain closes over all ranks instead of the paper's pair, which is how
 // imbbench -ranks exercises the event scheduler at scale.
 func RunFig5Ranks(m *machine.Machine, sizes []int, ranks int, spec *faults.Spec, col *trace.Collector) (map[string][]SendRecvResult, error) {
+	return RunFig5Policy(m, sizes, ranks, "", spec, col)
+}
+
+// RunFig5Policy is RunFig5Ranks with a placement-policy engine on every
+// rank ("" = none — the legacy fixed strategies).
+func RunFig5Policy(m *machine.Machine, sizes []int, ranks int, policy string, spec *faults.Spec, col *trace.Collector) (map[string][]SendRecvResult, error) {
 	out := make(map[string][]SendRecvResult, 4)
 	for _, c := range Fig5Configs() {
 		res, err := SendRecv(mpi.Config{
@@ -210,6 +216,7 @@ func RunFig5Ranks(m *machine.Machine, sizes []int, ranks int, spec *faults.Spec,
 			Faults:      spec,
 			Trace:       col,
 			TracePrefix: c.Slug + "/",
+			Policy:      policy,
 		}, sizes)
 		if err != nil {
 			return nil, fmt.Errorf("imb: %s: %w", c.Label, err)

@@ -1,6 +1,7 @@
 package imb
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/machine"
@@ -141,5 +142,21 @@ func TestDefaultSizesLadder(t *testing.T) {
 		if s[i] != 2*s[i-1] {
 			t.Fatal("ladder must double")
 		}
+	}
+}
+
+func TestStaticPolicyMatchesNoEngineFig5(t *testing.T) {
+	m := machine.Opteron()
+	sizes := []int{4096, 262144, 1 << 20}
+	bare, err := RunFig5Policy(m, sizes, 2, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := RunFig5Policy(m, sizes, 2, "static", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare, static) {
+		t.Fatalf("static-policy Figure 5 diverged from the no-engine run:\n%v\nvs\n%v", bare, static)
 	}
 }

@@ -140,6 +140,25 @@ func (r *Rank) RecvUnpack(src, tag int, pieces []Piece) error {
 	return nil
 }
 
+// SendPieces transmits a non-contiguous buffer, choosing between the
+// single-WR gather list (SendGathered) and pack-and-copy (SendPacked).
+// The send-side cost estimates — pieces SGEs versus one copy of the
+// whole payload plus a single-SGE post — go through the node's policy
+// engine (DecideGather), which may overrule them on live ATT pressure;
+// without an engine the raw estimates decide.
+func (r *Rank) SendPieces(dst, tag int, pieces []Piece) error {
+	if len(pieces) == 0 {
+		return fmt.Errorf("mpi: empty piece list")
+	}
+	total := totalPieces(pieces)
+	estGather := r.GatherCostEstimate(total/len(pieces), len(pieces))
+	estPack := r.memcpyTicks(total) + r.GatherCostEstimate(total, 1)
+	if r.node.Policy().DecideGather(len(pieces), uint64(total), estGather, estPack) {
+		return r.SendGathered(dst, tag, pieces)
+	}
+	return r.SendPacked(dst, tag, pieces)
+}
+
 // GatherCostEstimate reports the modelled post+gather cost of an n-piece
 // send at the given piece size, without sending (used by the SGE planner
 // in internal/core to decide between packing and gathering).

@@ -195,6 +195,19 @@ func (r *Rank) Compute(d simtime.Ticks) {
 	}
 	r.clock.Advance(d)
 	r.prof.AddCompute(d)
+	// The compute path is the adaptive policy's heartbeat: window
+	// boundaries are checked here, and any demotion's split cost is
+	// charged to the rank like the application work it interrupts.
+	if pol := r.node.Policy(); pol != nil {
+		r.cur.Set(r.clock.Now())
+		if c := pol.Tick(r.clock.Now()); c > 0 {
+			if r.tr.Enabled() {
+				r.tctx(&r.clock).Span(trace.LPolicy, "demote.split", c)
+			}
+			r.clock.Advance(c)
+			r.prof.AddCompute(c)
+		}
+	}
 	if d >= computeYieldTicks {
 		r.task.Yield()
 	}

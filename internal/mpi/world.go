@@ -50,6 +50,10 @@ type Config struct {
 	LazyDereg bool
 	// HugeATT enables the OpenIB driver patch (2 MiB translations).
 	HugeATT bool
+	// Policy selects the per-rank placement-policy engine ("static",
+	// "threshold", "adaptive"); empty builds none — the legacy fixed
+	// strategies with zero policy code on any path. See internal/policy.
+	Policy string
 	// EagerLimit and RdmaLimit are the protocol switch points.
 	// Zero values take the MVAPICH2 defaults (8 KiB / 16 KiB).
 	EagerLimit int
@@ -90,6 +94,7 @@ func (c Config) nodeConfig() node.Config {
 		HugeATT:   c.HugeATT,
 		Faults:    c.Faults,
 		Trace:     c.Trace,
+		Policy:    c.Policy,
 	}
 }
 

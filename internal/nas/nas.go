@@ -127,9 +127,13 @@ func region(r *mpi.Rank, va vm.VA, bytes uint64) memmodel.Region {
 }
 
 // charge applies a pattern over a region and advances the rank's clock.
+// The adaptive placement policy observes every charged pattern, replaying
+// it against a shadow DTLB under the counterfactual page class; Compute
+// then drives the policy's feedback window.
 func charge(r *mpi.Rank, p memmodel.Pattern, rg memmodel.Region) memmodel.Result {
 	cpu := cpuOf(r)
 	res := p.Apply(cpu, r.DTLB(), rg)
+	r.Node().Policy().ObservePattern(p, rg, res)
 	r.Compute(res.Ticks)
 	return res
 }

@@ -43,6 +43,12 @@ func RunFig6Faults(m *machine.Machine, ranks int, kernels []Kernel, spec *faults
 // kernel and allocator ("opteron/cg-huge/rank0", …), so one trace file
 // holds the whole figure even across machines.
 func RunFig6Traced(m *machine.Machine, ranks int, kernels []Kernel, spec *faults.Spec, col *trace.Collector) ([]Fig6Row, error) {
+	return RunFig6Policy(m, ranks, kernels, "", spec, col)
+}
+
+// RunFig6Policy is RunFig6Traced with a placement-policy engine on every
+// rank ("" = none — the legacy fixed strategies).
+func RunFig6Policy(m *machine.Machine, ranks int, kernels []Kernel, policy string, spec *faults.Spec, col *trace.Collector) ([]Fig6Row, error) {
 	if kernels == nil {
 		kernels = All()
 	}
@@ -56,6 +62,7 @@ func RunFig6Traced(m *machine.Machine, ranks int, kernels []Kernel, spec *faults
 			Faults:      spec,
 			Trace:       col,
 			TracePrefix: fmt.Sprintf("%s/%s-%s/", m.Name, k.Name(), ak),
+			Policy:      policy,
 		}, k)
 	}
 	rows := make([]Fig6Row, 0, len(kernels))

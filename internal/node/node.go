@@ -16,6 +16,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/phys"
+	"repro/internal/policy"
 	"repro/internal/regcache"
 	"repro/internal/tlb"
 	"repro/internal/trace"
@@ -74,6 +75,11 @@ type Config struct {
 	// TraceName labels the host's timeline in the trace ("rank0", …).
 	// Empty defaults to "node".
 	TraceName string
+	// Policy selects the placement-policy engine ("static", "threshold",
+	// "adaptive"). Empty builds no engine at all: the legacy fixed
+	// strategies run with zero policy code on any path, which is what
+	// keeps the committed BENCH baselines byte-identical by construction.
+	Policy string
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +103,11 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("node: unknown allocator %q", c.Allocator)
 	}
+	if c.Policy != "" {
+		if _, err := policy.ParseKind(c.Policy); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -119,6 +130,9 @@ type Node struct {
 
 	// inj is the node's fault injector (nil when faults are disabled).
 	inj *faults.Injector
+	// pol is the placement-policy engine (nil when Config.Policy is
+	// empty; all engine methods are nil-safe).
+	pol *policy.Engine
 	// tr is the node's timeline in the trace collector (nil when tracing
 	// is disabled); cur is the shared cursor the clockless layers (vm,
 	// phys) stamp instant events through.
@@ -172,7 +186,7 @@ func New(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Node{
+	n := &Node{
 		cfg:   cfg,
 		Mem:   mem,
 		AS:    as,
@@ -183,7 +197,40 @@ func New(cfg Config) (*Node, error) {
 		inj:   inj,
 		tr:    tr,
 		cur:   cur,
-	}, nil
+	}
+	if cfg.Policy != "" {
+		kind, err := policy.ParseKind(cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := policy.New(policy.Config{
+			Kind:         kind,
+			Machine:      cfg.Machine,
+			LazyDefault:  cfg.LazyDereg,
+			AS:           as,
+			DTLB:         n.DTLB,
+			Mem:          mem,
+			MemlockLimit: inj.MemlockLimit(),
+			ATTStats: func() (int64, int64) {
+				s := ctx.HW.Stats()
+				return s.ATTHits, s.ATTMisses
+			},
+			CacheStats: func() (int64, int64) {
+				s := n.Cache.Stats()
+				return s.Hits, s.Misses
+			},
+			Trace: cur,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.pol = eng
+		if h, ok := a.(*alloc.Huge); ok {
+			h.SetPlacer(eng)
+		}
+		n.Cache.SetPolicy(eng)
+	}
+	return n, nil
 }
 
 // NewAllocator builds one of the four allocation-library models on an
@@ -217,6 +264,10 @@ func (n *Node) Config() Config { return n.cfg }
 // Faults returns the node's fault injector (nil when faults are
 // disabled; all injector methods are nil-safe).
 func (n *Node) Faults() *faults.Injector { return n.inj }
+
+// Policy returns the node's placement-policy engine (nil when
+// Config.Policy is empty; all engine methods are nil-safe).
+func (n *Node) Policy() *policy.Engine { return n.pol }
 
 // Machine returns the node's machine description.
 func (n *Node) Machine() *machine.Machine { return n.cfg.Machine }

@@ -238,6 +238,32 @@ func TestStatsSum(t *testing.T) {
 	}
 }
 
+func TestSumTakesMaxOfPeakGauges(t *testing.T) {
+	// Two nodes whose peaks never coexisted: node A peaked at 100 while
+	// node B sat at 40, then A dropped before B climbed to 60. The
+	// cluster-wide peak is 100 (max), not 160 (sum).
+	var a, b node.Stats
+	a.Cache.PeakPinned, b.Cache.PeakPinned = 100, 60
+	a.Alloc.PeakLive, b.Alloc.PeakLive = 1<<20, 3<<20
+	a.Mem.HugePagesPeak, b.Mem.HugePagesPeak = 7, 5
+	a.Cache.PinnedBytes, b.Cache.PinnedBytes = 10, 20
+
+	total := node.Sum([]node.Stats{a, b})
+	if got, want := total.Cache.PeakPinned, int64(100); got != want {
+		t.Errorf("Cache.PeakPinned = %d, want max %d", got, want)
+	}
+	if got, want := total.Alloc.PeakLive, int64(3<<20); got != want {
+		t.Errorf("Alloc.PeakLive = %d, want max %d", got, want)
+	}
+	if got, want := total.Mem.HugePagesPeak, int64(7); got != want {
+		t.Errorf("Mem.HugePagesPeak = %d, want max %d", got, want)
+	}
+	// Live gauges still sum: simultaneous snapshots do coexist.
+	if got, want := total.Cache.PinnedBytes, int64(30); got != want {
+		t.Errorf("Cache.PinnedBytes = %d, want sum %d", got, want)
+	}
+}
+
 func TestStatsJSONRoundTrip(t *testing.T) {
 	n, err := node.New(telemetryConfig(machine.Opteron()))
 	if err != nil {

@@ -12,13 +12,32 @@ type Stats struct {
 	Machine   string `json:"machine"`
 	Allocator string `json:"allocator"`
 
-	TLB    TLBStats   `json:"tlb"`
-	HCA    HCAStats   `json:"hca"`
-	Reg    RegStats   `json:"reg"`
-	Cache  CacheStats `json:"regcache"`
-	Alloc  AllocStats `json:"alloc"`
-	Mem    MemStats   `json:"mem"`
-	Faults FaultStats `json:"faults"`
+	TLB    TLBStats    `json:"tlb"`
+	HCA    HCAStats    `json:"hca"`
+	Reg    RegStats    `json:"reg"`
+	Cache  CacheStats  `json:"regcache"`
+	Alloc  AllocStats  `json:"alloc"`
+	Mem    MemStats    `json:"mem"`
+	Faults FaultStats  `json:"faults"`
+	Policy PolicyStats `json:"policy"`
+}
+
+// PolicyStats counts the placement-policy engine's decisions at its
+// three hook points, plus the adaptive policy's windowed demotions. All
+// zeros (and Kind empty) when no policy engine is configured.
+type PolicyStats struct {
+	Kind            string        `json:"kind,omitempty"`
+	PlaceHuge       int64         `json:"place_huge"`
+	PlaceSmall      int64         `json:"place_small"`
+	CacheLazy       int64         `json:"cache_lazy"`
+	CacheEager      int64         `json:"cache_eager"`
+	SGEGather       int64         `json:"sge_gather"`
+	SGEPack         int64         `json:"sge_pack"`
+	Windows         int64         `json:"windows"`
+	DemoteDecisions int64         `json:"demote_decisions"`
+	DemotedPages    int64         `json:"demoted_pages"`
+	DemotedBytes    int64         `json:"demoted_bytes"`
+	DemoteTicks     simtime.Ticks `json:"demote_ticks"`
 }
 
 // TLBStats is the data-TLB split by page size.
@@ -125,6 +144,7 @@ func (n *Node) Stats() Stats {
 	pm := n.Mem.Stats()
 	as := n.AS.Stats()
 	fj := n.inj.Stats()
+	ps := n.pol.Stats()
 	return Stats{
 		Machine:   n.cfg.Machine.Name,
 		Allocator: string(n.cfg.Allocator),
@@ -192,11 +212,28 @@ func (n *Node) Stats() Stats {
 			WRRetries:         fj.WRRetries,
 			ATTEvictions:      hw.ATTEvictions,
 		},
+		Policy: PolicyStats{
+			Kind:            string(ps.Kind),
+			PlaceHuge:       ps.PlaceHuge,
+			PlaceSmall:      ps.PlaceSmall,
+			CacheLazy:       ps.CacheLazy,
+			CacheEager:      ps.CacheEager,
+			SGEGather:       ps.SGEGather,
+			SGEPack:         ps.SGEPack,
+			Windows:         ps.Windows,
+			DemoteDecisions: ps.DemoteDecisions,
+			DemotedPages:    ps.DemotedPages,
+			DemotedBytes:    ps.DemotedBytes,
+			DemoteTicks:     ps.DemoteTicks,
+		},
 	}
 }
 
-// Add accumulates other's counters into s (gauges add too, which reads
-// as a cluster-wide total). The identity strings keep s's values.
+// Add accumulates other's counters into s. True counters and live
+// gauges add (a cluster-wide total); peak gauges (Cache.PeakPinned,
+// Alloc.PeakLive, Mem.HugePagesPeak) take the max instead — per-node
+// highs need not coexist in time, so a sum would report a cluster-wide
+// peak that never happened. The identity strings keep s's values.
 func (s *Stats) Add(other Stats) {
 	s.TLB.Hits4K += other.TLB.Hits4K
 	s.TLB.Misses4K += other.TLB.Misses4K
@@ -220,7 +257,7 @@ func (s *Stats) Add(other Stats) {
 	s.Cache.Misses += other.Cache.Misses
 	s.Cache.Evictions += other.Cache.Evictions
 	s.Cache.PinnedBytes += other.Cache.PinnedBytes
-	s.Cache.PeakPinned += other.Cache.PeakPinned
+	s.Cache.PeakPinned = max(s.Cache.PeakPinned, other.Cache.PeakPinned)
 	s.Alloc.Allocs += other.Alloc.Allocs
 	s.Alloc.Frees += other.Alloc.Frees
 	s.Alloc.Ticks += other.Alloc.Ticks
@@ -228,11 +265,11 @@ func (s *Stats) Add(other Stats) {
 	s.Alloc.HugeBytes += other.Alloc.HugeBytes
 	s.Alloc.SmallBytes += other.Alloc.SmallBytes
 	s.Alloc.LiveBytes += other.Alloc.LiveBytes
-	s.Alloc.PeakLive += other.Alloc.PeakLive
+	s.Alloc.PeakLive = max(s.Alloc.PeakLive, other.Alloc.PeakLive)
 	s.Alloc.FallbackToSmall += other.Alloc.FallbackToSmall
 	s.Alloc.FallbackBytes += other.Alloc.FallbackBytes
 	s.Mem.HugePagesUsed += other.Mem.HugePagesUsed
-	s.Mem.HugePagesPeak += other.Mem.HugePagesPeak
+	s.Mem.HugePagesPeak = max(s.Mem.HugePagesPeak, other.Mem.HugePagesPeak)
 	s.Mem.HugeFailures += other.Mem.HugeFailures
 	s.Mem.MappedSmall += other.Mem.MappedSmall
 	s.Mem.MappedHuge += other.Mem.MappedHuge
@@ -252,6 +289,20 @@ func (s *Stats) Add(other Stats) {
 	s.Faults.WRErrors += other.Faults.WRErrors
 	s.Faults.WRRetries += other.Faults.WRRetries
 	s.Faults.ATTEvictions += other.Faults.ATTEvictions
+	if s.Policy.Kind == "" {
+		s.Policy.Kind = other.Policy.Kind
+	}
+	s.Policy.PlaceHuge += other.Policy.PlaceHuge
+	s.Policy.PlaceSmall += other.Policy.PlaceSmall
+	s.Policy.CacheLazy += other.Policy.CacheLazy
+	s.Policy.CacheEager += other.Policy.CacheEager
+	s.Policy.SGEGather += other.Policy.SGEGather
+	s.Policy.SGEPack += other.Policy.SGEPack
+	s.Policy.Windows += other.Policy.Windows
+	s.Policy.DemoteDecisions += other.Policy.DemoteDecisions
+	s.Policy.DemotedPages += other.Policy.DemotedPages
+	s.Policy.DemotedBytes += other.Policy.DemotedBytes
+	s.Policy.DemoteTicks += other.Policy.DemoteTicks
 }
 
 // Sum totals a set of per-node snapshots (empty input gives zero Stats).

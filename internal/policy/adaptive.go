@@ -1,0 +1,187 @@
+package policy
+
+import (
+	"sort"
+
+	"repro/internal/machine"
+	"repro/internal/memmodel"
+	"repro/internal/simtime"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+	"repro/internal/vm"
+)
+
+// site is one hugepage-placed allocation the adaptive policy scores. The
+// shadow DTLB replays the site's observed access patterns under the
+// counterfactual base-page placement, so each window can compare the page
+// walks the hugepage placement actually cost against what base pages
+// would have cost for the exact same logical accesses.
+type site struct {
+	va      vm.VA
+	size    uint64
+	demoted bool
+
+	shadow *tlb.DTLB // lazily built on first observation
+
+	// Per-window accumulators, reset at each window boundary.
+	realMisses int64 // scaled walk estimate under the actual placement
+	cfMisses   int64 // scaled walk estimate under base pages
+	accesses   int64
+}
+
+// Placed implements alloc.Placer: record where an above-threshold block
+// landed. Hugepage-placed sites become adaptive scoring sites.
+func (e *Engine) Placed(va vm.VA, size uint64, huge bool) {
+	if e == nil {
+		return
+	}
+	if huge {
+		e.stats.PlaceHuge++
+	} else {
+		e.stats.PlaceSmall++
+	}
+	if e.cfg.Kind != Adaptive || !huge {
+		return
+	}
+	i := sort.Search(len(e.sites), func(i int) bool { return e.sites[i].va >= va })
+	if i < len(e.sites) && e.sites[i].va == va {
+		// The allocator reused a freed base VA; start the site fresh.
+		e.sites[i] = &site{va: va, size: size}
+		return
+	}
+	e.sites = append(e.sites, nil)
+	copy(e.sites[i+1:], e.sites[i:])
+	e.sites[i] = &site{va: va, size: size}
+}
+
+// Freed implements alloc.Placer: drop the site at va, if any.
+func (e *Engine) Freed(va vm.VA) {
+	if e == nil || e.cfg.Kind != Adaptive || len(e.sites) == 0 {
+		return
+	}
+	i := sort.Search(len(e.sites), func(i int) bool { return e.sites[i].va >= va })
+	if i < len(e.sites) && e.sites[i].va == va {
+		e.sites = append(e.sites[:i], e.sites[i+1:]...)
+	}
+}
+
+// findSite returns the site containing va, or nil.
+func (e *Engine) findSite(va vm.VA) *site {
+	i := sort.Search(len(e.sites), func(i int) bool { return e.sites[i].va > va })
+	if i == 0 {
+		return nil
+	}
+	if s := e.sites[i-1]; uint64(va-s.va) < s.size {
+		return s
+	}
+	return nil
+}
+
+// ObservePattern feeds the adaptive policy one pattern application over a
+// region: the result the pattern produced against the real DTLB, plus
+// enough to replay it against the site's shadow DTLB under the
+// counterfactual page class. Workload kernels call this right after
+// charging the pattern (nas.charge); non-adaptive engines ignore it.
+// Nil-safe; costs no virtual time.
+func (e *Engine) ObservePattern(p memmodel.Pattern, rg memmodel.Region, real memmodel.Result) {
+	if e == nil || e.cfg.Kind != Adaptive || rg.Class != vm.Huge {
+		return
+	}
+	s := e.findSite(rg.VA)
+	if s == nil || s.demoted {
+		return
+	}
+	if s.shadow == nil {
+		s.shadow = tlb.New(&e.cfg.Machine.CPU)
+	}
+	cf := rg
+	cf.Class = vm.Small
+	res := p.Apply(&e.cfg.Machine.CPU, s.shadow, cf)
+	s.realMisses += real.TLBMisses
+	s.cfMisses += res.TLBMisses
+	s.accesses += real.Accesses
+}
+
+// Tick advances the adaptive policy's virtual-time window. The owning
+// rank calls it from its compute path; when a window boundary has
+// passed, every hugepage site whose window showed base pages winning is
+// demoted in place. The returned ticks are the split cost the caller
+// must charge (0 almost always). Nil-safe.
+func (e *Engine) Tick(now simtime.Ticks) simtime.Ticks {
+	if e == nil || e.cfg.Kind != Adaptive || now < e.windowEnd {
+		return 0
+	}
+	for now >= e.windowEnd {
+		e.windowEnd += windowTicks
+	}
+	e.stats.Windows++
+	var cost simtime.Ticks
+	for _, s := range e.sites {
+		if !s.demoted && e.shouldDemote(s) {
+			cost += e.demote(s)
+		}
+		s.realMisses, s.cfMisses, s.accesses = 0, 0, 0
+	}
+	return cost
+}
+
+// shouldDemote applies the window's evidence. Demotion needs (1) a real
+// sample, (2) the hugepage placement losing by a clear margin — half
+// again the counterfactual's walks plus slack — and (3) the measured
+// per-window walk savings repaying the one-time split cost within a
+// single window, so a demotion near the end of a run cannot cost more
+// than it saves.
+func (e *Engine) shouldDemote(s *site) bool {
+	if s.accesses < minSamples {
+		return false
+	}
+	if s.realMisses <= s.cfMisses+s.cfMisses/2+demoteSlackMisses {
+		return false
+	}
+	saved := simtime.Ticks(s.realMisses-s.cfMisses) * e.cfg.Machine.CPU.WalkTicks
+	return saved >= simtime.Ticks(e.fullPages(s))*e.demotePageTicks()
+}
+
+// demotePageTicks is the modelled cost of splitting one hugepage in
+// place: a syscall-scale entry plus rebuilding 512 ptes. No data moves.
+func (e *Engine) demotePageTicks() simtime.Ticks {
+	return e.cfg.Machine.Mem.SyscallTicks + 256
+}
+
+// fullPages counts the hugepages lying fully inside the site.
+func (e *Engine) fullPages(s *site) int64 {
+	lo := (uint64(s.va) + machine.HugePageSize - 1) / machine.HugePageSize
+	hi := (uint64(s.va) + s.size) / machine.HugePageSize
+	if hi <= lo {
+		return 0
+	}
+	return int64(hi - lo)
+}
+
+// demote splits the site's hugepages in place, shoots down the stale
+// 2 MiB TLB entries, and returns the virtual cost to charge.
+func (e *Engine) demote(s *site) simtime.Ticks {
+	e.stats.DemoteDecisions++
+	s.demoted = true
+	pages, err := e.cfg.AS.Demote(s.va, s.size)
+	if err != nil || pages == 0 {
+		return 0
+	}
+	// Shoot down the whole site's 2 MiB entries: pinned pages may have
+	// been skipped mid-range, so the demoted pages need not be
+	// contiguous. Over-invalidation only costs future re-walks.
+	lo := (uint64(s.va) + machine.HugePageSize - 1) / machine.HugePageSize
+	hi := (uint64(s.va) + s.size) / machine.HugePageSize
+	e.cfg.DTLB.Large.InvalidateRange(lo, hi)
+	e.stats.DemotedPages += int64(pages)
+	e.stats.DemotedBytes += int64(pages) * machine.HugePageSize
+	cost := simtime.Ticks(pages) * e.demotePageTicks()
+	e.stats.DemoteTicks += cost
+	if e.cfg.Trace.Enabled() {
+		e.cfg.Trace.Event(trace.LPolicy, "demote",
+			trace.I64("pages", int64(pages)),
+			trace.I64("real_misses", s.realMisses),
+			trace.I64("cf_misses", s.cfMisses))
+	}
+	return cost
+}

@@ -80,12 +80,32 @@ type Cache struct {
 	// evicts least-recently-used regions.
 	MaxPinned int64
 
+	// pol, when set, is consulted per acquire to choose lazy-vs-eager
+	// deregistration for that registration, overriding Lazy. Installed
+	// once at node construction, before any traffic.
+	pol Decider
+
 	mu      sync.Mutex
 	entries map[vm.VA]*entry     // keyed by region base
 	byMR    map[*verbs.MR]*entry // every live entry, incl. zombies
 	lru     *list.List           // front = most recent; values are vm.VA
 	stats   Stats
 }
+
+// Decider chooses eager-vs-lazy deregistration per registration.
+// internal/policy implements it; the interface lives here so the cache
+// needs no policy import.
+type Decider interface {
+	// DecideLazy reports whether the registration of [va, va+length)
+	// should stay cached (lazy deregistration). lazyDefault is the
+	// cache's configured mode; maxPinned and pinnedBytes describe the
+	// pinning budget and its current use.
+	DecideLazy(va vm.VA, length uint64, lazyDefault bool, maxPinned, pinnedBytes int64) bool
+}
+
+// SetPolicy installs the per-acquire deregistration policy. Call before
+// any traffic; nil restores the configured Lazy mode for every acquire.
+func (c *Cache) SetPolicy(d Decider) { c.pol = d }
 
 // New builds a cache over a verbs context.
 func New(ctx *verbs.Context, lazy bool) *Cache {
@@ -122,7 +142,14 @@ func (c *Cache) AcquireT(tc trace.Ctx, va vm.VA, length uint64) (*verbs.MR, simt
 		va = vm.VA(uint64(va) / ps * ps)
 		length = end - uint64(va)
 	}
-	if !c.Lazy {
+	lazy := c.Lazy
+	if c.pol != nil {
+		c.mu.Lock()
+		pinned := c.stats.PinnedBytes
+		c.mu.Unlock()
+		lazy = c.pol.DecideLazy(va, length, c.Lazy, c.MaxPinned, pinned)
+	}
+	if !lazy {
 		mr, cost, err := c.ctx.RegMRT(tc, va, length)
 		if err != nil {
 			return nil, 0, err
@@ -326,20 +353,23 @@ func (c *Cache) Release(mr *verbs.MR) (simtime.Ticks, error) {
 // emits its DeregMR span at tc; a zombie teardown — uncharged, off the
 // critical path — is recorded as an instant marker.
 func (c *Cache) ReleaseT(tc trace.Ctx, mr *verbs.MR) (simtime.Ticks, error) {
-	if c.Lazy {
-		c.mu.Lock()
-		e := c.byMR[mr]
-		var dead *verbs.MR
-		if e != nil {
-			if e.refs > 0 {
-				e.refs--
-			}
-			if e.zombie && e.refs == 0 {
-				delete(c.byMR, mr)
-				dead = mr
-			}
+	// Cache membership, not the configured mode, decides the path: a
+	// policy can register eagerly inside a lazy cache, and that MR was
+	// never inserted — it must be deregistered here or its pins leak.
+	c.mu.Lock()
+	e, cached := c.byMR[mr]
+	var dead *verbs.MR
+	if cached && e != nil {
+		if e.refs > 0 {
+			e.refs--
 		}
-		c.mu.Unlock()
+		if e.zombie && e.refs == 0 {
+			delete(c.byMR, mr)
+			dead = mr
+		}
+	}
+	c.mu.Unlock()
+	if cached {
 		if dead != nil {
 			if tc.Enabled() {
 				tc.Event(trace.LRegcache, "zombie.dereg", trace.I64("bytes", int64(mr.Length)))

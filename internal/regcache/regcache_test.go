@@ -7,6 +7,7 @@ import (
 	"repro/internal/node/nodetest"
 	"repro/internal/regcache"
 	"repro/internal/verbs"
+	"repro/internal/vm"
 )
 
 func ctx(t *testing.T) *verbs.Context {
@@ -240,5 +241,51 @@ func TestAcquireRoundsToPages(t *testing.T) {
 	}
 	if rc.Stats().Misses != 1 {
 		t.Fatalf("misses = %d, want 1", rc.Stats().Misses)
+	}
+}
+
+// eagerDecider forces eager deregistration for every acquire — the
+// policy engine's over-budget override inside a lazy cache.
+type eagerDecider struct{}
+
+func (eagerDecider) DecideLazy(va vm.VA, length uint64, lazyDefault bool, maxPinned, pinnedBytes int64) bool {
+	return false
+}
+
+func TestPolicyEagerInsideLazyCacheDoesNotLeak(t *testing.T) {
+	c := ctx(t)
+	rc := regcache.New(c, true)
+	rc.SetPolicy(eagerDecider{})
+	va, _ := c.AS.MapSmall(1 << 20)
+	mr, _, err := rc.Acquire(va, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Len() != 0 {
+		t.Fatal("eager registration must not enter the cache")
+	}
+	if _, err := rc.Release(mr); err != nil {
+		t.Fatal(err)
+	}
+	st := rc.Stats()
+	if st.PinnedBytes != 0 {
+		t.Fatalf("pinned gauge = %d after eager release, want 0", st.PinnedBytes)
+	}
+	vs := c.AS.Stats()
+	if vs.Pins != vs.Unpins {
+		t.Fatalf("pins %d != unpins %d: the eager MR leaked", vs.Pins, vs.Unpins)
+	}
+	// The space must be unmappable — nothing still holds pins.
+	if err := c.AS.Unmap(va, 1<<20); err != nil {
+		t.Fatalf("unmap after eager release: %v", err)
+	}
+	// And a second acquire/release cycle still works.
+	va2, _ := c.AS.MapSmall(1 << 16)
+	mr2, _, err := rc.Acquire(va2, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Release(mr2); err != nil {
+		t.Fatal(err)
 	}
 }

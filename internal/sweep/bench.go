@@ -62,6 +62,11 @@ var comparisonPairs = []struct{ base, test string }{
 	{"small", "small-lazy"},
 	{"huge", "huge-lazy"},
 	{"huge-lazy-noatt", "huge-lazy"},
+	{"small", "adaptive"},
+	{"huge", "adaptive"},
+	{"small-lazy", "adaptive"},
+	{"huge-lazy", "adaptive"},
+	{"huge-lazy", "threshold"},
 }
 
 // comparisons derives every paired comparison present in the document.
@@ -301,6 +306,21 @@ func Validate(b *Bench) error {
 				return fmt.Errorf("sweep: cell %s stat %q has negative stddev", c.Key(), name)
 			}
 		}
+		// The stats must be exactly what this build's aggregation derives
+		// from the runs — JSON round-trips float64 losslessly, so a
+		// baseline computed by an older formula (the pre-Student-t z
+		// quantile) or a hand-edited document fails here rather than
+		// gating against wrong intervals.
+		re := Cell{Runs: c.Runs}
+		re.aggregate()
+		if len(re.Stats) != len(c.Stats) {
+			return fmt.Errorf("sweep: cell %s has %d stats for %d run metrics", c.Key(), len(c.Stats), len(re.Stats))
+		}
+		for _, name := range sortedKeys(re.Stats) {
+			if got, want := c.Stats[name], re.Stats[name]; got != want {
+				return fmt.Errorf("sweep: cell %s stat %q does not match its runs (have %+v, recomputed %+v)", c.Key(), name, got, want)
+			}
+		}
 	}
 	for i, c := range b.Comparisons {
 		if c.Workload == "" || c.Base == "" || c.Test == "" || c.Primary == "" {
@@ -308,6 +328,62 @@ func Validate(b *Bench) error {
 		}
 	}
 	return nil
+}
+
+// RequireBest checks that the named strategy is best-or-tied on the
+// workload's primary metric in every (workload, machine, faults) group
+// that carries it, and returns one message per violation — a group
+// where some other strategy's mean is strictly better. This is the
+// claim the policy grid exists to gate: the adaptive policy must never
+// lose to a fixed strategy, including the cells where hugepages
+// themselves lose (NAS IS). An empty return means the claim holds.
+func RequireBest(b *Bench, name string) []string {
+	type groupKey struct{ workload, machine, faults string }
+	groups := make(map[groupKey]map[string]*Cell)
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		k := groupKey{c.Workload, c.Machine, c.Faults}
+		if groups[k] == nil {
+			groups[k] = make(map[string]*Cell)
+		}
+		groups[k][c.Strategy] = c
+	}
+	var out []string
+	for i := range b.Cells {
+		c := &b.Cells[i]
+		if c.Strategy != name {
+			continue
+		}
+		wl := WorkloadByName(c.Workload)
+		if wl == nil {
+			continue
+		}
+		td, ok := c.Stats[wl.Primary]
+		if !ok {
+			continue
+		}
+		group := groups[groupKey{c.Workload, c.Machine, c.Faults}]
+		for _, other := range sortedKeys(group) {
+			oc := group[other]
+			if other == name {
+				continue
+			}
+			od, ok := oc.Stats[wl.Primary]
+			if !ok {
+				continue
+			}
+			worse := od.Mean < td.Mean
+			if wl.HigherIsBetter {
+				worse = od.Mean > td.Mean
+			}
+			if worse {
+				out = append(out, fmt.Sprintf("%s: %s beats %s on %s (%.6g vs %.6g)",
+					c.Key(), other, name, wl.Primary, od.Mean, td.Mean))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Regression is one gate finding: a cell whose primary metric got worse

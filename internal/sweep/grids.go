@@ -26,6 +26,12 @@ import (
 // Bench.StripWall removes the host-dependent ticks_per_wallsec family)
 // and whose wall throughput the CI scale job gates against the
 // committed baseline with a generous tolerance.
+//
+// "policy" is the placement-policy grid behind BENCH_policy.json: the
+// seed grid's workloads under all four fixed Figure 5 strategies plus
+// the threshold and adaptive policy engines, so the CI policy job can
+// gate "adaptive beats-or-ties every static strategy cell-for-cell"
+// (sweeprun -require-best adaptive).
 func BuiltinGrids() []Grid {
 	return []Grid{
 		{
@@ -55,6 +61,18 @@ func BuiltinGrids() []Grid {
 			Strategies: []string{"huge-lazy"},
 			Seeds:      []uint64{1},
 			Ranks:      1024,
+		},
+		{
+			Name:     "policy",
+			Machines: []string{"opteron"},
+			Workloads: []string{
+				"alloc/abinit", "imb/sendrecv",
+				"nas/cg", "nas/ep", "nas/is", "nas/lu", "nas/mg",
+			},
+			Strategies: []string{"small", "huge", "small-lazy", "huge-lazy", "threshold", "adaptive"},
+			Faults:     []string{"seed=5,attevict=600,wr=300"},
+			Seeds:      []uint64{1, 2, 3},
+			Ranks:      4,
 		},
 	}
 }

@@ -14,9 +14,31 @@ type Dist struct {
 	Max    float64 `json:"max"`
 	// Stddev is the sample standard deviation (n-1); 0 when N < 2.
 	Stddev float64 `json:"stddev"`
-	// CI95 is the half-width of the normal-approximation 95% confidence
-	// interval of the mean: 1.96 * stddev / sqrt(n).
+	// CI95 is the half-width of the 95% confidence interval of the mean,
+	// t(0.975, n-1) * stddev / sqrt(n), using Student-t critical values —
+	// at our typical n=3 replicates the t quantile is 4.303, more than
+	// double the 1.96 a normal approximation would (wrongly) use.
 	CI95 float64 `json:"ci95"`
+}
+
+// tTable holds two-sided 95% Student-t critical values t(0.975, df) for
+// df = 1..30; beyond that the normal quantile 1.96 is close enough.
+var tTable = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tCrit975 returns t(0.975, df), the two-sided 95% critical value.
+func tCrit975(df int) float64 {
+	switch {
+	case df <= 0:
+		return 0
+	case df <= len(tTable):
+		return tTable[df-1]
+	default:
+		return 1.96
+	}
 }
 
 // newDist computes the summary of one metric's replicate values, which
@@ -31,7 +53,10 @@ func newDist(values []float64) Dist {
 	for _, v := range vs {
 		sum += v
 	}
-	d.Mean = sum / float64(n)
+	// The true mean of values in [min, max] lies in [min, max]; the
+	// floating-point sum/n can overshoot by an ulp (three identical
+	// replicates already trigger it). Clamp so the invariant survives.
+	d.Mean = math.Min(math.Max(sum/float64(n), d.Min), d.Max)
 	if n%2 == 1 {
 		d.Median = vs[n/2]
 	} else {
@@ -44,7 +69,7 @@ func newDist(values []float64) Dist {
 			ss += dv * dv
 		}
 		d.Stddev = math.Sqrt(ss / float64(n-1))
-		d.CI95 = 1.96 * d.Stddev / math.Sqrt(float64(n))
+		d.CI95 = tCrit975(n-1) * d.Stddev / math.Sqrt(float64(n))
 	}
 	return d
 }

@@ -1,0 +1,69 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDistBasics(t *testing.T) {
+	d := newDist([]float64{3, 1, 2, 4})
+	if d.N != 4 || d.Min != 1 || d.Max != 4 {
+		t.Fatalf("bad order stats: %+v", d)
+	}
+	if d.Mean != 2.5 || d.Median != 2.5 {
+		t.Fatalf("bad center: %+v", d)
+	}
+	if one := newDist([]float64{7}); one.Stddev != 0 || one.CI95 != 0 {
+		t.Fatalf("single value must have zero spread: %+v", one)
+	}
+}
+
+func TestMeanStaysWithinMinMax(t *testing.T) {
+	// Three identical values whose floating-point sum/3 lands one ulp
+	// above the value itself — taken verbatim from a sweep run where the
+	// unclamped mean broke Validate's min <= mean <= max invariant.
+	v := 1719.707219950766
+	d := newDist([]float64{v, v, v})
+	if d.Mean != v {
+		t.Fatalf("mean of three identical values = %v, want %v", d.Mean, v)
+	}
+	if d.Mean < d.Min || d.Mean > d.Max {
+		t.Fatalf("mean %v outside [%v, %v]", d.Mean, d.Min, d.Max)
+	}
+}
+
+func TestCI95UsesStudentT(t *testing.T) {
+	// Three replicates {1,2,3}: mean 2, sample stddev 1. The 95% CI
+	// half-width at df=2 is t(0.975,2)/sqrt(3) = 4.303/1.732... — the
+	// old normal approximation gave 1.96/sqrt(3) ≈ 1.13, less than half
+	// the correct width.
+	d := newDist([]float64{1, 2, 3})
+	want := 4.303 / math.Sqrt(3)
+	if math.Abs(d.CI95-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want Student-t %v", d.CI95, want)
+	}
+	if d.CI95 < 2 {
+		t.Fatalf("CI95 = %v looks like the z-based half-width", d.CI95)
+	}
+}
+
+func TestTCrit975Table(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{
+		{-1, 0}, {0, 0}, {1, 12.706}, {2, 4.303}, {9, 2.262}, {30, 2.042}, {31, 1.96}, {1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := tCrit975(c.df); got != c.want {
+			t.Errorf("tCrit975(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// The critical value shrinks monotonically toward the normal
+	// quantile as replicates accumulate.
+	for df := 1; df <= 31; df++ {
+		if tCrit975(df+1) > tCrit975(df) {
+			t.Fatalf("tCrit975 not non-increasing at df=%d", df)
+		}
+	}
+}

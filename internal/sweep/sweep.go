@@ -35,12 +35,17 @@ type Strategy struct {
 	Allocator mpi.AllocatorKind `json:"allocator"`
 	LazyDereg bool              `json:"lazy_dereg"`
 	HugeATT   bool              `json:"huge_att"`
+	// Policy selects the placement-policy engine on every rank ("" =
+	// none — the legacy fixed strategy; see internal/policy).
+	Policy string `json:"policy,omitempty"`
 }
 
 // Strategies returns the built-in placement strategies, in comparison
 // order. The first four mirror the four Figure 5 curves (the ATT patch
 // on, as in the paper's modified OpenIB stack); "huge-lazy-noatt" is
-// the unpatched-driver ablation of Section 5.1.
+// the unpatched-driver ablation of Section 5.1. "threshold" and
+// "adaptive" run the best fixed configuration (huge-lazy) with a live
+// placement-policy engine on top — the columns BENCH_policy.json gates.
 func Strategies() []Strategy {
 	return []Strategy{
 		{Name: "small", Allocator: mpi.AllocLibc, LazyDereg: false, HugeATT: true},
@@ -48,6 +53,8 @@ func Strategies() []Strategy {
 		{Name: "small-lazy", Allocator: mpi.AllocLibc, LazyDereg: true, HugeATT: true},
 		{Name: "huge-lazy", Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true},
 		{Name: "huge-lazy-noatt", Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: false},
+		{Name: "threshold", Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true, Policy: "threshold"},
+		{Name: "adaptive", Allocator: mpi.AllocHuge, LazyDereg: true, HugeATT: true, Policy: "adaptive"},
 	}
 }
 

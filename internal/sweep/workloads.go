@@ -58,6 +58,7 @@ func (c *RunContext) MPIConfig(ranks int) mpi.Config {
 		Faults:      c.Spec,
 		Trace:       c.Trace,
 		TracePrefix: c.TracePrefix,
+		Policy:      c.Strategy.Policy,
 	}
 }
 
@@ -204,6 +205,7 @@ func builtins() []Workload {
 					Faults:    c.Spec,
 					Trace:     c.Trace,
 					TraceName: c.TracePrefix + "replay",
+					Policy:    c.Strategy.Policy,
 				})
 				if err != nil {
 					return nil, err

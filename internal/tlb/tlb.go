@@ -85,6 +85,19 @@ func (f *File) Access(vpn uint64) bool {
 	return false
 }
 
+// InvalidateRange drops every entry whose vpn lies in [lo, hi) — the
+// targeted shootdown a hugepage demotion issues for the split range,
+// cheaper than a full Flush and without perturbing unrelated entries.
+func (f *File) InvalidateRange(lo, hi uint64) {
+	for _, set := range f.sets {
+		for i := range set {
+			if set[i].valid && set[i].vpn >= lo && set[i].vpn < hi {
+				set[i] = entry{}
+			}
+		}
+	}
+}
+
 // Flush invalidates every entry (context switch / munmap shootdown).
 func (f *File) Flush() {
 	for _, set := range f.sets {

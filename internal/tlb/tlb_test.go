@@ -149,3 +149,32 @@ func TestBadGeometryPanics(t *testing.T) {
 	}()
 	NewFile(machine.TLBGeometry{Entries: 5, Ways: 2})
 }
+
+func TestInvalidateRange(t *testing.T) {
+	f := NewFile(machine.TLBGeometry{Entries: 16, Ways: 4})
+	for vpn := uint64(0); vpn < 8; vpn++ {
+		f.Access(vpn)
+	}
+	f.InvalidateRange(2, 5)
+	for vpn := uint64(0); vpn < 8; vpn++ {
+		hit := f.Access(vpn)
+		inRange := vpn >= 2 && vpn < 5
+		if inRange && hit {
+			t.Fatalf("vpn %d should have been shot down", vpn)
+		}
+		if !inRange && !hit {
+			t.Fatalf("vpn %d outside the range was perturbed", vpn)
+		}
+	}
+	// An empty range is a no-op.
+	before := f.Stats()
+	f.InvalidateRange(100, 100)
+	for vpn := uint64(5); vpn < 8; vpn++ {
+		if !f.Access(vpn) {
+			t.Fatalf("vpn %d lost to an empty-range shootdown", vpn)
+		}
+	}
+	if f.Stats().Misses != before.Misses {
+		t.Fatal("empty-range shootdown caused misses")
+	}
+}

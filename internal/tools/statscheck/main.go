@@ -39,8 +39,57 @@ func check(r io.Reader) ([]node.Report, error) {
 		if len(r.Nodes) == 0 {
 			return nil, fmt.Errorf("report %d (%s) has no node snapshots", i, r.Tool)
 		}
+		for j, n := range r.Nodes {
+			if err := checkPolicy(n.Policy); err != nil {
+				return nil, fmt.Errorf("report %d (%s) node %d: %w", i, r.Tool, j, err)
+			}
+		}
+		if err := checkPolicy(r.Total.Policy); err != nil {
+			return nil, fmt.Errorf("report %d (%s) total: %w", i, r.Tool, err)
+		}
+		// The total must be exactly what this build's Sum derives from
+		// the node snapshots — a document produced by an older
+		// aggregation (the pre-max peak-gauge sum) fails here.
+		if want := node.Sum(r.Nodes); r.Total != want {
+			return nil, fmt.Errorf("report %d (%s): total is not Sum(nodes)", i, r.Tool)
+		}
 	}
 	return reports, nil
+}
+
+// checkPolicy validates one policy-stats section: a known kind, no
+// negative counters, and no counters without an engine.
+func checkPolicy(p node.PolicyStats) error {
+	switch p.Kind {
+	case "", "static", "threshold", "adaptive":
+	default:
+		return fmt.Errorf("unknown policy kind %q", p.Kind)
+	}
+	counters := []struct {
+		name string
+		v    int64
+	}{
+		{"place_huge", p.PlaceHuge}, {"place_small", p.PlaceSmall},
+		{"cache_lazy", p.CacheLazy}, {"cache_eager", p.CacheEager},
+		{"sge_gather", p.SGEGather}, {"sge_pack", p.SGEPack},
+		{"windows", p.Windows}, {"demote_decisions", p.DemoteDecisions},
+		{"demoted_pages", p.DemotedPages}, {"demoted_bytes", p.DemotedBytes},
+		{"demote_ticks", int64(p.DemoteTicks)},
+	}
+	var any bool
+	for _, c := range counters {
+		if c.v < 0 {
+			return fmt.Errorf("policy counter %s is negative (%d)", c.name, c.v)
+		}
+		any = any || c.v != 0
+	}
+	if p.Kind == "" && any {
+		return fmt.Errorf("policy counters present without a policy kind")
+	}
+	if p.DemotedBytes != p.DemotedPages*(2<<20) {
+		return fmt.Errorf("demoted_bytes %d is not demoted_pages %d x 2 MiB", p.DemotedBytes, p.DemotedPages)
+	}
+	return nil
 }
 
 func main() {

@@ -84,3 +84,78 @@ func TestCheckRejectsEmptyArray(t *testing.T) {
 		t.Fatalf("err = %v, want empty-array complaint", err)
 	}
 }
+
+// render marshals reports exactly as the cmd tools would, without
+// recomputing totals — so tests can serve tampered documents.
+func render(t *testing.T, reports []node.Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := node.WriteReports(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCheckAcceptsPolicyCounters(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "hugetlbfs",
+		Policy: node.PolicyStats{Kind: "adaptive", PlaceHuge: 4, DemotedPages: 2, DemotedBytes: 2 * 2 << 20}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	if _, err := check(strings.NewReader(doc)); err != nil {
+		t.Fatalf("valid policy counters rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsUnknownPolicyKind(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Policy: node.PolicyStats{Kind: "greedy"}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "unknown policy kind") {
+		t.Fatalf("err = %v, want unknown-policy-kind complaint", err)
+	}
+}
+
+func TestCheckRejectsNegativePolicyCounter(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Policy: node.PolicyStats{Kind: "static", SGEPack: -1}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("err = %v, want negative-counter complaint", err)
+	}
+}
+
+func TestCheckRejectsCountersWithoutKind(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Policy: node.PolicyStats{PlaceHuge: 3}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "without a policy kind") {
+		t.Fatalf("err = %v, want counters-without-kind complaint", err)
+	}
+}
+
+func TestCheckRejectsDemotedBytesMismatch(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "hugetlbfs",
+		Policy: node.PolicyStats{Kind: "adaptive", DemotedPages: 2, DemotedBytes: 4096}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "demoted_bytes") {
+		t.Fatalf("err = %v, want demoted-bytes complaint", err)
+	}
+}
+
+// A total that is not Sum(nodes) — e.g. a document produced by the old
+// peak-gauge-summing aggregation — must be rejected.
+func TestCheckRejectsStaleTotal(t *testing.T) {
+	r := node.NewReport("repro", "w", "opteron", "", []node.Stats{
+		{Machine: "opteron", Allocator: "libc", Cache: node.CacheStats{PeakPinned: 100}},
+		{Machine: "opteron", Allocator: "libc", Cache: node.CacheStats{PeakPinned: 60}},
+	})
+	r.Total.Cache.PeakPinned = 160 // the pre-fix sum; Sum keeps the max, 100
+	doc := render(t, []node.Report{r})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "not Sum(nodes)") {
+		t.Fatalf("err = %v, want total-not-sum complaint", err)
+	}
+}

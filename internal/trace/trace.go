@@ -37,6 +37,7 @@ type Layer string
 const (
 	LApp      Layer = "app"      // application compute (memmodel charges)
 	LMPI      Layer = "mpi"      // MPI calls and protocol phases
+	LPolicy   Layer = "policy"   // placement-policy decisions and demotions
 	LAlloc    Layer = "alloc"    // allocation-library time
 	LRegcache Layer = "regcache" // pin-down cache lookups and evictions
 	LVerbs    Layer = "verbs"    // memory registration (pin/translate/push)

@@ -113,6 +113,8 @@ func (as *AddressSpace) breakCoW(p *pte) error {
 	// of the model (pool pressure), not exact RSS.
 	p.frame = f
 	p.cow = false
+	// A fresh private frame is no longer part of a demoted hugepage run.
+	p.split = false
 	as.stats.CoWBreaks++
 	return nil
 }

@@ -62,6 +62,13 @@ type pte struct {
 	class PageClass
 	pins  int
 	cow   bool // shared copy-on-write after a fork
+	// split marks a small pte carved out of a demoted hugepage. The 2 MiB
+	// physical run stays in place (a THP-style split rebuilds the page
+	// table, it does not migrate data), so the run returns to the hugepage
+	// pool as one unit: unmap frees it once, via the subpage whose frame
+	// equals splitBase.
+	split     bool
+	splitBase phys.Frame
 }
 
 // region records one mapping for unmap bookkeeping.
@@ -115,6 +122,8 @@ type Stats struct {
 	HugeFallbacks     int64 // MapHuge requests satisfied with small pages
 	HugeFallbackBytes int64 // cumulative bytes those fallbacks mapped
 	CoWBreaks         int64 // private copies made on write after a fork
+	Demotions         int64 // hugepages split into base pages in place
+	DemotedBytes      int64 // cumulative bytes those demotions covered
 }
 
 // New creates an empty address space backed by the node's physical memory.
@@ -291,62 +300,196 @@ func (as *AddressSpace) MapHugeOrSmall(size uint64) (VA, bool, error) {
 
 // Unmap removes a mapping previously returned by MapSmall/MapHuge/
 // MapHugeOrSmall. The (start,size) pair must exactly match the original
-// request rounded to page size. Pinned pages refuse to unmap.
+// request rounded to page size; a hugepage mapping that Demote has since
+// carved into pieces still unmaps as the original (start,size) whole.
+// Pinned pages refuse to unmap.
 func (as *AddressSpace) Unmap(start VA, size uint64) error {
 	as.mu.Lock()
 	defer as.mu.Unlock()
-	idx := -1
-	var reg region
-	for i, r := range as.regions {
-		if r.start == start && (r.size == roundUp(size, r.class.Size()) || size == r.size) {
-			idx, reg = i, r
-			break
-		}
-	}
-	if idx < 0 {
+	lo, n := as.unmapRunLocked(start, size)
+	if n == 0 {
 		return ErrBadUnmap
 	}
-	// Refuse if any page is pinned, before touching anything.
-	if reg.class == Huge {
-		for off := uint64(0); off < reg.size; off += machine.HugePageSize {
-			if p := as.huge[uint64(start+VA(off))/machine.HugePageSize]; p != nil && p.pins > 0 {
-				return ErrPinnedUnmap
+	// Refuse if any page of any piece is pinned, before touching anything.
+	for _, r := range as.regions[lo : lo+n] {
+		if as.regionPinnedLocked(r) {
+			return ErrPinnedUnmap
+		}
+	}
+	var total uint64
+	for _, r := range as.regions[lo : lo+n] {
+		as.freeRegionLocked(r)
+		total += r.size
+	}
+	as.regions = append(as.regions[:lo], as.regions[lo+n:]...)
+	if as.cur.Enabled() {
+		as.cur.Event(trace.LVM, "unmap", trace.I64("bytes", int64(total)))
+	}
+	return nil
+}
+
+// unmapRunLocked resolves an unmap request to the run of regions
+// [lo, lo+n) it covers: the single exact-match region, or — for a
+// demoted hugepage mapping — the address-contiguous run of split pieces
+// partitioning the original extent. n = 0 means no match.
+func (as *AddressSpace) unmapRunLocked(start VA, size uint64) (lo, n int) {
+	for i, r := range as.regions {
+		if r.start == start && (r.size == roundUp(size, r.class.Size()) || size == r.size) {
+			return i, 1
+		}
+	}
+	if !IsHugeVA(start) {
+		return 0, 0
+	}
+	target := roundUp(size, machine.HugePageSize)
+	for i, r := range as.regions {
+		if r.start != start {
+			continue
+		}
+		var covered uint64
+		for j := i; j < len(as.regions); j++ {
+			if as.regions[j].start != start+VA(covered) {
+				break
+			}
+			covered += as.regions[j].size
+			if covered == target {
+				return i, j - i + 1
+			}
+			if covered > target {
+				break
 			}
 		}
-		for off := uint64(0); off < reg.size; off += machine.HugePageSize {
-			key := uint64(start+VA(off)) / machine.HugePageSize
+		return 0, 0
+	}
+	return 0, 0
+}
+
+// regionPinnedLocked reports whether any page of r is pinned.
+func (as *AddressSpace) regionPinnedLocked(r region) bool {
+	if r.class == Huge {
+		for off := uint64(0); off < r.size; off += machine.HugePageSize {
+			if p := as.huge[uint64(r.start+VA(off))/machine.HugePageSize]; p != nil && p.pins > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	for off := uint64(0); off < r.size; off += machine.SmallPageSize {
+		if p := as.small[uint64(r.start+VA(off))/machine.SmallPageSize]; p != nil && p.pins > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// freeRegionLocked releases r's frames and page-table entries.
+func (as *AddressSpace) freeRegionLocked(r region) {
+	if r.class == Huge {
+		for off := uint64(0); off < r.size; off += machine.HugePageSize {
+			key := uint64(r.start+VA(off)) / machine.HugePageSize
 			if p := as.huge[key]; p != nil {
 				_ = as.mem.FreeHuge(p.frame)
 				delete(as.huge, key)
 				as.stats.MappedHuge--
 			}
 		}
-	} else {
-		for off := uint64(0); off < reg.size; off += machine.SmallPageSize {
-			if p := as.small[uint64(start+VA(off))/machine.SmallPageSize]; p != nil && p.pins > 0 {
-				return ErrPinnedUnmap
-			}
-		}
-		for off := uint64(0); off < reg.size; off += machine.SmallPageSize {
-			key := uint64(start+VA(off)) / machine.SmallPageSize
-			if p := as.small[key]; p != nil {
+		return
+	}
+	for off := uint64(0); off < r.size; off += machine.SmallPageSize {
+		key := uint64(r.start+VA(off)) / machine.SmallPageSize
+		if p := as.small[key]; p != nil {
+			if p.split {
+				// Subpages of a demoted hugepage share one physical
+				// 2 MiB run; free it once, at its base subpage.
+				if p.frame == p.splitBase {
+					_ = as.mem.FreeHuge(p.splitBase)
+				}
+			} else {
 				_ = as.mem.FreeFrame(p.frame)
-				delete(as.small, key)
-				as.stats.MappedSmall--
 			}
+			delete(as.small, key)
+			as.stats.MappedSmall--
 		}
 	}
-	as.regions = append(as.regions[:idx], as.regions[idx+1:]...)
-	if as.cur.Enabled() {
-		as.cur.Event(trace.LVM, "unmap", trace.I64("bytes", int64(reg.size)))
+}
+
+// Demote splits every hugepage lying fully inside [va, va+size) into 512
+// base-page mappings, in place: the 2 MiB physical run is kept (a real
+// THP split rebuilds the page table without migrating data) and returns
+// to the hugepage pool only when the region is eventually unmapped.
+// Pinned and copy-on-write-shared pages are skipped — DMA-registered
+// memory must keep its translations stable. It returns the number of
+// hugepages demoted. Callers own the TLB shootdown for the split range.
+func (as *AddressSpace) Demote(va VA, size uint64) (int, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	lo := VA(roundUp(uint64(va), machine.HugePageSize))
+	hi := VA((uint64(va) + size) / machine.HugePageSize * machine.HugePageSize)
+	if !IsHugeVA(lo) || hi <= lo {
+		return 0, nil
 	}
-	return nil
+	const subpages = machine.HugePageSize / machine.SmallPageSize
+	demoted := 0
+	for h := lo; h < hi; h += VA(machine.HugePageSize) {
+		hvpn := uint64(h) / machine.HugePageSize
+		p := as.huge[hvpn]
+		if p == nil || p.pins > 0 || p.cow {
+			continue
+		}
+		for i := uint64(0); i < subpages; i++ {
+			as.small[uint64(h)/machine.SmallPageSize+i] = &pte{
+				frame:     p.frame + phys.Frame(i),
+				class:     Small,
+				split:     true,
+				splitBase: p.frame,
+			}
+		}
+		delete(as.huge, hvpn)
+		as.stats.MappedHuge--
+		as.stats.MappedSmall += subpages
+		as.splitRegionLocked(h)
+		as.stats.Demotions++
+		as.stats.DemotedBytes += machine.HugePageSize
+		demoted++
+	}
+	if demoted > 0 && as.cur.Enabled() {
+		as.cur.Event(trace.LVM, "demote",
+			trace.I64("pages", int64(demoted)),
+			trace.I64("bytes", int64(demoted)*machine.HugePageSize))
+	}
+	return demoted, nil
+}
+
+// splitRegionLocked carves the hugepage at h out of its Huge region
+// record into a standalone Small record, so unmap bookkeeping keeps
+// matching page classes after a demotion. Callers hold as.mu.
+func (as *AddressSpace) splitRegionLocked(h VA) {
+	for i, r := range as.regions {
+		if r.class != Huge || h < r.start || h >= r.start+VA(r.size) {
+			continue
+		}
+		repl := make([]region, 0, 3)
+		if pre := uint64(h - r.start); pre > 0 {
+			repl = append(repl, region{r.start, pre, Huge})
+		}
+		repl = append(repl, region{h, machine.HugePageSize, Small})
+		if post := r.size - uint64(h-r.start) - machine.HugePageSize; post > 0 {
+			repl = append(repl, region{h + VA(machine.HugePageSize), post, Huge})
+		}
+		as.regions = append(as.regions[:i], append(repl, as.regions[i+1:]...)...)
+		return
+	}
 }
 
 // lookup finds the pte covering va. Callers hold as.mu.
 func (as *AddressSpace) lookup(va VA) (*pte, error) {
 	if va >= hugeBase {
 		if p := as.huge[uint64(va)/machine.HugePageSize]; p != nil {
+			return p, nil
+		}
+		// Demoted hugepages keep their VAs in the huge window but live in
+		// the small page table at 4 KiB granularity.
+		if p := as.small[uint64(va)/machine.SmallPageSize]; p != nil {
 			return p, nil
 		}
 		return nil, ErrUnmapped

@@ -297,3 +297,143 @@ func TestUnmapUnknownRegion(t *testing.T) {
 		t.Fatalf("got %v, want ErrBadUnmap", err)
 	}
 }
+
+func TestDemoteSplitsInPlace(t *testing.T) {
+	host := testHost(t)
+	as := host.AS
+	va, err := as.MapHuge(4 * machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paBefore, _, err := as.Translate(va + 123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("demotion moves no data")
+	if err := as.Write(va+777, want); err != nil {
+		t.Fatal(err)
+	}
+	n, err := as.Demote(va, 4*machine.HugePageSize)
+	if err != nil || n != 4 {
+		t.Fatalf("Demote = %d, %v; want 4 pages", n, err)
+	}
+	pa, class, err := as.Translate(va + 123456)
+	if err != nil || class != vm.Small {
+		t.Fatalf("translate: class %v, err %v", class, err)
+	}
+	if pa != paBefore {
+		t.Fatalf("physical address moved: %#x -> %#x", paBefore, pa)
+	}
+	got := make([]byte, len(want))
+	if err := as.Read(va+777, got); err != nil || string(got) != string(want) {
+		t.Fatalf("data = %q (%v)", got, err)
+	}
+	st := as.Stats()
+	if st.Demotions != 4 || st.DemotedBytes != 4*machine.HugePageSize {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MappedHuge != 0 || st.MappedSmall != 4*machine.SmallPerHuge {
+		t.Fatalf("gauges = %+v", st)
+	}
+}
+
+func TestDemoteSkipsPinnedAndCoW(t *testing.T) {
+	host := testHost(t)
+	as := host.AS
+	va, err := as.MapHuge(2 * machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Pin(va, machine.HugePageSize); err != nil {
+		t.Fatal(err)
+	}
+	n, err := as.Demote(va, 2*machine.HugePageSize)
+	if err != nil || n != 1 {
+		t.Fatalf("Demote = %d, %v; want the unpinned page only", n, err)
+	}
+	if _, class, _ := as.Translate(va); class != vm.Huge {
+		t.Fatal("pinned page lost its hugepage translation")
+	}
+
+	// A CoW-shared page (post-fork) must also keep its mapping.
+	as2 := testHost(t).AS
+	cva, err := as2.MapHuge(machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as2.Fork(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := as2.Demote(cva, machine.HugePageSize); err != nil || n != 0 {
+		t.Fatalf("Demote of CoW page = %d, %v; want 0", n, err)
+	}
+}
+
+func TestDemoteIgnoresPartialAndSmallRanges(t *testing.T) {
+	as := testAS(t)
+	va, err := as.MapHuge(machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A range not covering one full hugepage demotes nothing.
+	if n, err := as.Demote(va+4096, machine.HugePageSize-4096); err != nil || n != 0 {
+		t.Fatalf("partial range: %d, %v", n, err)
+	}
+	sva, err := as.MapSmall(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := as.Demote(sva, 1<<20); err != nil || n != 0 {
+		t.Fatalf("small-window range: %d, %v", n, err)
+	}
+}
+
+func TestUnmapDemotedMappingWholeAndPartial(t *testing.T) {
+	host := testHost(t)
+	as := host.AS
+	avail := as.Mem().HugeAvailable()
+
+	// Fully demoted: the original (start, size) still unmaps as a whole
+	// and every 2 MiB run returns to the pool.
+	va, err := as.MapHuge(3 * machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Demote(va, 3*machine.HugePageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(va, 3*machine.HugePageSize); err != nil {
+		t.Fatalf("unmap of fully demoted mapping: %v", err)
+	}
+	if got := as.Mem().HugeAvailable(); got != avail {
+		t.Fatalf("pool = %d, want %d", got, avail)
+	}
+
+	// Partially demoted (middle page pinned): mixed-class pieces still
+	// unmap as the original whole once the pin drops.
+	va, err = as.MapHuge(3 * machine.HugePageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := as.Pin(va+machine.HugePageSize, machine.HugePageSize); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := as.Demote(va, 3*machine.HugePageSize); n != 2 {
+		t.Fatalf("demoted %d, want 2", n)
+	}
+	if err := as.Unmap(va, 3*machine.HugePageSize); err == nil {
+		t.Fatal("unmap of pinned mapping must refuse")
+	}
+	if err := as.Unpin(va+machine.HugePageSize, machine.HugePageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(va, 3*machine.HugePageSize); err != nil {
+		t.Fatalf("unmap of partially demoted mapping: %v", err)
+	}
+	if got := as.Mem().HugeAvailable(); got != avail {
+		t.Fatalf("pool = %d, want %d", got, avail)
+	}
+	if st := as.Stats(); st.MappedHuge != 0 || st.MappedSmall != 0 {
+		t.Fatalf("gauges = %+v", st)
+	}
+}

@@ -65,7 +65,7 @@ type rig struct {
 // chosen offset within its own memory page, as in the paper's test. A
 // non-nil fault spec arms both hosts, salted by side, so a sweep under
 // pressure replays bit-identically.
-func newRig(m *machine.Machine, maxSGEs int, spec *faults.Spec, col *trace.Collector) (*rig, error) {
+func newRig(m *machine.Machine, maxSGEs int, spec *faults.Spec, col *trace.Collector, policy string) (*rig, error) {
 	span := uint64(maxSGEs+1) * machine.SmallPageSize * 2
 	rg := &rig{m: m, span: span}
 	names := []string{"wr/sender", "wr/receiver"}
@@ -76,6 +76,7 @@ func newRig(m *machine.Machine, maxSGEs int, spec *faults.Spec, col *trace.Colle
 			Machine: m, ScrambleDepth: node.DefaultScramble / 2,
 			Faults: spec, FaultSalt: salt,
 			Trace: col, TraceName: names[salt],
+			Policy: policy,
 		})
 		if err != nil {
 			return nil, 0, nil, err
@@ -246,13 +247,19 @@ func SGESweepNodeStats(m *machine.Machine, sgeCounts, sgeSizes []int, spec *faul
 // appears as a wr.post + wr.poll span pair on the sender timeline, strung
 // end to end in sweep order.
 func SGESweepTrace(m *machine.Machine, sgeCounts, sgeSizes []int, spec *faults.Spec, col *trace.Collector) ([]Result, []node.Stats, error) {
+	return SGESweepPolicy(m, sgeCounts, sgeSizes, "", spec, col)
+}
+
+// SGESweepPolicy is SGESweepTrace with a placement-policy engine on both
+// hosts ("" = none).
+func SGESweepPolicy(m *machine.Machine, sgeCounts, sgeSizes []int, policy string, spec *faults.Spec, col *trace.Collector) ([]Result, []node.Stats, error) {
 	maxSGEs := 1
 	for _, c := range sgeCounts {
 		if c > maxSGEs {
 			maxSGEs = c
 		}
 	}
-	rg, err := newRig(m, maxSGEs, spec, col)
+	rg, err := newRig(m, maxSGEs, spec, col, policy)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -289,7 +296,13 @@ func OffsetSweepNodeStats(m *machine.Machine, offsets, sizes []int, spec *faults
 // OffsetSweepTrace is OffsetSweepNodeStats recording into a trace
 // collector, shaped exactly like SGESweepTrace.
 func OffsetSweepTrace(m *machine.Machine, offsets, sizes []int, spec *faults.Spec, col *trace.Collector) ([]Result, []node.Stats, error) {
-	rg, err := newRig(m, 1, spec, col)
+	return OffsetSweepPolicy(m, offsets, sizes, "", spec, col)
+}
+
+// OffsetSweepPolicy is OffsetSweepTrace with a placement-policy engine
+// on both hosts ("" = none).
+func OffsetSweepPolicy(m *machine.Machine, offsets, sizes []int, policy string, spec *faults.Spec, col *trace.Collector) ([]Result, []node.Stats, error) {
+	rg, err := newRig(m, 1, spec, col, policy)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -126,7 +126,7 @@ func TestFig4OffsetEffect(t *testing.T) {
 }
 
 func TestParameterValidation(t *testing.T) {
-	rg, err := newRig(sysp(), 1, nil, nil)
+	rg, err := newRig(sysp(), 1, nil, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
