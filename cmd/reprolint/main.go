@@ -15,12 +15,26 @@
 //	nilspec       nil-safe types guard every exported pointer method
 //	schedonly     no raw goroutines/channels/WaitGroups in simulation
 //	              packages; blocking goes through internal/sched
+//	timeflow      interprocedural taint: wall-clock/entropy values must
+//	              not flow into trace spans or benchmark reports
+//	tickunits     simtime.Ticks and nanoseconds convert only through
+//	              the From*/Nanos constructors; no sub-tick constants
+//	parkflow      park-capable sched calls only from task context;
+//	              gate acquisition order is globally consistent
 //
 // Flags:
 //
-//	-list         print the analyzers and exit
-//	-tests=false  skip _test.go files
-//	-only=a,b     run only the named analyzers
+//	-list              print the analyzers and exit
+//	-tests=false       skip _test.go files
+//	-only=a,b          run only the named analyzers
+//	-format=text|sarif diagnostic output format (sarif is SARIF 2.1.0,
+//	                   byte-identical across runs, for code scanning)
+//	-fix               apply suggested fixes to the source tree; only
+//	                   findings without a machine fix still fail the run
+//	-baseline=f        report only findings not suppressed by baseline
+//	                   file f (diff-aware mode)
+//	-write-baseline=f  write the current findings to baseline file f
+//	                   and exit 0
 package main
 
 import (
@@ -28,29 +42,44 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/determinism"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nilspec"
+	"repro/internal/analysis/parkflow"
 	"repro/internal/analysis/schedonly"
 	"repro/internal/analysis/statspairing"
+	"repro/internal/analysis/tickunits"
+	"repro/internal/analysis/timeflow"
 )
 
 var suite = []*analysis.Analyzer{
 	determinism.Analyzer,
 	maporder.Analyzer,
 	nilspec.Analyzer,
+	parkflow.Analyzer,
 	schedonly.Analyzer,
 	statspairing.Analyzer,
+	tickunits.Analyzer,
+	timeflow.Analyzer,
 }
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	tests := flag.Bool("tests", true, "also analyze _test.go files")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	format := flag.String("format", "text", "output format: text or sarif")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source tree")
+	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	flag.Parse()
+	if *format != "text" && *format != "sarif" {
+		fmt.Fprintf(os.Stderr, "reprolint: unknown -format %q (valid: text, sarif)\n", *format)
+		os.Exit(2)
+	}
 	if *list {
 		for _, a := range suite {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
@@ -82,17 +111,91 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reprolint:", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		rel, err := filepath.Rel(root, f.Pos.Filename)
-		if err == nil {
-			f.Pos.Filename = rel
+	if *fix {
+		findings, err = applyFixes(findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(2)
 		}
-		fmt.Println(f)
+	}
+	// Everything downstream — text lines, SARIF URIs, baseline keys —
+	// speaks module-relative paths, so baselines and SARIF artifacts
+	// stay portable across checkouts.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil {
+			findings[i].Pos.Filename = rel
+		}
+	}
+	if *writeBaseline != "" {
+		data, err := analysis.NewBaseline(findings).Encode()
+		if err == nil {
+			err = os.WriteFile(*writeBaseline, data, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: wrote %d suppression(s) to %s\n", len(findings), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		data, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(2)
+		}
+		baseline, err := analysis.DecodeBaseline(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(2)
+		}
+		findings = baseline.Filter(findings)
+	}
+	switch *format {
+	case "sarif":
+		out, err := analysis.SARIF(analyzers, findings)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reprolint:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(out)
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "reprolint: %d diagnostic(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// applyFixes writes every suggested fix back to the source tree and
+// returns only the findings that carried no fix — those still need a
+// human and keep the run red; everything fixed is considered resolved.
+func applyFixes(findings []analysis.Finding) ([]analysis.Finding, error) {
+	fixed, err := analysis.ApplyFixes(findings)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]string, 0, len(fixed))
+	for f := range fixed {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		if err := os.WriteFile(f, fixed[f], 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: rewrote %s\n", f)
+	}
+	var rest []analysis.Finding
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			rest = append(rest, f)
+		}
+	}
+	return rest, nil
 }
 
 func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
@@ -107,7 +210,11 @@ func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
 	for _, name := range strings.Split(only, ",") {
 		a, ok := byName[strings.TrimSpace(name)]
 		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+			valid := make([]string, 0, len(suite))
+			for _, a := range suite {
+				valid = append(valid, a.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q; valid analyzers: %s", name, strings.Join(valid, ", "))
 		}
 		out = append(out, a)
 	}

@@ -43,25 +43,105 @@ type Analyzer struct {
 	Run func(*Pass) (any, error)
 }
 
-// Pass hands one analyzer one type-checked package.
+// Pass hands one analyzer one type-checked package. Module exposes the
+// whole loaded module to interprocedural analyzers (callgraph, taint);
+// per-package analyzers ignore it.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Module    *Module
 	Report    func(Diagnostic)
 }
 
-// Diagnostic is one finding at one position.
-type Diagnostic struct {
+// Module is the whole-module view shared by every pass of one Run: the
+// full package list plus a memoisation cache, so expensive module-wide
+// structures (the call graph, taint summaries) are built once and
+// reused by every analyzer and package that needs them.
+type Module struct {
+	Pkgs  []*Package
+	cache map[string]any
+}
+
+// NewModule wraps a loaded package list for analysis.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs, cache: make(map[string]any)}
+}
+
+// Cache memoises a module-wide computation under key. The first caller
+// builds; everyone after gets the same value. Run is single-threaded,
+// so no locking is needed.
+func (m *Module) Cache(key string, build func() any) any {
+	if v, ok := m.cache[key]; ok {
+		return v
+	}
+	v := build()
+	m.cache[key] = v
+	return v
+}
+
+// PackageOf returns the module package whose file set contains pos's
+// file, or nil.
+func (m *Module) PackageOf(path string) *Package {
+	for _, p := range m.Pkgs {
+		if p.PkgPath == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// TextEdit is one replacement of the source range [Pos, End) by NewText.
+// An insertion has Pos == End.
+type TextEdit struct {
 	Pos     token.Pos
-	Message string
+	End     token.Pos
+	NewText string
+}
+
+// SuggestedFix is one self-contained change that addresses a
+// diagnostic, as a set of non-overlapping text edits. Fixes are
+// suggestions: they may reference identifiers the surrounding code
+// still has to declare (a threaded clock, a seeded generator), and
+// reprolint -fix applies them verbatim.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// Diagnostic is one finding at one position, optionally carrying
+// machine-applicable fixes.
+type Diagnostic struct {
+	Pos            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
 }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportFix reports a diagnostic carrying one suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix SuggestedFix, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...),
+		SuggestedFixes: []SuggestedFix{fix}})
+}
+
+// Edit is a resolved text edit: file plus byte offsets, ready to apply.
+type Edit struct {
+	File    string
+	Start   int
+	End     int
+	NewText string
+}
+
+// Fix is a resolved suggested fix.
+type Fix struct {
+	Message string
+	Edits   []Edit
 }
 
 // Finding is a resolved diagnostic: position plus originating analyzer,
@@ -70,6 +150,7 @@ type Finding struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fixes    []Fix
 }
 
 func (f Finding) String() string {
@@ -80,6 +161,15 @@ func (f Finding) String() string {
 // findings in a deterministic order (by file, line, column, analyzer) —
 // reprolint's own output must not depend on map iteration or scheduling.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	return RunModule(NewModule(pkgs), pkgs, analyzers)
+}
+
+// RunModule is Run with an explicit module context: pkgs (the packages
+// to report on) may be a subset of module.Pkgs (the packages
+// interprocedural analyzers see). cmd/reprolint passes the whole loaded
+// tree as the module and the pattern-filtered packages as pkgs, so
+// cross-package flows stay visible even on a narrowed run.
+func RunModule(module *Module, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -89,12 +179,14 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Module:    module,
 			}
 			pass.Report = func(d Diagnostic) {
 				findings = append(findings, Finding{
 					Analyzer: a.Name,
 					Pos:      pkg.Fset.Position(d.Pos),
 					Message:  d.Message,
+					Fixes:    resolveFixes(pkg.Fset, d.SuggestedFixes),
 				})
 			}
 			if _, err := a.Run(pass); err != nil {
@@ -119,4 +211,32 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		return a.Message < b.Message
 	})
 	return findings, nil
+}
+
+// resolveFixes turns position-based suggested fixes into offset-based
+// ones, dropping any fix with an invalid or reversed range.
+func resolveFixes(fset *token.FileSet, fixes []SuggestedFix) []Fix {
+	var out []Fix
+	for _, sf := range fixes {
+		fix := Fix{Message: sf.Message}
+		ok := true
+		for _, te := range sf.TextEdits {
+			start, end := fset.Position(te.Pos), fset.Position(te.End)
+			if !start.IsValid() || !end.IsValid() ||
+				start.Filename != end.Filename || end.Offset < start.Offset {
+				ok = false
+				break
+			}
+			fix.Edits = append(fix.Edits, Edit{
+				File:    start.Filename,
+				Start:   start.Offset,
+				End:     end.Offset,
+				NewText: te.NewText,
+			})
+		}
+		if ok && len(fix.Edits) > 0 {
+			out = append(out, fix)
+		}
+	}
+	return out
 }

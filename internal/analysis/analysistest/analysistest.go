@@ -15,9 +15,12 @@
 package analysistest
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
+	"os"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -27,6 +30,23 @@ import (
 // Run loads testdata/src, analyzes the named fixture packages (import
 // paths relative to src, e.g. "a"), and reports mismatches through t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	run(t, testdata, a, false, pkgPaths)
+}
+
+// RunWithSuggestedFixes is Run plus golden verification of the
+// analyzer's suggested fixes: after the // want expectations are
+// checked, every fix the analyzer emitted is applied with
+// analysis.ApplyFixes and each rewritten file must be byte-identical to
+// its committed <file>.golden sibling. A fixture package with fixes and
+// no golden, or a golden that no longer matches, fails the test — the
+// same shape as the repo's BENCH golden gating, applied to the fixer.
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	run(t, testdata, a, true, pkgPaths)
+}
+
+func run(t *testing.T, testdata string, a *analysis.Analyzer, checkFixes bool, pkgPaths []string) {
 	t.Helper()
 	loader := analysis.NewLoader(testdata+"/src", "", true)
 	pkgs, err := loader.Load()
@@ -45,8 +65,47 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 			t.Errorf("fixture package %q not found under %s/src", want, testdata)
 			continue
 		}
-		runPackage(t, a, pkg)
+		findings := runPackage(t, a, pkg)
+		if checkFixes {
+			verifyFixes(t, pkg.PkgPath, findings)
+		}
 	}
+}
+
+// verifyFixes applies the findings' fixes and compares each rewritten
+// file against its committed .golden sibling.
+func verifyFixes(t *testing.T, pkgPath string, findings []analysis.Finding) {
+	t.Helper()
+	fixed, err := analysis.ApplyFixes(findings)
+	if err != nil {
+		t.Errorf("%s: applying suggested fixes: %v", pkgPath, err)
+		return
+	}
+	if len(fixed) == 0 {
+		t.Errorf("%s: analyzer emitted no suggested fixes to verify", pkgPath)
+		return
+	}
+	for _, file := range sortedKeys(fixed) {
+		golden := file + ".golden"
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Errorf("%s: fixes rewrite %s but no golden is committed: %v", pkgPath, file, err)
+			continue
+		}
+		if got := fixed[file]; !bytes.Equal(got, want) {
+			t.Errorf("%s: applying fixes to %s does not reproduce %s:\n--- got ---\n%s\n--- want ---\n%s",
+				pkgPath, file, golden, got, want)
+		}
+	}
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 type expectation struct {
@@ -56,7 +115,7 @@ type expectation struct {
 	matched bool
 }
 
-func runPackage(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) {
+func runPackage(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) []analysis.Finding {
 	t.Helper()
 	expectations, err := parseWants(pkg)
 	if err != nil {
@@ -76,6 +135,7 @@ func runPackage(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) {
 			t.Errorf("%s: no diagnostic at %s:%d matching %q", pkg.PkgPath, e.file, e.line, e.re)
 		}
 	}
+	return findings
 }
 
 func matchExpectation(expectations []*expectation, f analysis.Finding) bool {

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// Diff-aware linting: a baseline file records the findings a tree is
+// known (and for now permitted) to contain, so reprolint -baseline
+// reports only NEW findings — the mode that makes tightening an
+// analyzer on a large tree tractable. Suppressions are keyed by
+// (analyzer, file, message) and deliberately carry no line numbers:
+// editing an unrelated part of a file shifts lines but must not
+// resurrect a baselined finding. The price is that N identical
+// messages in one file count as one suppression; reprolint's messages
+// embed the offending identifier, so collisions are rare in practice.
+
+// Suppression identifies one baselined finding class.
+type Suppression struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Version      int           `json:"version"`
+	Suppressions []Suppression `json:"suppressions"`
+}
+
+func (s Suppression) key() string {
+	return s.Analyzer + "\x00" + filepath.ToSlash(s.File) + "\x00" + s.Message
+}
+
+// NewBaseline captures findings (with module-relative filenames) as a
+// baseline, sorted and deduplicated.
+func NewBaseline(findings []Finding) *Baseline {
+	seen := make(map[string]bool)
+	b := &Baseline{Version: 1, Suppressions: []Suppression{}}
+	for _, f := range findings {
+		s := Suppression{Analyzer: f.Analyzer, File: filepath.ToSlash(f.Pos.Filename), Message: f.Message}
+		if seen[s.key()] {
+			continue
+		}
+		seen[s.key()] = true
+		b.Suppressions = append(b.Suppressions, s)
+	}
+	sort.Slice(b.Suppressions, func(i, j int) bool {
+		return b.Suppressions[i].key() < b.Suppressions[j].key()
+	})
+	return b
+}
+
+// Encode renders the baseline as deterministic, committed-file-friendly
+// JSON.
+func (b *Baseline) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// DecodeBaseline parses a baseline file.
+func DecodeBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline: %w", err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("unsupported baseline version %d (want 1)", b.Version)
+	}
+	return &b, nil
+}
+
+// Filter drops findings the baseline suppresses and returns the rest,
+// preserving order.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	suppressed := make(map[string]bool, len(b.Suppressions))
+	for _, s := range b.Suppressions {
+		suppressed[s.key()] = true
+	}
+	var out []Finding
+	for _, f := range findings {
+		s := Suppression{Analyzer: f.Analyzer, File: filepath.ToSlash(f.Pos.Filename), Message: f.Message}
+		if suppressed[s.key()] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func baselineFindings() []Finding {
+	return []Finding{
+		{Analyzer: "maporder", Pos: token.Position{Filename: "internal/a/a.go", Line: 10}, Message: "append collects ks in map iteration order"},
+		{Analyzer: "maporder", Pos: token.Position{Filename: "internal/a/a.go", Line: 44}, Message: "append collects ks in map iteration order"},
+		{Analyzer: "nilspec", Pos: token.Position{Filename: "internal/b/b.go", Line: 7}, Message: "method X must begin with a nil receiver guard"},
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	b := NewBaseline(baselineFindings())
+	// Two findings share (analyzer, file, message): one suppression.
+	if len(b.Suppressions) != 2 {
+		t.Fatalf("got %d suppressions, want 2 (deduplicated): %+v", len(b.Suppressions), b.Suppressions)
+	}
+	data, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := DecodeBaseline(data)
+	if err != nil {
+		t.Fatalf("decoding encoded baseline: %v", err)
+	}
+	data2, err := again.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatalf("baseline round trip not byte-identical:\n%s\n----\n%s", data, data2)
+	}
+}
+
+func TestBaselineFilterIsLineNumberFree(t *testing.T) {
+	b := NewBaseline(baselineFindings())
+	// The same findings at entirely different lines stay suppressed:
+	// baselines must survive unrelated edits shifting the file.
+	shifted := baselineFindings()
+	for i := range shifted {
+		shifted[i].Pos.Line += 100
+	}
+	if rest := b.Filter(shifted); len(rest) != 0 {
+		t.Fatalf("line-shifted findings not suppressed: %+v", rest)
+	}
+	// A genuinely new finding passes through.
+	novel := Finding{Analyzer: "maporder", Pos: token.Position{Filename: "internal/c/c.go", Line: 1}, Message: "append collects out in map iteration order"}
+	rest := b.Filter(append(baselineFindings(), novel))
+	if len(rest) != 1 || rest[0].Pos.Filename != "internal/c/c.go" {
+		t.Fatalf("new finding filtered incorrectly: %+v", rest)
+	}
+}
+
+func TestBaselineVersionGate(t *testing.T) {
+	if _, err := DecodeBaseline([]byte(`{"version":2,"suppressions":[]}`)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version accepted: %v", err)
+	}
+	if _, err := DecodeBaseline([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,605 @@
+// Package callgraph builds a deterministic whole-module call graph over
+// the packages an analysis.Loader produced, so interprocedural
+// analyzers (timeflow's taint pass, parkflow's park-capability
+// reachability) can ask "what may this call reach?" instead of pattern
+// matching on call sites.
+//
+// The graph is conservative (sound over-approximation, never missing a
+// possible call) along three edge kinds:
+//
+//   - Static: direct calls to a declared function or to a method on a
+//     concrete receiver. These are exact.
+//   - Interface: calls through an interface method dispatch to every
+//     module type whose method set implements the interface and that
+//     declares the method — class-hierarchy analysis over the module.
+//   - Dynamic: calls through a function-typed value dispatch to every
+//     address-taken module function or literal with an identical
+//     signature. A function is address-taken when it is referenced
+//     anywhere other than the operator position of a call.
+//
+// Determinism is part of the contract: nodes are keyed by stable IDs
+// (import path + name, or file position for literals), the node list is
+// sorted by ID, and each node's edges appear in call-site source order
+// with dispatch candidates sorted by callee ID — so two loads of the
+// same module render byte-identical edge lists (see the package tests),
+// matching the loader and runner's own ordering guarantees.
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// EdgeKind classifies how a call site resolves to its callee.
+type EdgeKind uint8
+
+const (
+	// Static is a direct call to a known function or concrete method.
+	Static EdgeKind = iota
+	// Interface is a conservative interface-method dispatch candidate.
+	Interface
+	// Dynamic is a conservative function-value dispatch candidate.
+	Dynamic
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Interface:
+		return "interface"
+	case Dynamic:
+		return "dynamic"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Node is one function in the graph: a declared function or method
+// (Fn != nil), a function literal (Lit != nil), or an external callee
+// the module calls but does not define (Fn != nil, Body == nil).
+type Node struct {
+	// ID is the stable sort key: "pkgpath.Name" for functions,
+	// "pkgpath.(Recv).Name" for methods, "pkgpath.lit@file:line:col"
+	// for literals.
+	ID string
+	// Fn is the declared function object; nil for literals.
+	Fn *types.Func
+	// Lit is the literal's syntax; nil for declared functions.
+	Lit *ast.FuncLit
+	// Body is the function body, nil for externals (stdlib callees and
+	// bodyless declarations).
+	Body *ast.BlockStmt
+	// Decl is the declaration syntax when Fn is module-declared.
+	Decl *ast.FuncDecl
+	// Pkg is the module package containing the body; nil for externals.
+	Pkg *analysis.Package
+	// Enclosing is the node lexically containing a literal; nil
+	// otherwise.
+	Enclosing *Node
+	// Out is the node's call edges, in call-site source order
+	// (candidates of one site sorted by callee ID).
+	Out []Edge
+	// In is the reverse adjacency, sorted by caller ID then site
+	// position.
+	In []Edge
+}
+
+// Edge is one resolved (or conservatively assumed) call.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	// Site is the call expression, in the caller's package.
+	Site *ast.CallExpr
+	Kind EdgeKind
+}
+
+// Graph is the whole-module call graph.
+type Graph struct {
+	// Nodes is sorted by ID.
+	Nodes []*Node
+	// Fset positions every node and site.
+	Fset *token.FileSet
+
+	byID  map[string]*Node
+	byFn  map[*types.Func]*Node
+	byLit map[*ast.FuncLit]*Node
+}
+
+// NodeOf returns the node for a declared function, creating nothing.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFn[fn] }
+
+// LitNode returns the node for a function literal.
+func (g *Graph) LitNode(lit *ast.FuncLit) *Node { return g.byLit[lit] }
+
+// Lookup returns the node with the given ID.
+func (g *Graph) Lookup(id string) *Node { return g.byID[id] }
+
+// cacheKey memoises the graph inside an analysis.Module.
+const cacheKey = "callgraph"
+
+// Of returns the module's call graph, building it on first use and
+// sharing it across analyzers and packages of the same run.
+func Of(pass *analysis.Pass) *Graph {
+	return pass.Module.Cache(cacheKey, func() any {
+		return Build(pass.Module.Pkgs)
+	}).(*Graph)
+}
+
+// builder carries the intermediate state of one Build.
+type builder struct {
+	g *Graph
+	// addressTaken marks functions referenced outside call position.
+	addressTaken map[*Node]bool
+	// sigOf caches each node's signature for dynamic matching.
+	sigOf map[*Node]*types.Signature
+	// methods indexes module-declared methods by name for interface
+	// dispatch, values sorted by ID.
+	methods map[string][]*Node
+	// dyn holds function-value call sites for pass-3 expansion.
+	dyn []dynSite
+}
+
+// Build constructs the graph over pkgs. The package list order does not
+// matter: all ordering in the result is by node ID and source position.
+func Build(pkgs []*analysis.Package) *Graph {
+	g := &Graph{
+		byID:  make(map[string]*Node),
+		byFn:  make(map[*types.Func]*Node),
+		byLit: make(map[*ast.FuncLit]*Node),
+	}
+	if len(pkgs) > 0 {
+		g.Fset = pkgs[0].Fset
+	}
+	b := &builder{
+		g:            g,
+		addressTaken: make(map[*Node]bool),
+		sigOf:        make(map[*Node]*types.Signature),
+		methods:      make(map[string][]*Node),
+	}
+	sorted := append([]*analysis.Package{}, pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].PkgPath < sorted[j].PkgPath })
+	// Pass 1: create nodes for every declared function and literal.
+	for _, pkg := range sorted {
+		for _, file := range pkg.Syntax {
+			b.declareFile(pkg, file)
+		}
+	}
+	// Pass 2: resolve call sites and address-taken references.
+	for _, pkg := range sorted {
+		for _, file := range pkg.Syntax {
+			b.resolveFile(pkg, file)
+		}
+	}
+	// Pass 3: expand dynamic call sites against the final address-taken
+	// set (collected in pass 2, so expansion must come after).
+	b.expandDynamic()
+	// Final ordering: nodes by ID; each node's Out edges by site
+	// position then callee ID; In edges by caller ID then site position.
+	g.Nodes = make([]*Node, 0, len(g.byID))
+	for _, n := range g.byID {
+		g.Nodes = append(g.Nodes, n)
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool { return g.Nodes[i].ID < g.Nodes[j].ID })
+	for _, n := range g.Nodes {
+		sortEdges(g, n.Out, false)
+	}
+	for _, n := range g.Nodes {
+		for i := range n.Out {
+			e := n.Out[i]
+			e.Callee.In = append(e.Callee.In, e)
+		}
+	}
+	for _, n := range g.Nodes {
+		sortEdges(g, n.In, true)
+	}
+	return g
+}
+
+func sortEdges(g *Graph, edges []Edge, byCaller bool) {
+	sort.SliceStable(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		ap, bp := token.NoPos, token.NoPos
+		if a.Site != nil {
+			ap = a.Site.Pos()
+		}
+		if b.Site != nil {
+			bp = b.Site.Pos()
+		}
+		if byCaller && a.Caller.ID != b.Caller.ID {
+			return a.Caller.ID < b.Caller.ID
+		}
+		if ap != bp {
+			// Positions from one FileSet are globally ordered.
+			return ap < bp
+		}
+		return a.Callee.ID < b.Callee.ID
+	})
+}
+
+// FuncID renders the stable node ID of a function object.
+func FuncID(fn *types.Func) string {
+	pkg := "_"
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if recv := recvOf(fn); recv != nil {
+		return fmt.Sprintf("%s.(%s).%s", pkg, typeShort(recv.Type()), fn.Name())
+	}
+	return pkg + "." + fn.Name()
+}
+
+func recvOf(fn *types.Func) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv()
+}
+
+// typeShort renders a receiver type without its package prefix:
+// "*Rank", "Queue[T]".
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return "" })
+}
+
+func (b *builder) nodeForFunc(fn *types.Func) *Node {
+	// Instantiated generic functions/methods get their own *types.Func
+	// per instantiation; fold them onto the declared origin so edges
+	// land on the node that carries the body.
+	if o := fn.Origin(); o != nil {
+		fn = o
+	}
+	if n, ok := b.g.byFn[fn]; ok {
+		return n
+	}
+	// The loader materialises the same source function as distinct
+	// *types.Func objects across test variants (a package and its
+	// test-augmented self); unify them on the stable ID so the graph
+	// has one node per source function.
+	id := FuncID(fn)
+	if n, ok := b.g.byID[id]; ok {
+		b.g.byFn[fn] = n
+		return n
+	}
+	n := &Node{ID: id, Fn: fn}
+	b.g.byFn[fn] = n
+	b.g.byID[id] = n
+	if sig, ok := fn.Type().(*types.Signature); ok {
+		b.sigOf[n] = sig
+	}
+	return n
+}
+
+func (b *builder) declareFile(pkg *analysis.Package, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			fn, _ := pkg.TypesInfo.Defs[d.Name].(*types.Func)
+			if fn == nil {
+				return false
+			}
+			node := b.nodeForFunc(fn)
+			node.Body, node.Decl, node.Pkg = d.Body, d, pkg
+			if recvOf(fn) != nil {
+				b.methods[fn.Name()] = append(b.methods[fn.Name()], node)
+			}
+		case *ast.FuncLit:
+			pos := pkg.Fset.Position(d.Pos())
+			id := fmt.Sprintf("%s.lit@%s:%d:%d", pkg.PkgPath, pos.Filename, pos.Line, pos.Column)
+			node := &Node{ID: id, Lit: d, Body: d.Body, Pkg: pkg}
+			b.g.byLit[d] = node
+			b.g.byID[id] = node
+			if sig, ok := pkg.TypesInfo.TypeOf(d).(*types.Signature); ok {
+				b.sigOf[node] = sig
+			}
+		}
+		return true
+	})
+	// Link each of this file's literals to its innermost enclosing
+	// function by position (a single Inspect cannot maintain a pop-able
+	// stack).
+	for _, n := range b.g.byID {
+		if n.Lit == nil || n.Pkg != pkg ||
+			n.Lit.Pos() < file.Pos() || n.Lit.End() > file.End() {
+			continue
+		}
+		n.Enclosing = b.enclosingOf(pkg, file, n.Lit)
+	}
+}
+
+// enclosingOf finds the innermost declared function or literal strictly
+// containing lit.
+func (b *builder) enclosingOf(pkg *analysis.Package, file *ast.File, lit *ast.FuncLit) *Node {
+	if lit.Pos() < file.Pos() || lit.End() > file.End() {
+		return nil
+	}
+	var best *Node
+	bestSpan := token.Pos(-1)
+	for _, other := range b.g.byID {
+		if other.Pkg != pkg || other.Body == nil {
+			continue
+		}
+		var lo, hi token.Pos
+		switch {
+		case other.Decl != nil:
+			lo, hi = other.Decl.Pos(), other.Decl.End()
+		case other.Lit != nil && other.Lit != lit:
+			lo, hi = other.Lit.Pos(), other.Lit.End()
+		default:
+			continue
+		}
+		if lo <= lit.Pos() && lit.End() <= hi {
+			span := hi - lo
+			if best == nil || span < bestSpan {
+				best, bestSpan = other, span
+			}
+		}
+	}
+	return best
+}
+
+// dynSite is a call through a function value, expanded in pass 3.
+type dynSite struct {
+	caller *Node
+	site   *ast.CallExpr
+	sig    *types.Signature
+}
+
+// (dyn sites live on the builder; see builder.dyn.)
+
+func (b *builder) resolveFile(pkg *analysis.Package, file *ast.File) {
+	// One pass to mark the identifiers standing in call-operator
+	// position, so the address-taken scan below is linear.
+	inCallPos := make(map[*ast.Ident]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			inCallPos[f] = true
+		case *ast.SelectorExpr:
+			inCallPos[f.Sel] = true
+		}
+		return true
+	})
+	// Attribute call sites to the innermost enclosing node by walking
+	// each node's own body shallowly (nested literals are their own
+	// nodes and are skipped — the walk of the literal's node sees
+	// them).
+	for _, n := range b.g.byID {
+		if n.Pkg != pkg || n.Body == nil ||
+			n.Body.Pos() < file.Pos() || n.Body.End() > file.End() {
+			continue
+		}
+		caller := n
+		inspectShallow(n.Body, func(sub ast.Node) {
+			if call, ok := sub.(*ast.CallExpr); ok {
+				b.resolveCall(pkg, caller, call)
+			}
+		})
+	}
+	// Linear address-taken scan.
+	ast.Inspect(file, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !inCallPos[id] {
+			if fn, ok := pkg.TypesInfo.Uses[id].(*types.Func); ok {
+				b.addressTaken[b.nodeForFunc(fn)] = true
+			}
+		}
+		return true
+	})
+}
+
+// inspectShallow walks the subtree without descending into nested
+// function literals (each literal is its own graph node). The root
+// literal's body itself is walked: the guard skips FuncLit nodes other
+// than the direct children already excluded by starting at a BlockStmt.
+func inspectShallow(root *ast.BlockStmt, f func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Still visit the call that immediately invokes a literal:
+			// the CallExpr parent was already visited; the literal's
+			// internals belong to the literal's node.
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+func (b *builder) resolveCall(pkg *analysis.Package, caller *Node, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	// Immediately invoked literal: static edge to the literal.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		if callee := b.g.byLit[lit]; callee != nil {
+			caller.Out = append(caller.Out, Edge{Caller: caller, Callee: callee, Site: call, Kind: Static})
+		}
+		return
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := pkg.TypesInfo.Uses[f].(type) {
+		case *types.Func:
+			callee := b.nodeForFunc(obj)
+			caller.Out = append(caller.Out, Edge{Caller: caller, Callee: callee, Site: call, Kind: Static})
+			return
+		case *types.Builtin, *types.TypeName, nil:
+			return // builtin or conversion: no edge
+		case *types.Var:
+			if sig, ok := obj.Type().Underlying().(*types.Signature); ok {
+				b.dyn = append(b.dyn, dynSite{caller: caller, site: call, sig: sig})
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		// Package-qualified function, concrete method, interface
+		// method, or func-typed field.
+		if sel, ok := pkg.TypesInfo.Selections[f]; ok {
+			switch sel.Kind() {
+			case types.MethodVal, types.MethodExpr:
+				fn := sel.Obj().(*types.Func)
+				if types.IsInterface(sel.Recv()) {
+					b.interfaceDispatch(caller, call, sel.Recv(), fn)
+					return
+				}
+				callee := b.nodeForFunc(fn)
+				caller.Out = append(caller.Out, Edge{Caller: caller, Callee: callee, Site: call, Kind: Static})
+				return
+			case types.FieldVal:
+				if sig, ok := sel.Obj().Type().Underlying().(*types.Signature); ok {
+					b.dyn = append(b.dyn, dynSite{caller: caller, site: call, sig: sig})
+				}
+				return
+			}
+		}
+		switch obj := pkg.TypesInfo.Uses[f.Sel].(type) {
+		case *types.Func:
+			callee := b.nodeForFunc(obj)
+			caller.Out = append(caller.Out, Edge{Caller: caller, Callee: callee, Site: call, Kind: Static})
+		case *types.Var:
+			if sig, ok := obj.Type().Underlying().(*types.Signature); ok {
+				b.dyn = append(b.dyn, dynSite{caller: caller, site: call, sig: sig})
+			}
+		}
+		return
+	default:
+		// Call of an arbitrary expression (a call returning a func, an
+		// index into a func slice): dynamic if func-typed.
+		if sig, ok := pkg.TypesInfo.TypeOf(fun).(*types.Signature); ok {
+			b.dyn = append(b.dyn, dynSite{caller: caller, site: call, sig: sig})
+		}
+	}
+}
+
+// interfaceDispatch adds conservative edges for a call of iface method
+// fn: every module-declared method with the same name whose receiver
+// type implements the interface.
+func (b *builder) interfaceDispatch(caller *Node, call *ast.CallExpr, recv types.Type, fn *types.Func) {
+	iface, ok := recv.Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	// Always keep the interface method itself as a node, so reachability
+	// queries can name it even with no module implementations.
+	decl := b.nodeForFunc(fn)
+	caller.Out = append(caller.Out, Edge{Caller: caller, Callee: decl, Site: call, Kind: Static})
+	cands := append([]*Node{}, b.methods[fn.Name()]...)
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+	for _, m := range cands {
+		mrecv := recvOf(m.Fn)
+		if mrecv == nil {
+			continue
+		}
+		t := mrecv.Type()
+		if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+			caller.Out = append(caller.Out, Edge{Caller: caller, Callee: m, Site: call, Kind: Interface})
+		}
+	}
+}
+
+// expandDynamic resolves every dynamic site against the address-taken
+// set: candidates are address-taken declared functions plus all
+// literals (a literal is a value by construction), signature-identical
+// to the site.
+func (b *builder) expandDynamic() {
+	var cands []*Node
+	for n := range b.addressTaken {
+		cands = append(cands, n)
+	}
+	for _, n := range b.g.byID {
+		if n.Lit != nil {
+			cands = append(cands, n)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+	for _, site := range b.dyn {
+		for _, c := range cands {
+			sig := b.sigOf[c]
+			if sig == nil || !types.Identical(stripRecv(sig), stripRecv(site.sig)) {
+				continue
+			}
+			site.caller.Out = append(site.caller.Out,
+				Edge{Caller: site.caller, Callee: c, Site: site.site, Kind: Dynamic})
+		}
+	}
+}
+
+// stripRecv compares signatures ignoring the receiver (method values
+// bound to a receiver have plain function signatures at use sites).
+func stripRecv(sig *types.Signature) *types.Signature {
+	if sig.Recv() == nil {
+		return sig
+	}
+	return types.NewSignatureType(nil, nil, nil, sig.Params(), sig.Results(), sig.Variadic())
+}
+
+// Reachable computes the set of nodes reachable from the given roots
+// along edges admitted by keep (nil keeps every kind). The returned map
+// is keyed by node; traversal order is deterministic but the map itself
+// is unordered — callers needing order should sort by ID.
+func (g *Graph) Reachable(roots []*Node, keep func(Edge) bool) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	stack := append([]*Node{}, roots...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == nil || seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, e := range n.Out {
+			if keep == nil || keep(e) {
+				stack = append(stack, e.Callee)
+			}
+		}
+	}
+	return seen
+}
+
+// ReachesInverse computes, for the given targets, every node that can
+// reach one of them along edges admitted by keep — the park-capability
+// query. Runs over the In adjacency.
+func (g *Graph) ReachesInverse(targets []*Node, keep func(Edge) bool) map[*Node]bool {
+	seen := make(map[*Node]bool)
+	stack := append([]*Node{}, targets...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == nil || seen[n] {
+			continue
+		}
+		seen[n] = true
+		for _, e := range n.In {
+			if keep == nil || keep(e) {
+				stack = append(stack, e.Caller)
+			}
+		}
+	}
+	return seen
+}
+
+// Describe renders the edge list deterministically, one line per edge:
+// "caller -> callee [kind] @ file:line:col". Used by the determinism
+// tests and reprolint -debug tooling.
+func (g *Graph) Describe() []string {
+	var out []string
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			pos := ""
+			if e.Site != nil && g.Fset != nil {
+				p := g.Fset.Position(e.Site.Pos())
+				pos = fmt.Sprintf(" @ %s:%d:%d", p.Filename, p.Line, p.Column)
+			}
+			out = append(out, fmt.Sprintf("%s -> %s [%s]%s", n.ID, e.Callee.ID, e.Kind, pos))
+		}
+	}
+	return out
+}

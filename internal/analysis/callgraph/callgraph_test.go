@@ -1,0 +1,151 @@
+package callgraph_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+func loadFixture(t *testing.T) []*analysis.Package {
+	t.Helper()
+	pkgs, err := analysis.NewLoader("testdata/src", "", true).Load()
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return pkgs
+}
+
+// TestDeterministicEdgeList loads the fixture tree twice through two
+// independent loaders and requires the rendered edge lists to be
+// byte-identical — the callgraph analogue of the repo's same-seed
+// golden checks.
+func TestDeterministicEdgeList(t *testing.T) {
+	a := strings.Join(callgraph.Build(loadFixture(t)).Describe(), "\n")
+	b := strings.Join(callgraph.Build(loadFixture(t)).Describe(), "\n")
+	if a != b {
+		t.Fatalf("two loads rendered different edge lists:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty edge list: fixture not loaded")
+	}
+}
+
+// TestModuleDeterministicEdgeList repeats the double-load check over
+// the real module — the tree reprolint actually analyzes. Skipped in
+// -short mode: it type-checks the whole module (plus its stdlib
+// dependencies) twice.
+func TestModuleDeterministicEdgeList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module double load is slow; run without -short")
+	}
+	root := moduleRoot(t)
+	load := func() []*analysis.Package {
+		pkgs, err := analysis.NewLoader(root, "repro", false).Load()
+		if err != nil {
+			t.Fatalf("loading module: %v", err)
+		}
+		return pkgs
+	}
+	a := strings.Join(callgraph.Build(load()).Describe(), "\n")
+	b := strings.Join(callgraph.Build(load()).Describe(), "\n")
+	if a != b {
+		t.Fatal("two loads of the module rendered different edge lists")
+	}
+	if !strings.Contains(a, "repro/internal/mpi") {
+		t.Fatal("module graph is missing internal/mpi nodes")
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestInterfaceDispatchIsConservative proves interface calls dispatch
+// to every implementing module type and nothing else.
+func TestInterfaceDispatchIsConservative(t *testing.T) {
+	g := callgraph.Build(loadFixture(t))
+	announce := g.Lookup("iface.Announce")
+	if announce == nil {
+		t.Fatal("iface.Announce node missing")
+	}
+	var ifaceCallees []string
+	for _, e := range announce.Out {
+		if e.Kind == callgraph.Interface {
+			ifaceCallees = append(ifaceCallees, e.Callee.ID)
+		}
+	}
+	want := []string{"iface.(*Cat).Speak", "iface.(Dog).Speak"}
+	if got := strings.Join(ifaceCallees, ","); got != strings.Join(want, ",") {
+		t.Fatalf("interface dispatch candidates = %q, want %q", got, strings.Join(want, ","))
+	}
+	for _, e := range announce.Out {
+		if strings.Contains(e.Callee.ID, "Robot") {
+			t.Fatalf("Robot.Speak (wrong signature) wrongly among candidates: %s", e.Callee.ID)
+		}
+	}
+}
+
+// TestDynamicDispatchUsesAddressTaken proves function-value calls
+// resolve to address-taken functions only.
+func TestDynamicDispatchUsesAddressTaken(t *testing.T) {
+	g := callgraph.Build(loadFixture(t))
+	wire := g.Lookup("iface.Wire")
+	if wire == nil {
+		t.Fatal("iface.Wire node missing")
+	}
+	var static, dynamic []string
+	for _, e := range wire.Out {
+		switch e.Kind {
+		case callgraph.Static:
+			static = append(static, e.Callee.ID)
+		case callgraph.Dynamic:
+			dynamic = append(dynamic, e.Callee.ID)
+		}
+	}
+	joined := strings.Join(dynamic, ",")
+	if !strings.Contains(joined, "iface.indirect") {
+		t.Fatalf("dynamic site missing address-taken candidate iface.indirect: %q", joined)
+	}
+	if strings.Contains(joined, "notTaken") {
+		t.Fatalf("dynamic site dispatches to never-address-taken function: %q", joined)
+	}
+	sjoined := strings.Join(static, ",")
+	for _, want := range []string{"iface.direct", "iface.Announce"} {
+		if !strings.Contains(sjoined, want) {
+			t.Fatalf("static edges %q missing %s", sjoined, want)
+		}
+	}
+}
+
+// TestReachability checks forward and inverse reachability agree.
+func TestReachability(t *testing.T) {
+	g := callgraph.Build(loadFixture(t))
+	wire, direct := g.Lookup("iface.Wire"), g.Lookup("iface.direct")
+	if wire == nil || direct == nil {
+		t.Fatal("fixture nodes missing")
+	}
+	if !g.Reachable([]*callgraph.Node{wire}, nil)[direct] {
+		t.Fatal("direct not forward-reachable from Wire")
+	}
+	if !g.ReachesInverse([]*callgraph.Node{direct}, nil)[wire] {
+		t.Fatal("Wire does not inverse-reach direct")
+	}
+}

@@ -1,0 +1,50 @@
+// Package iface is a callgraph fixture exercising all three edge
+// kinds: static calls, conservative interface dispatch, and dynamic
+// function-value dispatch.
+package iface
+
+// Speaker is implemented by Dog and Cat below; Robot deliberately does
+// not implement it (wrong signature).
+type Speaker interface {
+	Speak() string
+}
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{}
+
+func (*Cat) Speak() string { return "meow" }
+
+type Robot struct{}
+
+// Speak on Robot has a different signature, so Robot is not a Speaker
+// and must not appear among the dispatch candidates.
+func (Robot) Speak(volume int) string { return "beep" }
+
+// Announce calls through the interface: conservative dispatch must
+// resolve to Dog.Speak and (*Cat).Speak, not Robot.Speak.
+func Announce(s Speaker) string { return s.Speak() }
+
+// direct is a static callee.
+func direct() string { return "direct" }
+
+// indirect is address-taken in Wire and must appear as a dynamic
+// candidate at the f() site.
+func indirect() string { return "indirect" }
+
+// notTaken has a matching signature but is never address-taken, so the
+// dynamic site must not dispatch to it.
+func notTaken() string { return "hidden" }
+
+// Wire exercises static and dynamic calls.
+func Wire() string {
+	out := direct()
+	f := indirect
+	out += f()
+	out += Announce(Dog{})
+	lit := func() string { return "lit" }
+	out += lit()
+	return out
+}

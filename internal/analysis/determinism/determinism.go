@@ -11,6 +11,7 @@
 package determinism
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 	"strings"
@@ -67,6 +68,37 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
+// timeFix builds the machine fix for a wall-clock use where the
+// virtual-time rewrite is mechanical: time.Now() becomes clk.Now() and
+// time.Sleep(d) becomes clk.Advance(simtime.FromDuration(d)), both
+// referencing the threaded *simtime.Clock the surrounding code is
+// expected to name clk (the repo's pervasive convention). Other entry
+// points (Since, Tick, timers) have no one-expression equivalent, so
+// they report without a fix.
+func timeFix(pkgIdent *ast.Ident, name string, call *ast.CallExpr) (analysis.SuggestedFix, bool) {
+	switch name {
+	case "Now":
+		return analysis.SuggestedFix{
+			Message: "read the threaded simtime clock (clk.Now())",
+			TextEdits: []analysis.TextEdit{
+				{Pos: pkgIdent.Pos(), End: pkgIdent.End(), NewText: "clk"},
+			},
+		}, true
+	case "Sleep":
+		if call == nil || len(call.Args) != 1 {
+			return analysis.SuggestedFix{}, false
+		}
+		return analysis.SuggestedFix{
+			Message: "advance the threaded simtime clock instead of sleeping",
+			TextEdits: []analysis.TextEdit{
+				{Pos: call.Pos(), End: call.Lparen + 1, NewText: "clk.Advance(simtime.FromDuration("},
+				{Pos: call.Rparen, End: call.Rparen, NewText: ")"},
+			},
+		}, true
+	}
+	return analysis.SuggestedFix{}, false
+}
+
 func run(pass *analysis.Pass) (any, error) {
 	if AllowedPkgs[strings.TrimSuffix(pass.Pkg.Path(), "_test")] {
 		return nil, nil
@@ -79,6 +111,17 @@ func run(pass *analysis.Pass) (any, error) {
 				pass.Reportf(imp.Pos(), "crypto/rand is non-reproducible entropy; derive randomness from a seed (internal/faults' splitmix64, or rand.New(rand.NewSource(seed)))")
 			}
 		}
+		// callOf maps a selector to the call invoking it, for the fixes
+		// that must rewrite around the argument list (time.Sleep).
+		callOf := make(map[*ast.SelectorExpr]*ast.CallExpr)
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					callOf[sel] = call
+				}
+			}
+			return true
+		})
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -99,11 +142,21 @@ func run(pass *analysis.Pass) (any, error) {
 			switch pkgName.Imported().Path() {
 			case "time":
 				if forbiddenTime[name] {
-					pass.Reportf(sel.Pos(), "time.%s reads the wall clock; simulations and reports must use internal/simtime virtual time", name)
+					msg := fmt.Sprintf("time.%s reads the wall clock; simulations and reports must use internal/simtime virtual time", name)
+					if fix, ok := timeFix(ident, name, callOf[sel]); ok {
+						pass.ReportFix(sel.Pos(), fix, "%s", msg)
+					} else {
+						pass.Reportf(sel.Pos(), "%s", msg)
+					}
 				}
 			case "math/rand", "math/rand/v2":
 				if !allowedRand[name] {
-					pass.Reportf(sel.Pos(), "global rand.%s draws from the shared unseeded source; use rand.New(rand.NewSource(seed)) or an internal/faults schedule", name)
+					pass.ReportFix(sel.Pos(), analysis.SuggestedFix{
+						Message: "draw from a seeded generator rng (rand.New(rand.NewSource(seed)))",
+						TextEdits: []analysis.TextEdit{
+							{Pos: ident.Pos(), End: ident.End(), NewText: "rng"},
+						},
+					}, "global rand.%s draws from the shared unseeded source; use rand.New(rand.NewSource(seed)) or an internal/faults schedule", name)
 				}
 			case "os":
 				if forbiddenOS[name] {

@@ -25,3 +25,9 @@ func TestAllowlistedPackagesAreExempt(t *testing.T) {
 	defer delete(determinism.AllowedPkgs, "b")
 	analysistest.Run(t, "testdata", determinism.Analyzer, "b")
 }
+
+// TestSuggestedFixes applies every fix the analyzer emits on the fix
+// fixture and checks the result against the committed .golden file.
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", determinism.Analyzer, "fix")
+}

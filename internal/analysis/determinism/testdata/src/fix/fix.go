@@ -1,0 +1,24 @@
+// Package fix exercises the determinism analyzer's suggested fixes:
+// applying every emitted fix with analysis.ApplyFixes must reproduce
+// fix.go.golden byte for byte. The rewrites reference the threaded
+// clock/generator names (clk, rng) the surrounding code is expected to
+// declare, so the golden intentionally does not compile — it pins the
+// mechanical edit, not a finished refactor.
+package fix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func pause(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep reads the wall clock`
+}
+
+func jitter() int {
+	return rand.Intn(8) // want `global rand\.Intn draws from the shared unseeded source`
+}

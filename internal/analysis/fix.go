@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes collects every suggested fix carried by findings and
+// returns the rewritten content of each affected file, keyed by file
+// path. Application is deterministic: edits are sorted by (file, start
+// offset, end offset, replacement), exact duplicates are collapsed, and
+// when two distinct edits overlap the one starting earlier (first in
+// the sorted order) wins and the later one is dropped — so the result
+// depends only on the finding set, never on map or discovery order.
+// Files are read from disk; a read failure fails the whole application.
+func ApplyFixes(findings []Finding) (map[string][]byte, error) {
+	byFile := make(map[string][]Edit)
+	for _, f := range findings {
+		for _, fix := range f.Fixes {
+			for _, e := range fix.Edits {
+				byFile[e.File] = append(byFile[e.File], e)
+			}
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	out := make(map[string][]byte, len(files))
+	for _, file := range files {
+		edits := dedupe(byFile[file])
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("applying fixes: %w", err)
+		}
+		fixed, err := apply(src, edits)
+		if err != nil {
+			return nil, fmt.Errorf("applying fixes to %s: %w", file, err)
+		}
+		out[file] = fixed
+	}
+	return out, nil
+}
+
+// dedupe sorts edits and drops exact duplicates (the same diagnostic
+// reported for two packages — a package and its test variant — emits
+// the same edit twice) and later edits that overlap an earlier one.
+func dedupe(edits []Edit) []Edit {
+	sort.Slice(edits, func(i, j int) bool {
+		a, b := edits[i], edits[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return a.NewText < b.NewText
+	})
+	var out []Edit
+	for _, e := range edits {
+		if len(out) > 0 {
+			prev := out[len(out)-1]
+			if prev == e {
+				continue // exact duplicate
+			}
+			// Overlap: a pure insertion at the previous edit's start is
+			// only a conflict if the previous edit was also an insertion
+			// there; otherwise starting inside [prev.Start, prev.End)
+			// conflicts and the earlier edit wins.
+			if e.Start < prev.End || (e.Start == prev.Start && prev.Start == prev.End && e.Start == e.End) {
+				continue
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// apply splices sorted, non-overlapping edits into src.
+func apply(src []byte, edits []Edit) ([]byte, error) {
+	var out []byte
+	last := 0
+	for _, e := range edits {
+		if e.Start < last || e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of bounds or overlapping", e.Start, e.End)
+		}
+		out = append(out, src[last:e.Start]...)
+		out = append(out, e.NewText...)
+		last = e.End
+	}
+	out = append(out, src[last:]...)
+	return out, nil
+}

@@ -15,6 +15,7 @@
 package maporder
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -44,7 +45,7 @@ func run(pass *analysis.Pass) (any, error) {
 				return true
 			}
 			if body != nil {
-				checkFunc(pass, body, ignored)
+				checkFunc(pass, file, body, ignored)
 			}
 			return true
 		})
@@ -55,7 +56,7 @@ func run(pass *analysis.Pass) (any, error) {
 // checkFunc examines one function body, stopping at nested function
 // literals (the outer walk visits those on their own, and a sort inside
 // a different function does not order this one's loop).
-func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, ignored map[int]bool) {
+func checkFunc(pass *analysis.Pass, file *ast.File, body *ast.BlockStmt, ignored map[int]bool) {
 	inspectShallow(body, func(n ast.Node) {
 		rs, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -71,7 +72,7 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, ignored map[int]bool) {
 		if ignored[pass.Fset.Position(rs.Pos()).Line] {
 			return
 		}
-		checkMapRange(pass, rs, body, ignored)
+		checkMapRange(pass, file, rs, body, ignored)
 	})
 }
 
@@ -89,7 +90,7 @@ func inspectShallow(root ast.Node, f func(ast.Node)) {
 	})
 }
 
-func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt, ignored map[int]bool) {
+func checkMapRange(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, enclosing *ast.BlockStmt, ignored map[int]bool) {
 	ast.Inspect(rs.Body, func(n ast.Node) bool {
 		if n == nil {
 			return true
@@ -101,7 +102,7 @@ func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, enclosing *ast.BlockS
 		}
 		switch st := n.(type) {
 		case *ast.AssignStmt:
-			checkAssign(pass, st, rs, enclosing)
+			checkAssign(pass, file, st, rs, enclosing)
 		case *ast.CallExpr:
 			checkCall(pass, st)
 		}
@@ -114,7 +115,7 @@ func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, enclosing *ast.BlockS
 // function, and `str += ...` string concatenation. Accumulators
 // declared inside the range body are exempt — per-iteration state
 // cannot observe cross-iteration order.
-func checkAssign(pass *analysis.Pass, st *ast.AssignStmt, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+func checkAssign(pass *analysis.Pass, file *ast.File, st *ast.AssignStmt, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
 	if st.Tok == token.ADD_ASSIGN && len(st.Lhs) == 1 {
 		if t := pass.TypesInfo.TypeOf(st.Lhs[0]); t != nil {
 			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
@@ -148,8 +149,96 @@ func checkAssign(pass *analysis.Pass, st *ast.AssignStmt, rs *ast.RangeStmt, enc
 		if target != nil {
 			name = target.Name()
 		}
-		pass.Reportf(call.Pos(), "append collects %s in map iteration order with no sort in this function; sort it (sort/slices) or iterate sorted keys", name)
+		msg := fmt.Sprintf("append collects %s in map iteration order with no sort in this function; sort it (sort/slices) or iterate sorted keys", name)
+		if fix, ok := insertSortFix(pass, file, st.Lhs[i], rs); ok {
+			pass.ReportFix(call.Pos(), fix, "%s", msg)
+		} else {
+			pass.Reportf(call.Pos(), "%s", msg)
+		}
 	}
+}
+
+// sortFuncFor maps an ordered element type to the matching sort helper.
+func sortFuncFor(elem types.Type) (string, bool) {
+	b, ok := elem.Underlying().(*types.Basic)
+	if !ok {
+		return "", false
+	}
+	switch b.Kind() {
+	case types.String:
+		return "sort.Strings", true
+	case types.Int:
+		return "sort.Ints", true
+	case types.Float64:
+		return "sort.Float64s", true
+	}
+	return "", false
+}
+
+// insertSortFix builds the canonical fix for an unsorted append
+// accumulator: insert `sort.Xs(name)` right after the range statement
+// (and `"sort"` into the import block if it is missing). Only plain
+// identifier targets with ordered element types are fixable
+// mechanically; everything else keeps the diagnostic alone.
+func insertSortFix(pass *analysis.Pass, file *ast.File, lhs ast.Expr, rs *ast.RangeStmt) (analysis.SuggestedFix, bool) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	t := pass.TypesInfo.TypeOf(id)
+	if t == nil {
+		return analysis.SuggestedFix{}, false
+	}
+	slice, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	sortFn, ok := sortFuncFor(slice.Elem())
+	if !ok {
+		return analysis.SuggestedFix{}, false
+	}
+	indent := strings.Repeat("\t", pass.Fset.Position(rs.Pos()).Column-1)
+	fix := analysis.SuggestedFix{
+		Message: fmt.Sprintf("sort %s after the loop (%s)", id.Name, sortFn),
+		TextEdits: []analysis.TextEdit{
+			{Pos: rs.End(), End: rs.End(), NewText: "\n" + indent + sortFn + "(" + id.Name + ")"},
+		},
+	}
+	if imp, ok := importInsertion(file, "sort"); ok {
+		fix.TextEdits = append(fix.TextEdits, imp)
+	}
+	return fix, true
+}
+
+// importInsertion returns the edit adding `"path"` to the file's
+// grouped import block in sorted position, or ok=false when the import
+// already exists or the file has no parenthesised import declaration to
+// extend.
+func importInsertion(file *ast.File, path string) (analysis.TextEdit, bool) {
+	quoted := `"` + path + `"`
+	for _, imp := range file.Imports {
+		if imp.Path.Value == quoted {
+			return analysis.TextEdit{}, false
+		}
+	}
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT || !gd.Lparen.IsValid() {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			is := spec.(*ast.ImportSpec)
+			if is.Path.Value > quoted {
+				return analysis.TextEdit{Pos: is.Pos(), End: is.Pos(), NewText: quoted + "\n\t"}, true
+			}
+		}
+		if n := len(gd.Specs); n > 0 {
+			last := gd.Specs[n-1]
+			return analysis.TextEdit{Pos: last.End(), End: last.End(), NewText: "\n\t" + quoted}, true
+		}
+		return analysis.TextEdit{Pos: gd.Lparen + 1, End: gd.Lparen + 1, NewText: "\n\t" + quoted}, true
+	}
+	return analysis.TextEdit{}, false
 }
 
 func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {

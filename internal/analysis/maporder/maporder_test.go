@@ -10,3 +10,9 @@ import (
 func TestFixtures(t *testing.T) {
 	analysistest.Run(t, "testdata", maporder.Analyzer, "a")
 }
+
+// TestSuggestedFixes applies every fix the analyzer emits on the fix
+// fixture and checks the result against the committed .golden file.
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, "testdata", maporder.Analyzer, "fix")
+}

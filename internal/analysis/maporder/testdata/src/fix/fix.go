@@ -1,0 +1,29 @@
+// Package fix exercises the maporder analyzer's suggested fix: the
+// missing sort call is inserted right after the range loop, and "sort"
+// joins the import block. Applying every emitted fix with
+// analysis.ApplyFixes must reproduce fix.go.golden byte for byte.
+package fix
+
+import (
+	"fmt"
+)
+
+func keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `append collects ks in map iteration order`
+	}
+	return ks
+}
+
+func values(m map[string]int) []int {
+	var vs []int
+	for _, v := range m {
+		vs = append(vs, v) // want `append collects vs in map iteration order`
+	}
+	return vs
+}
+
+func describe(m map[string]int) string {
+	return fmt.Sprint(len(m))
+}

@@ -20,6 +20,7 @@
 package nilspec
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -72,12 +73,78 @@ func run(pass *analysis.Pass) (any, error) {
 			}
 			recv := pass.TypesInfo.Defs[names[0]]
 			if fn.Body == nil || len(fn.Body.List) == 0 || !startsWithNilGuard(pass, fn.Body.List[0], recv) {
-				pass.Reportf(fn.Name.Pos(), "method %s on nil-safe type *%s must begin with a nil receiver guard (if %s == nil { ... }); nil %s means %q",
+				msg := fmt.Sprintf("method %s on nil-safe type *%s must begin with a nil receiver guard (if %s == nil { ... }); nil %s means %q",
 					fn.Name.Name, tn.Name(), names[0].Name, tn.Name(), "disabled")
+				if fix, ok := guardFix(pass, fn, names[0].Name); ok {
+					pass.ReportFix(fn.Name.Pos(), fix, "%s", msg)
+				} else {
+					pass.Reportf(fn.Name.Pos(), "%s", msg)
+				}
 			}
 		}
 	}
 	return nil, nil
+}
+
+// guardFix builds the insertion of the missing nil guard at the top of
+// the method body: `if r == nil { return <zeros> }`. The fix is only
+// offered when every result type has a spelled-out zero value (nil, 0,
+// "", false) — a method returning a struct by value needs a
+// human-written disabled result, so it keeps the diagnostic alone.
+func guardFix(pass *analysis.Pass, fn *ast.FuncDecl, recvName string) (analysis.SuggestedFix, bool) {
+	if fn.Body == nil {
+		return analysis.SuggestedFix{}, false
+	}
+	var zeros []string
+	if fn.Type.Results != nil {
+		for _, field := range fn.Type.Results.List {
+			n := len(field.Names)
+			if n == 0 {
+				n = 1
+			}
+			z, ok := zeroValue(pass.TypesInfo.TypeOf(field.Type))
+			if !ok {
+				return analysis.SuggestedFix{}, false
+			}
+			for i := 0; i < n; i++ {
+				zeros = append(zeros, z)
+			}
+		}
+	}
+	ret := "return"
+	if len(zeros) > 0 {
+		ret += " " + strings.Join(zeros, ", ")
+	}
+	guard := fmt.Sprintf("\n\tif %s == nil {\n\t\t%s\n\t}", recvName, ret)
+	return analysis.SuggestedFix{
+		Message: fmt.Sprintf("insert the nil receiver guard (nil means %q)", "disabled"),
+		TextEdits: []analysis.TextEdit{
+			{Pos: fn.Body.Lbrace + 1, End: fn.Body.Lbrace + 1, NewText: guard},
+		},
+	}, true
+}
+
+// zeroValue spells the zero of t, ok=false when it has no universal
+// literal spelling (struct and array values).
+func zeroValue(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch {
+		case u.Info()&types.IsNumeric != 0:
+			return "0", true
+		case u.Info()&types.IsString != 0:
+			return `""`, true
+		case u.Info()&types.IsBoolean != 0:
+			return "false", true
+		}
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return "nil", true
+	}
+	return "", false
 }
 
 // markedTypes collects the package's types carrying the nilsafe

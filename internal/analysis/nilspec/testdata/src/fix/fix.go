@@ -1,0 +1,34 @@
+// Package fix exercises the nilspec analyzer's suggested fix: the
+// missing nil receiver guard is inserted at the top of the method body
+// with a zero-valued return. Applying every emitted fix with
+// analysis.ApplyFixes must reproduce fix.go.golden byte for byte.
+// Result types with no spelled zero (struct values) keep the
+// diagnostic without a fix and stay untouched in the golden. The
+// guard lands at the opening brace, so the fixture's trailing want
+// comments end up after the inserted block — an artifact of the
+// fixture, not of real code.
+package fix
+
+// Spec is disabled when nil.
+//
+//reprolint:nilsafe
+type Spec struct{ n int }
+
+// Stat is a by-value result with no literal zero spelling.
+type Stat struct{ N int }
+
+func (s *Spec) Count() int { // want `method Count on nil-safe type \*Spec`
+	return s.n
+}
+
+func (s *Spec) Lookup(k string) (string, error) { // want `method Lookup on nil-safe type \*Spec`
+	return k, nil
+}
+
+func (s *Spec) Touch() { // want `method Touch on nil-safe type \*Spec`
+	s.n++
+}
+
+func (s *Spec) Snapshot() Stat { // want `method Snapshot on nil-safe type \*Spec`
+	return Stat{N: s.n}
+}

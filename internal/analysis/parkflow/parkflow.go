@@ -1,0 +1,367 @@
+// Package parkflow checks the scheduler's parking discipline over the
+// whole-module call graph. The event-driven runtime (internal/sched)
+// runs every rank as a cooperative task; blocking operations —
+// sched.Gate.Wait, Queue.Pop/Push, Task.Yield, Task.Join — hand the
+// baton back to the scheduler and park the calling goroutine until it
+// is re-dispatched. That only works ON a task goroutine: parked from
+// the host (a test body, a driver loop), the primitive blocks a
+// goroutine the scheduler never dispatches again, and the run
+// deadlocks in a way the deadlock detector cannot even see.
+//
+// The analyzer computes the park-capable set — every function from
+// which a parking primitive is reachable over static and interface
+// edges (dynamic function-value edges are excluded: World.Run invoking
+// a workload body through a func value does not make World.Run itself
+// park on the host) — and reports call sites where a function with no
+// task context calls into that set. Task context means the function
+// can prove it runs on a task: a parameter or receiver that is a
+// *sched.Task or a struct transitively carrying one (*mpi.Rank and the
+// workload body signatures qualify), or an enclosing literal that
+// does. Holding a Gate, Queue or Scheduler does NOT count — those are
+// the synchronization objects themselves, owned by host code too, so
+// the walk deliberately refuses to recurse into sched's own types.
+//
+// It also orders multi-gate acquire paths: for every function body the
+// sequence of distinct gates (identified by owning-type.field or
+// package-level variable) passed to Gate.Wait is recorded, and two
+// functions acquiring the same pair of gates in opposite orders are
+// both reported — the static shadow of the Gate-cycle deadlock
+// internal/sched's Run documents as unrecoverable.
+//
+// The sched package itself (and its tests, which drive the scheduler
+// from the host by design) is exempt.
+package parkflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "parkflow",
+	Doc: "require task context (a *sched.Task or task-carrying struct in scope) at every call " +
+		"that can reach a parking primitive, and flag gate pairs acquired in conflicting " +
+		"order; parking off-task or in a gate cycle deadlocks the scheduler",
+	Run: run,
+}
+
+// primitives are the parking entry points of internal/sched, keyed
+// "ReceiverType.Method".
+var primitives = map[string]bool{
+	"Gate.Wait":  true,
+	"Queue.Pop":  true,
+	"Queue.Push": true,
+	"Task.Yield": true,
+	"Task.Join":  true,
+}
+
+// schedPkg reports whether a package path names the scheduler package
+// (or its external test package), matched by base so fixture stubs
+// qualify.
+func schedPkg(pkgPath string) bool {
+	return path.Base(strings.TrimSuffix(pkgPath, "_test")) == "sched"
+}
+
+// isPrimitive reports whether fn is a parking primitive.
+func isPrimitive(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || !schedPkg(fn.Pkg().Path()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := namedOf(sig.Recv().Type())
+	if recv == nil {
+		return false
+	}
+	return primitives[recv.Obj().Name()+"."+fn.Name()]
+}
+
+// namedOf unwraps pointers and aliases down to the named type, nil if
+// there is none. Generic instantiations (Queue[T]) unwrap to their
+// origin.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch tt := types.Unalias(t).(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Origin()
+		default:
+			return nil
+		}
+	}
+}
+
+// isSchedTask reports whether t is (a pointer to) sched.Task.
+func isSchedTask(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Task" && obj.Pkg() != nil && schedPkg(obj.Pkg().Path())
+}
+
+// carriesTask reports whether a value of type t transitively contains a
+// *sched.Task — the proof the holder runs on (or owns) a task. The
+// walk refuses to recurse into sched's other types: a Gate or Queue
+// internally points at tasks, but holding one is exactly the host-side
+// pattern the analyzer exists to catch.
+func carriesTask(t types.Type, seen map[*types.Named]bool) bool {
+	switch tt := types.Unalias(t).(type) {
+	case *types.Pointer:
+		return carriesTask(tt.Elem(), seen)
+	case *types.Slice:
+		return carriesTask(tt.Elem(), seen)
+	case *types.Array:
+		return carriesTask(tt.Elem(), seen)
+	case *types.Named:
+		if isSchedTask(tt) {
+			return true
+		}
+		obj := tt.Obj()
+		if obj.Pkg() != nil && schedPkg(obj.Pkg().Path()) {
+			return false // Gate, Queue, Scheduler: infrastructure, not context
+		}
+		if seen[tt.Origin()] {
+			return false
+		}
+		seen[tt.Origin()] = true
+		return carriesTask(tt.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if carriesTask(tt.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// signatureOf returns a node's signature, nil when unavailable.
+func signatureOf(n *callgraph.Node) *types.Signature {
+	if n.Fn != nil {
+		sig, _ := n.Fn.Type().(*types.Signature)
+		return sig
+	}
+	if n.Lit != nil && n.Pkg != nil {
+		sig, _ := types.Unalias(n.Pkg.TypesInfo.TypeOf(n.Lit)).(*types.Signature)
+		return sig
+	}
+	return nil
+}
+
+// hasTaskContext reports whether n (or a lexically enclosing function,
+// for literals) receives task context through its signature.
+func hasTaskContext(n *callgraph.Node) bool {
+	for cur := n; cur != nil; cur = cur.Enclosing {
+		sig := signatureOf(cur)
+		if sig == nil {
+			continue
+		}
+		if recv := sig.Recv(); recv != nil && carriesTask(recv.Type(), map[*types.Named]bool{}) {
+			return true
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if carriesTask(sig.Params().At(i).Type(), map[*types.Named]bool{}) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// moduleFacts is the cached whole-module computation: the park-capable
+// set and the global gate-order graph.
+type moduleFacts struct {
+	graph       *callgraph.Graph
+	parkCapable map[*callgraph.Node]bool
+	// orders maps "gateA\x00gateB" to the sorted IDs of functions that
+	// acquire gateA before gateB.
+	orders map[string][]string
+	// waits lists, per node, its ordered gate acquisitions.
+	waits map[*callgraph.Node][]gateWait
+}
+
+type gateWait struct {
+	key  string
+	site token.Pos
+}
+
+const cacheKey = "parkflow"
+
+func factsOf(pass *analysis.Pass) *moduleFacts {
+	return pass.Module.Cache(cacheKey, func() any {
+		g := callgraph.Of(pass)
+		f := &moduleFacts{
+			graph:  g,
+			orders: make(map[string][]string),
+			waits:  make(map[*callgraph.Node][]gateWait),
+		}
+		var targets []*callgraph.Node
+		for _, n := range g.Nodes {
+			if n.Fn != nil && isPrimitive(n.Fn) {
+				targets = append(targets, n)
+			}
+		}
+		f.parkCapable = g.ReachesInverse(targets, func(e callgraph.Edge) bool {
+			return e.Kind != callgraph.Dynamic
+		})
+		for _, n := range g.Nodes {
+			if n.Body == nil || n.Pkg == nil {
+				continue
+			}
+			waits := collectGateWaits(n)
+			f.waits[n] = waits
+			for i := 0; i < len(waits); i++ {
+				for j := i + 1; j < len(waits); j++ {
+					if waits[i].key == waits[j].key {
+						continue
+					}
+					k := waits[i].key + "\x00" + waits[j].key
+					f.orders[k] = append(f.orders[k], n.ID)
+				}
+			}
+		}
+		for k := range f.orders {
+			sort.Strings(f.orders[k])
+		}
+		return f
+	}).(*moduleFacts)
+}
+
+// collectGateWaits lists the Gate.Wait sites of n's body in source
+// order, keyed by identifiable gate (first acquisition per gate only).
+func collectGateWaits(n *callgraph.Node) []gateWait {
+	var out []gateWait
+	seen := map[string]bool{}
+	for _, e := range n.Out {
+		if e.Callee.Fn == nil || !isPrimitive(e.Callee.Fn) || e.Callee.Fn.Name() != "Wait" {
+			continue
+		}
+		sel, ok := ast.Unparen(e.Site.Fun).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		key, ok := gateKey(n.Pkg, sel.X)
+		if !ok || seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, gateWait{key: key, site: e.Site.Pos()})
+	}
+	return out
+}
+
+// gateKey names a gate expression stably: a field selection keys as
+// "OwnerType.field", a package-level variable as "pkgpath.name".
+// Locals and parameters are skipped — their aliasing across functions
+// is unknowable, so ordering them would only manufacture noise.
+func gateKey(pkg *analysis.Package, expr ast.Expr) (string, bool) {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if named := namedOf(sel.Recv()); named != nil {
+				return named.Obj().Name() + "." + x.Sel.Name, true
+			}
+		}
+		if obj, ok := pkg.TypesInfo.Uses[x.Sel].(*types.Var); ok && pkgLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.TypesInfo.Uses[x].(*types.Var); ok && pkgLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name(), true
+		}
+	}
+	return "", false
+}
+
+func pkgLevel(obj *types.Var) bool {
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if schedPkg(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	facts := factsOf(pass)
+	ignored := make(map[string]map[int]bool)
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		ignored[name] = analysis.IgnoredLines(pass.Fset, file)
+	}
+	suppressed := func(pos token.Pos) bool {
+		p := pass.Fset.Position(pos)
+		return ignored[p.Filename][p.Line]
+	}
+	for _, n := range facts.graph.Nodes {
+		if n.Pkg == nil || n.Pkg.PkgPath != pass.Pkg.Path() || n.Body == nil {
+			continue
+		}
+		// Park-context check: non-task contexts must not call into the
+		// park-capable set.
+		if !hasTaskContext(n) {
+			reported := map[token.Pos]bool{}
+			for _, e := range n.Out {
+				if e.Kind == callgraph.Dynamic || !facts.parkCapable[e.Callee] {
+					continue
+				}
+				pos := e.Site.Pos()
+				if reported[pos] || suppressed(pos) {
+					continue
+				}
+				reported[pos] = true
+				pass.Reportf(pos, "call to park-capable %s without task context: parking "+
+					"primitives must run on a scheduler task; thread a *sched.Task (or a "+
+					"task-carrying struct like *mpi.Rank) into %s", e.Callee.ID, describeNode(n))
+			}
+		}
+		// Gate-order check: report the acquisition that completes an
+		// inversion against some other function.
+		waits := facts.waits[n]
+		for i := 0; i < len(waits); i++ {
+			for j := i + 1; j < len(waits); j++ {
+				if waits[i].key == waits[j].key {
+					continue
+				}
+				inverse := facts.orders[waits[j].key+"\x00"+waits[i].key]
+				var others []string
+				for _, id := range inverse {
+					if id != n.ID {
+						others = append(others, id)
+					}
+				}
+				if len(others) == 0 || suppressed(waits[j].site) {
+					continue
+				}
+				pass.Reportf(waits[j].site, "gates %s and %s acquired in conflicting order: "+
+					"%s waits on %s first here, but %s waits in the opposite order — a "+
+					"circular wait deadlocks the scheduler beyond recovery",
+					waits[i].key, waits[j].key, describeNode(n), waits[i].key, strings.Join(others, ", "))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// describeNode names a node for messages: function ID, or "a function
+// literal in <enclosing>" for literals.
+func describeNode(n *callgraph.Node) string {
+	if n.Lit == nil {
+		return n.ID
+	}
+	if n.Enclosing != nil {
+		return fmt.Sprintf("the function literal in %s", n.Enclosing.ID)
+	}
+	return n.ID
+}

@@ -1,0 +1,12 @@
+package parkflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/parkflow"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", parkflow.Analyzer, "pf")
+}

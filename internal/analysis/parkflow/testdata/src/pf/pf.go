@@ -1,0 +1,85 @@
+// Package pf exercises the parkflow analyzer: park-capable calls need
+// task context, and gate pairs must be acquired in one global order.
+package pf
+
+import "sched"
+
+// Rank mirrors mpi.Rank: a task-carrying struct, so its methods have
+// task context.
+type Rank struct {
+	task *sched.Task
+	in   *sched.Queue
+}
+
+// recv parks through the rank's own task: legal.
+func (r *Rank) recv() (int, bool) {
+	return r.in.Pop(r.task)
+}
+
+// helper parks through an explicit task parameter: legal in itself,
+// park-capable for its callers.
+func helper(t *sched.Task, g *sched.Gate) {
+	g.Wait(t)
+}
+
+// body mirrors a workload literal: the Rank parameter is task context.
+func body(r *Rank) {
+	r.recv()
+	r.task.Yield()
+}
+
+// hostDirect calls a primitive with no task anywhere in its signature:
+// the goroutine would park and never be dispatched again.
+func hostDirect(g *sched.Gate) {
+	g.Wait(nil) // want `call to park-capable sched.\(\*Gate\).Wait without task context`
+}
+
+// hostIndirect reaches the primitive through a park-capable helper —
+// the interprocedural case.
+func hostIndirect(g *sched.Gate) {
+	helper(nil, g) // want `call to park-capable pf.helper without task context`
+}
+
+// hostPoll drains a queue from the host: Pop can park, TryPush cannot.
+func hostPoll(q *sched.Queue) {
+	q.Pop(nil) // want `call to park-capable sched.\(\*Queue\).Pop without task context`
+	q.TryPush(1)
+	_ = q.Len()
+}
+
+// hostDrive calls only non-parking surface: legal.
+func hostDrive(g *sched.Gate, q *sched.Queue) {
+	g.Open()
+	_ = g.Opened()
+	q.TryPush(2)
+}
+
+// suppressedHost keeps a deliberate host-side wait via the directive.
+func suppressedHost(g *sched.Gate) {
+	g.Wait(nil) //reprolint:ignore parkflow fixture: deliberate host-side wait
+}
+
+// Host owns two gates; lockAB and lockBA acquire them in opposite
+// orders — the static shadow of a Gate-cycle deadlock. Both sides of
+// the inversion are reported, at the acquisition completing it.
+type Host struct {
+	a *sched.Gate
+	b *sched.Gate
+}
+
+func lockAB(h *Host, t *sched.Task) {
+	h.a.Wait(t)
+	h.b.Wait(t) // want `gates Host.a and Host.b acquired in conflicting order`
+}
+
+func lockBA(h *Host, t *sched.Task) {
+	h.b.Wait(t)
+	h.a.Wait(t) // want `gates Host.b and Host.a acquired in conflicting order`
+}
+
+// lockABAgain matches lockAB's order: consistent, so only the
+// inversion against lockBA is reported.
+func lockABAgain(h *Host, t *sched.Task) {
+	h.a.Wait(t)
+	h.b.Wait(t) // want `gates Host.a and Host.b acquired in conflicting order`
+}

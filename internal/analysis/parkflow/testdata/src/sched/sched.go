@@ -1,0 +1,23 @@
+// Package sched is a fixture stub of the module's event scheduler: the
+// parkflow analyzer matches the parking primitives by package base,
+// receiver type and method name, so this stub's Gate.Wait, Queue.Pop/
+// Push and Task.Yield/Join are primitives exactly like the real ones.
+package sched
+
+type Task struct{ rank int }
+
+func (t *Task) Yield()       {}
+func (t *Task) Join(o *Task) {}
+
+type Gate struct{ opened bool }
+
+func (g *Gate) Wait(t *Task) {}
+func (g *Gate) Open()        { g.opened = true }
+func (g *Gate) Opened() bool { return g != nil && g.opened }
+
+type Queue struct{ buf []int }
+
+func (q *Queue) Pop(t *Task) (int, bool)  { return 0, false }
+func (q *Queue) Push(t *Task, v int) bool { return true }
+func (q *Queue) TryPush(v int) bool       { return true }
+func (q *Queue) Len() int                 { return len(q.buf) }

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF serialization (Static Analysis Results Interchange Format,
+// v2.1.0) for reprolint findings, so CI can upload the suite's output
+// to GitHub code scanning. The encoding is deterministic: rules are
+// sorted by analyzer name, results arrive pre-sorted from Run, URIs
+// use forward slashes, and the marshaller walks struct fields in
+// declaration order — two runs over the same tree produce
+// byte-identical documents, the same contract the repo's BENCH goldens
+// impose on simulation output.
+
+const sarifSchema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIF renders findings as a SARIF 2.1.0 document. Every analyzer in
+// the executed suite appears as a rule (so a clean run still documents
+// what was checked); finding filenames are expected to already be
+// module-relative — the driver relativizes before rendering — and are
+// normalized to forward slashes per the SARIF URI rules.
+func SARIF(analyzers []*Analyzer, findings []Finding) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	sorted := make([]*Analyzer, len(analyzers))
+	copy(sorted, analyzers)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for i, a := range sorted {
+		index[a.Name] = i
+		rules = append(rules, sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: index[f.Analyzer],
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{
+						URI:       filepath.ToSlash(f.Pos.Filename),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Pos.Line,
+						StartColumn: f.Pos.Column,
+					},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "reprolint",
+				InformationURI: "https://example.invalid/repro/cmd/reprolint",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(&log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

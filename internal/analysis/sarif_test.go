@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sampleAnalyzers() []*Analyzer {
+	// Deliberately unsorted: SARIF must sort rules itself.
+	return []*Analyzer{
+		{Name: "timeflow", Doc: "taint wall clocks"},
+		{Name: "determinism", Doc: "forbid wall clocks"},
+	}
+}
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{Analyzer: "determinism", Pos: token.Position{Filename: "internal/a/a.go", Line: 3, Column: 1}, Message: "m1"},
+		{Analyzer: "timeflow", Pos: token.Position{Filename: "internal/b/b.go", Line: 7, Column: 9}, Message: "m2"},
+	}
+}
+
+func TestSARIFIsDeterministic(t *testing.T) {
+	a, err := SARIF(sampleAnalyzers(), sampleFindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SARIF(sampleAnalyzers(), sampleFindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two SARIF renderings of the same findings differ:\n%s\n----\n%s", a, b)
+	}
+}
+
+func TestSARIFStructure(t *testing.T) {
+	out, err := SARIF(sampleAnalyzers(), sampleFindings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if doc.Version != "2.1.0" || !strings.Contains(doc.Schema, "sarif-2.1.0") {
+		t.Fatalf("version %q schema %q", doc.Version, doc.Schema)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "reprolint" {
+		t.Fatalf("driver name %q", run.Tool.Driver.Name)
+	}
+	// Rules sorted by analyzer name regardless of suite order.
+	if len(run.Tool.Driver.Rules) != 2 || run.Tool.Driver.Rules[0].ID != "determinism" || run.Tool.Driver.Rules[1].ID != "timeflow" {
+		t.Fatalf("rules not sorted: %+v", run.Tool.Driver.Rules)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	if run.Results[0].RuleID != "determinism" || run.Results[0].RuleIndex != 0 {
+		t.Fatalf("result 0 rule binding wrong: %+v", run.Results[0])
+	}
+	if run.Results[1].RuleID != "timeflow" || run.Results[1].RuleIndex != 1 {
+		t.Fatalf("result 1 rule binding wrong: %+v", run.Results[1])
+	}
+	if uri := run.Results[1].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/b/b.go" {
+		t.Fatalf("URI %q, want internal/b/b.go", uri)
+	}
+	if line := run.Results[0].Locations[0].PhysicalLocation.Region.StartLine; line != 3 {
+		t.Fatalf("startLine %d, want 3", line)
+	}
+}
+
+func TestSARIFEmptyFindings(t *testing.T) {
+	out, err := SARIF(sampleAnalyzers(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("clean-run SARIF invalid: %v", err)
+	}
+	if !strings.Contains(string(out), `"results": []`) {
+		t.Fatalf("clean run must render an empty results array, got:\n%s", out)
+	}
+}

@@ -1,0 +1,677 @@
+// Package taint is a whole-module taint/dataflow engine over the
+// callgraph: given predicates classifying calls as sources (values
+// born non-deterministic — wall clocks, unseeded entropy) and sinks
+// (places a non-deterministic value must never reach — report writers,
+// trace recorders), it answers "can a source-derived value flow into
+// this sink?", through any number of intermediate helpers.
+//
+// The engine is a worklist fixpoint over per-function summaries, the
+// shape golang.org/x/tools grew as "facts" on top of its per-package
+// core:
+//
+//   - Within one function, taint is tracked per local object as a bit
+//     mask: one bit per parameter (the receiver is parameter 0) plus an
+//     intrinsic bit for taint born inside the function. Assignments,
+//     composite literals, arithmetic, conversions and range statements
+//     propagate masks; the per-function pass iterates to its own
+//     fixpoint so loop-carried flows converge.
+//   - A function's summary records which parameters (or intrinsic
+//     sources) reach its results, and which parameters reach a sink
+//     inside it. At a static call site the callee's summary translates
+//     argument masks to result masks — so a helper that launders
+//     time.Now() through two returns is still tracked.
+//   - Summaries start empty (nothing flows) and only grow, so the
+//     module-level worklist — re-analyzing callers of any function
+//     whose summary changed — terminates at the least fixpoint.
+//
+// Deliberate approximations, all towards false negatives being
+// impossible for the supported shapes and false positives staying rare:
+// calls with no statically known module callee (interface or
+// function-value dispatch, stdlib calls) propagate the union of their
+// argument masks to their result (modelling pure data transforms like
+// fmt.Sprintf); writes through a field taint the whole owning object;
+// captured variables of nested literals are not tracked across the
+// literal boundary; package-level variables are not tracked.
+//
+// Flows whose source or sink line carries a //reprolint:ignore
+// directive are suppressed at birth, which is what shrinks exemptions
+// from package granularity to flow granularity.
+package taint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/callgraph"
+)
+
+// Config classifies sources and sinks for one analysis.
+type Config struct {
+	// SourceCall reports whether a call to fn yields a tainted value,
+	// and a short description ("time.Now wall clock").
+	SourceCall func(fn *types.Func) (string, bool)
+	// SinkCall reports whether a call to fn is a sink whose arguments
+	// must be taint-free ("trace span payload").
+	SinkCall func(fn *types.Func) (string, bool)
+}
+
+// Source describes where a tainted value was born.
+type Source struct {
+	Pos  token.Pos
+	Desc string
+}
+
+// Flow is one source-to-sink path the engine proved possible.
+type Flow struct {
+	Source   Source
+	SinkPos  token.Pos
+	SinkDesc string
+	// SinkPkg is the import path of the package containing the sink
+	// call — the package the diagnostic belongs to.
+	SinkPkg string
+	// SourcePosition/SinkPosition are resolved for sorting and message
+	// rendering.
+	SourcePosition token.Position
+	SinkPosition   token.Position
+}
+
+// String renders the flow for diagnostics: the source is named with
+// base-name:line so messages stay stable across checkouts.
+func (f Flow) String() string {
+	return fmt.Sprintf("%s (%s:%d) reaches %s",
+		f.Source.Desc, filepath.Base(f.SourcePosition.Filename), f.SourcePosition.Line, f.SinkDesc)
+}
+
+const intrinsicBit = 63
+
+// val is the abstract value of an expression or object: which
+// parameters (bits 0..62) and/or intrinsic sources (bit 63) it may
+// derive from.
+type val struct {
+	mask uint64
+	src  *Source // first intrinsic source, for attribution
+}
+
+func (v val) tainted() bool { return v.mask != 0 }
+
+func (v val) union(o val) val {
+	out := val{mask: v.mask | o.mask, src: v.src}
+	if out.src == nil {
+		out.src = o.src
+	}
+	return out
+}
+
+// sinkHit is a sink reachable from a parameter inside a function.
+type sinkHit struct {
+	pos  token.Pos
+	desc string
+	pkg  string
+}
+
+// summary is a function's flow contract.
+type summary struct {
+	// resultMask: which param bits (or intrinsic) reach a result.
+	resultMask uint64
+	resultSrc  *Source
+	// paramSinks[i] holds the sinks parameter i reaches inside the
+	// function (transitively).
+	paramSinks map[int][]sinkHit
+}
+
+func (s *summary) equal(o *summary) bool {
+	if s.resultMask != o.resultMask || len(s.paramSinks) != len(o.paramSinks) {
+		return false
+	}
+	for i, hits := range s.paramSinks {
+		ohits := o.paramSinks[i]
+		if len(hits) != len(ohits) {
+			return false
+		}
+		for j := range hits {
+			if hits[j] != ohits[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Engine runs one config over one module.
+type Engine struct {
+	g    *callgraph.Graph
+	pkgs []*analysis.Package
+	cfg  *Config
+
+	summaries map[*callgraph.Node]*summary
+	ignored   map[string]map[int]bool // filename -> suppressed lines
+	flows     []Flow
+}
+
+// Analyze runs the engine to fixpoint and returns every flow, sorted by
+// sink position then source position.
+func Analyze(g *callgraph.Graph, pkgs []*analysis.Package, cfg *Config) []Flow {
+	e := &Engine{
+		g:         g,
+		pkgs:      pkgs,
+		cfg:       cfg,
+		summaries: make(map[*callgraph.Node]*summary),
+		ignored:   make(map[string]map[int]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Syntax {
+			name := pkg.Fset.Position(file.Pos()).Filename
+			e.ignored[name] = analysis.IgnoredLines(pkg.Fset, file)
+		}
+	}
+	// Module fixpoint: deterministic rounds over the sorted node list.
+	// Summaries only grow, so this terminates; the node count bounds
+	// the chain length through which a summary change can propagate.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if n.Body == nil {
+				continue
+			}
+			sum, _ := e.analyzeNode(n, false)
+			if prev, ok := e.summaries[n]; !ok || !sum.equal(prev) {
+				e.summaries[n] = sum
+				changed = true
+			}
+		}
+	}
+	// Reporting pass: collect flows with the final summaries.
+	for _, n := range g.Nodes {
+		if n.Body == nil {
+			continue
+		}
+		_, flows := e.analyzeNode(n, true)
+		e.flows = append(e.flows, flows...)
+	}
+	sort.Slice(e.flows, func(i, j int) bool {
+		a, b := e.flows[i], e.flows[j]
+		if a.SinkPosition.Filename != b.SinkPosition.Filename {
+			return a.SinkPosition.Filename < b.SinkPosition.Filename
+		}
+		if a.SinkPosition.Line != b.SinkPosition.Line {
+			return a.SinkPosition.Line < b.SinkPosition.Line
+		}
+		if a.SinkPosition.Column != b.SinkPosition.Column {
+			return a.SinkPosition.Column < b.SinkPosition.Column
+		}
+		if a.SourcePosition.Filename != b.SourcePosition.Filename {
+			return a.SourcePosition.Filename < b.SourcePosition.Filename
+		}
+		return a.SourcePosition.Line < b.SourcePosition.Line
+	})
+	// Deduplicate identical flows reported via a package and its test
+	// variant.
+	var out []Flow
+	for _, f := range e.flows {
+		if len(out) > 0 {
+			p := out[len(out)-1]
+			if p.SinkPosition == f.SinkPosition && p.SourcePosition == f.SourcePosition && p.SinkDesc == f.SinkDesc {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// cacheKeyPrefix namespaces engine results inside an analysis.Module.
+const cacheKeyPrefix = "taint:"
+
+// Of returns the flows for cfg, memoised under key in the pass's
+// module so every package's pass shares one fixpoint run.
+func Of(pass *analysis.Pass, key string, cfg *Config) []Flow {
+	return pass.Module.Cache(cacheKeyPrefix+key, func() any {
+		g := callgraph.Of(pass)
+		return Analyze(g, pass.Module.Pkgs, cfg)
+	}).([]Flow)
+}
+
+// fnState is the per-function abstract state.
+type fnState struct {
+	node    *callgraph.Node
+	pkg     *analysis.Package
+	params  []types.Object
+	results []types.Object // named result objects, for bare returns
+	objs    map[types.Object]val
+	sum     *summary
+	flows   []Flow
+	report  bool
+	// changed is set whenever an object's mask or the result mask
+	// grows, driving the local fixpoint loop.
+	changed bool
+}
+
+// analyzeNode computes n's summary (and, in report mode, its flows)
+// under the engine's current summaries.
+func (e *Engine) analyzeNode(n *callgraph.Node, report bool) (*summary, []Flow) {
+	st := &fnState{
+		node:   n,
+		pkg:    n.Pkg,
+		objs:   make(map[types.Object]val),
+		sum:    &summary{paramSinks: make(map[int][]sinkHit)},
+		report: report,
+	}
+	st.params = paramObjects(n)
+	st.results = resultObjects(n)
+	for i, p := range st.params {
+		if p != nil && i < intrinsicBit {
+			st.objs[p] = val{mask: 1 << i}
+		}
+	}
+	// Iterate the body to a local fixpoint: assignments can chain
+	// through locals in either source order. taintLHS and the return
+	// handler set st.changed whenever a mask actually grows; the pass
+	// cap bounds pathological chains (64 bits of mask, so 64 passes
+	// always suffice).
+	for pass := 0; pass < 64; pass++ {
+		st.changed = false
+		e.walkBody(st)
+		if !st.changed {
+			break
+		}
+	}
+	// Sort each param's sink list for stable summary comparison.
+	for i := range st.sum.paramSinks {
+		hits := st.sum.paramSinks[i]
+		sort.Slice(hits, func(a, b int) bool {
+			if hits[a].pos != hits[b].pos {
+				return hits[a].pos < hits[b].pos
+			}
+			return hits[a].desc < hits[b].desc
+		})
+		st.sum.paramSinks[i] = dedupeHits(hits)
+	}
+	return st.sum, st.flows
+}
+
+func dedupeHits(hits []sinkHit) []sinkHit {
+	var out []sinkHit
+	for _, h := range hits {
+		if len(out) > 0 && out[len(out)-1] == h {
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// paramObjects lists receiver-then-parameters as typed objects.
+func paramObjects(n *callgraph.Node) []types.Object {
+	var out []types.Object
+	if n.Decl != nil && n.Pkg != nil {
+		if n.Decl.Recv != nil && len(n.Decl.Recv.List) == 1 && len(n.Decl.Recv.List[0].Names) == 1 {
+			out = append(out, n.Pkg.TypesInfo.Defs[n.Decl.Recv.List[0].Names[0]])
+		}
+		for _, field := range n.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				out = append(out, n.Pkg.TypesInfo.Defs[name])
+			}
+		}
+		return out
+	}
+	if n.Lit != nil && n.Pkg != nil {
+		for _, field := range n.Lit.Type.Params.List {
+			for _, name := range field.Names {
+				out = append(out, n.Pkg.TypesInfo.Defs[name])
+			}
+		}
+	}
+	return out
+}
+
+// resultObjects lists named result objects, empty when results are
+// unnamed.
+func resultObjects(n *callgraph.Node) []types.Object {
+	var ft *ast.FuncType
+	switch {
+	case n.Decl != nil:
+		ft = n.Decl.Type
+	case n.Lit != nil:
+		ft = n.Lit.Type
+	}
+	if ft == nil || ft.Results == nil || n.Pkg == nil {
+		return nil
+	}
+	var out []types.Object
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if obj := n.Pkg.TypesInfo.Defs[name]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether pos's line carries an ignore directive.
+func (e *Engine) suppressed(pkg *analysis.Package, pos token.Pos) bool {
+	p := pkg.Fset.Position(pos)
+	return e.ignored[p.Filename][p.Line]
+}
+
+// walkBody interprets the function body once, shallowly (nested
+// literals are their own nodes).
+func (e *Engine) walkBody(st *fnState) {
+	ast.Inspect(st.node.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			e.evalAssign(st, s)
+		case *ast.ReturnStmt:
+			if len(s.Results) == 0 {
+				// Bare return with named results.
+				for _, obj := range st.results {
+					v := st.objs[obj]
+					if v.tainted() {
+						if st.sum.resultMask|v.mask != st.sum.resultMask {
+							st.changed = true
+						}
+						st.sum.resultMask |= v.mask
+						if st.sum.resultSrc == nil {
+							st.sum.resultSrc = v.src
+						}
+					}
+				}
+			}
+			for _, r := range s.Results {
+				v := e.evalExpr(st, r)
+				if v.tainted() {
+					if st.sum.resultMask|v.mask != st.sum.resultMask {
+						st.changed = true
+					}
+					st.sum.resultMask |= v.mask
+					if st.sum.resultSrc == nil {
+						st.sum.resultSrc = v.src
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			v := e.evalExpr(st, s.X)
+			if v.tainted() {
+				e.taintLHS(st, s.Key, v)
+				e.taintLHS(st, s.Value, v)
+			}
+		case *ast.ExprStmt:
+			e.evalExpr(st, s.X)
+		case *ast.GoStmt:
+			e.evalExpr(st, s.Call)
+		case *ast.DeferStmt:
+			e.evalExpr(st, s.Call)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							v := e.evalExpr(st, vs.Values[i])
+							if v.tainted() {
+								e.taintLHS(st, name, v)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (e *Engine) evalAssign(st *fnState, s *ast.AssignStmt) {
+	// Per-position assignment when counts match; otherwise (multi-value
+	// call) every LHS gets the single RHS value.
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			v := e.evalExpr(st, s.Rhs[i])
+			if s.Tok == token.ADD_ASSIGN || s.Tok == token.SUB_ASSIGN ||
+				s.Tok == token.MUL_ASSIGN || s.Tok == token.QUO_ASSIGN || s.Tok == token.REM_ASSIGN ||
+				s.Tok == token.AND_ASSIGN || s.Tok == token.OR_ASSIGN || s.Tok == token.XOR_ASSIGN ||
+				s.Tok == token.SHL_ASSIGN || s.Tok == token.SHR_ASSIGN || s.Tok == token.AND_NOT_ASSIGN {
+				v = v.union(e.evalExpr(st, s.Lhs[i]))
+			}
+			if v.tainted() {
+				e.taintLHS(st, s.Lhs[i], v)
+			}
+		}
+		return
+	}
+	var v val
+	for _, r := range s.Rhs {
+		v = v.union(e.evalExpr(st, r))
+	}
+	if v.tainted() {
+		for _, l := range s.Lhs {
+			e.taintLHS(st, l, v)
+		}
+	}
+}
+
+// taintLHS merges v into the object the lvalue writes through. A write
+// through a selector or index taints the whole base object.
+func (e *Engine) taintLHS(st *fnState, lhs ast.Expr, v val) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		obj := st.pkg.TypesInfo.Defs[l]
+		if obj == nil {
+			obj = st.pkg.TypesInfo.Uses[l]
+		}
+		if obj != nil {
+			merged := st.objs[obj].union(v)
+			if merged.mask != st.objs[obj].mask {
+				st.changed = true
+			}
+			st.objs[obj] = merged
+		}
+	case *ast.SelectorExpr:
+		e.taintLHS(st, l.X, v)
+	case *ast.IndexExpr:
+		e.taintLHS(st, l.X, v)
+	case *ast.StarExpr:
+		e.taintLHS(st, l.X, v)
+	}
+}
+
+// evalExpr computes the abstract value of an expression, recording sink
+// hits and flows for call expressions on the way.
+func (e *Engine) evalExpr(st *fnState, expr ast.Expr) val {
+	switch x := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		obj := st.pkg.TypesInfo.Uses[x]
+		if obj == nil {
+			obj = st.pkg.TypesInfo.Defs[x]
+		}
+		if obj == nil {
+			return val{}
+		}
+		return st.objs[obj]
+	case *ast.CallExpr:
+		return e.evalCall(st, x)
+	case *ast.SelectorExpr:
+		return e.evalExpr(st, x.X)
+	case *ast.BinaryExpr:
+		return e.evalExpr(st, x.X).union(e.evalExpr(st, x.Y))
+	case *ast.UnaryExpr:
+		return e.evalExpr(st, x.X)
+	case *ast.StarExpr:
+		return e.evalExpr(st, x.X)
+	case *ast.IndexExpr:
+		return e.evalExpr(st, x.X)
+	case *ast.SliceExpr:
+		return e.evalExpr(st, x.X)
+	case *ast.TypeAssertExpr:
+		return e.evalExpr(st, x.X)
+	case *ast.CompositeLit:
+		var v val
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = v.union(e.evalExpr(st, kv.Value))
+				continue
+			}
+			v = v.union(e.evalExpr(st, el))
+		}
+		return v
+	}
+	return val{}
+}
+
+// staticCallee resolves a call to its single static *types.Func, if
+// any (conversions and builtins return nil).
+func staticCallee(pkg *analysis.Package, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pkg.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pkg.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func (e *Engine) evalCall(st *fnState, call *ast.CallExpr) val {
+	// Evaluate arguments first (they also record nested calls).
+	args := make([]val, len(call.Args))
+	var union val
+	for i, a := range call.Args {
+		args[i] = e.evalExpr(st, a)
+		union = union.union(args[i])
+	}
+	// A method call's receiver feeds the callee's parameter 0.
+	var recvVal val
+	hasRecv := false
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := st.pkg.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			recvVal = e.evalExpr(st, sel.X)
+			hasRecv = true
+			union = union.union(recvVal)
+		}
+	}
+	fn := staticCallee(st.pkg, call)
+	if fn == nil {
+		// Conversion or dynamic call: propagate argument union.
+		return union
+	}
+	// Source?
+	if desc, ok := e.cfg.SourceCall(fn); ok {
+		if e.suppressed(st.pkg, call.Pos()) {
+			return val{}
+		}
+		src := &Source{Pos: call.Pos(), Desc: desc}
+		return val{mask: 1 << intrinsicBit, src: src}
+	}
+	// Sink?
+	if desc, ok := e.cfg.SinkCall(fn); ok && !e.suppressed(st.pkg, call.Pos()) {
+		all := args
+		if hasRecv {
+			all = append(append([]val{}, args...), recvVal)
+		}
+		for _, v := range all {
+			if !v.tainted() {
+				continue
+			}
+			e.recordSink(st, v, call.Pos(), desc)
+		}
+	}
+	// Module callee with a summary: translate through it.
+	callee := e.g.NodeOf(fn)
+	if callee == nil {
+		return union
+	}
+	sum := e.summaries[callee]
+	if sum == nil {
+		if callee.Body == nil {
+			// External function: model as pure data transform.
+			return union
+		}
+		return val{} // not yet analyzed this round; later rounds fill in
+	}
+	calleeArgs := e.calleeArgVals(st, callee, call, args, recvVal, hasRecv)
+	// Param-reaches-sink entries fire for tainted arguments.
+	for i, v := range calleeArgs {
+		if !v.tainted() {
+			continue
+		}
+		for _, hit := range sum.paramSinks[i] {
+			e.recordSink(st, v, hit.pos, hit.desc)
+		}
+	}
+	// Result taint: intrinsic plus translated parameter bits.
+	var out val
+	if sum.resultMask&(1<<intrinsicBit) != 0 {
+		out = out.union(val{mask: 1 << intrinsicBit, src: sum.resultSrc})
+	}
+	for i, v := range calleeArgs {
+		if i >= intrinsicBit {
+			break
+		}
+		if sum.resultMask&(1<<i) != 0 {
+			out = out.union(v)
+		}
+	}
+	return out
+}
+
+// calleeArgVals maps the call's values onto the callee's parameter
+// slots (receiver first when the callee is a method).
+func (e *Engine) calleeArgVals(st *fnState, callee *callgraph.Node, call *ast.CallExpr, args []val, recvVal val, hasRecv bool) []val {
+	var out []val
+	calleeHasRecv := callee.Decl != nil && callee.Decl.Recv != nil
+	if calleeHasRecv {
+		if hasRecv {
+			out = append(out, recvVal)
+		} else {
+			out = append(out, val{})
+		}
+	}
+	out = append(out, args...)
+	// Variadic and mismatched counts: extra args fold into the last
+	// declared parameter slot.
+	nparams := len(paramObjects(callee))
+	if nparams == 0 {
+		return nil
+	}
+	for len(out) > nparams {
+		last := out[len(out)-1]
+		out = out[:len(out)-1]
+		out[len(out)-1] = out[len(out)-1].union(last)
+	}
+	return out
+}
+
+// recordSink registers a tainted value reaching a sink: an intrinsic
+// taint becomes a reported flow; parameter taint becomes a summary
+// entry so callers inherit the sink.
+func (e *Engine) recordSink(st *fnState, v val, pos token.Pos, desc string) {
+	if v.mask&(1<<intrinsicBit) != 0 && v.src != nil && st.report {
+		st.flows = append(st.flows, Flow{
+			Source:         *v.src,
+			SinkPos:        pos,
+			SinkDesc:       desc,
+			SinkPkg:        st.pkg.PkgPath,
+			SourcePosition: st.pkg.Fset.Position(v.src.Pos),
+			SinkPosition:   st.pkg.Fset.Position(pos),
+		})
+	}
+	for i := 0; i < intrinsicBit && i < len(st.params); i++ {
+		if v.mask&(1<<i) != 0 {
+			st.sum.paramSinks[i] = append(st.sum.paramSinks[i], sinkHit{pos: pos, desc: desc, pkg: st.pkg.PkgPath})
+		}
+	}
+}

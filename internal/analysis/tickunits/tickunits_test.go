@@ -1,0 +1,12 @@
+package tickunits_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tickunits"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", tickunits.Analyzer, "tu")
+}

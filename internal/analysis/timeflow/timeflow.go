@@ -1,0 +1,110 @@
+// Package timeflow is the interprocedural companion to the determinism
+// analyzer: where determinism bans the call sites themselves (time.Now
+// outside the allowed packages), timeflow tracks the values. It taints
+// everything derived from a wall clock, unseeded entropy, or the
+// process identity, follows the taint through helper returns and
+// parameters with the internal/analysis/taint engine, and reports when
+// a tainted value reaches a reproducibility-critical sink: a trace
+// record (internal/trace Span/SpanAt/Event/SetMeta) or a BENCH report
+// write (internal/sweep Bench.Write/WriteFile). Those outputs are
+// golden-compared across same-seed runs, so a single laundered
+// timestamp breaks CI in a way that is miserable to bisect dynamically
+// and trivial to name statically.
+//
+// A //reprolint:ignore directive on the source line kills the flow at
+// birth (the sanctioned wall-throughput metrics in internal/sweep), and
+// one on the sink line suppresses that sink alone.
+package timeflow
+
+import (
+	"go/types"
+	"path"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/taint"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "timeflow",
+	Doc: "track wall-clock, unseeded-entropy and process-identity values interprocedurally " +
+		"and forbid them from reaching trace records or BENCH report writes " +
+		"(golden-compared outputs must not depend on the host)",
+	Run: run,
+}
+
+// seededConstructors are the math/rand entry points that only build
+// explicitly seeded generators; their results are reproducible.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// sourceCall classifies calls whose results differ run to run.
+func sourceCall(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name() + " wall clock", true
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level functions draw from the shared unseeded source;
+		// methods run on explicitly constructed (seeded) generators.
+		if sig != nil && sig.Recv() == nil && !seededConstructors[fn.Name()] {
+			return "unseeded rand." + fn.Name(), true
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getpid", "Getppid":
+			return "os." + fn.Name() + " process identity", true
+		}
+	}
+	return "", false
+}
+
+// sinkCall classifies calls whose arguments end up in golden-compared
+// output. Matching is by package base name so the analyzer's testdata
+// fixtures (import path "trace") and the real module
+// ("repro/internal/trace") both resolve.
+func sinkCall(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	switch path.Base(pkg.Path()) {
+	case "trace":
+		switch fn.Name() {
+		case "Span", "SpanAt", "Event", "SetMeta":
+			return "trace." + fn.Name() + " trace record", true
+		}
+	case "sweep":
+		switch fn.Name() {
+		case "Write", "WriteFile":
+			return "sweep." + fn.Name() + " BENCH report", true
+		}
+	}
+	return "", false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	flows := taint.Of(pass, "timeflow", &taint.Config{
+		SourceCall: sourceCall,
+		SinkCall:   sinkCall,
+	})
+	for _, f := range flows {
+		if f.SinkPkg != pass.Pkg.Path() {
+			continue
+		}
+		pass.Reportf(f.SinkPos, "%s; golden-compared output must derive timestamps from "+
+			"internal/simtime and randomness from a seed", f)
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package timeflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/timeflow"
+)
+
+func TestFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", timeflow.Analyzer, "tf")
+}

@@ -1,0 +1,142 @@
+// Command sarifcheck validates a reprolint -format sarif document. It
+// strictly decodes stdin (or the file named as the first argument) as
+// SARIF 2.1.0 and exits non-zero on any structural violation: wrong
+// version, missing tool driver, a result whose ruleId is not declared
+// in the driver's rules (or whose ruleIndex disagrees), or a location
+// without a file and line. `make lint` pipes the CI artifact through
+// it before upload, so a serialization regression fails the build
+// instead of being discovered as a rejected code-scanning upload.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// sarifDoc mirrors the subset of SARIF 2.1.0 reprolint emits. Decoding
+// is strict: unknown fields are errors, so the checker also catches
+// typos in the emitter's struct tags.
+type sarifDoc struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name           string `json:"name"`
+				InformationURI string `json:"informationUri"`
+				Rules          []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			RuleIndex int    `json:"ruleIndex"`
+			Level     string `json:"level"`
+			Message   struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI       string `json:"uri"`
+						URIBaseID string `json:"uriBaseId"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+// check validates one SARIF document and returns the result count.
+func check(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc sarifDoc
+	if err := dec.Decode(&doc); err != nil {
+		return 0, fmt.Errorf("not valid SARIF JSON: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return 0, fmt.Errorf("trailing data after the SARIF document")
+	}
+	if doc.Version != "2.1.0" {
+		return 0, fmt.Errorf("version %q, want 2.1.0", doc.Version)
+	}
+	if doc.Schema == "" {
+		return 0, fmt.Errorf("missing $schema")
+	}
+	if len(doc.Runs) != 1 {
+		return 0, fmt.Errorf("%d runs, want exactly 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name == "" {
+		return 0, fmt.Errorf("run has no tool.driver.name")
+	}
+	ruleIndex := make(map[string]int, len(run.Tool.Driver.Rules))
+	for i, rule := range run.Tool.Driver.Rules {
+		if rule.ID == "" {
+			return 0, fmt.Errorf("rule %d has an empty id", i)
+		}
+		if rule.ShortDescription.Text == "" {
+			return 0, fmt.Errorf("rule %q has no shortDescription", rule.ID)
+		}
+		if _, dup := ruleIndex[rule.ID]; dup {
+			return 0, fmt.Errorf("duplicate rule id %q", rule.ID)
+		}
+		ruleIndex[rule.ID] = i
+	}
+	for i, res := range run.Results {
+		idx, ok := ruleIndex[res.RuleID]
+		if !ok {
+			return 0, fmt.Errorf("result %d references undeclared rule %q", i, res.RuleID)
+		}
+		if res.RuleIndex != idx {
+			return 0, fmt.Errorf("result %d: ruleIndex %d disagrees with rules[%q]=%d", i, res.RuleIndex, res.RuleID, idx)
+		}
+		if res.Message.Text == "" {
+			return 0, fmt.Errorf("result %d has an empty message", i)
+		}
+		if len(res.Locations) == 0 {
+			return 0, fmt.Errorf("result %d has no locations", i)
+		}
+		for _, loc := range res.Locations {
+			phys := loc.PhysicalLocation
+			if phys.ArtifactLocation.URI == "" {
+				return 0, fmt.Errorf("result %d has a location without a file URI", i)
+			}
+			if phys.Region.StartLine <= 0 {
+				return 0, fmt.Errorf("result %d has a location without a positive startLine", i)
+			}
+		}
+	}
+	return len(run.Results), nil
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sarifcheck:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	n, err := check(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sarifcheck: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("sarifcheck: %s: valid SARIF 2.1.0, %d result(s)\n", name, n)
+}

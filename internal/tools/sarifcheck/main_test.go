@@ -1,0 +1,82 @@
+package main
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// validDoc renders a two-finding document through the real
+// analysis.SARIF emitter, so the fixture cannot drift from what
+// reprolint actually produces.
+func validDoc(t *testing.T) string {
+	t.Helper()
+	analyzers := []*analysis.Analyzer{
+		{Name: "maporder", Doc: "flag map-ordered output"},
+		{Name: "determinism", Doc: "forbid wall clocks"},
+	}
+	findings := []analysis.Finding{
+		{Analyzer: "determinism", Pos: token.Position{Filename: "internal/x/x.go", Line: 10, Column: 3}, Message: "time.Now reads the wall clock"},
+		{Analyzer: "maporder", Pos: token.Position{Filename: "internal/y/y.go", Line: 4, Column: 2}, Message: "append collects keys in map iteration order"},
+	}
+	out, err := analysis.SARIF(analyzers, findings)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	return string(out)
+}
+
+func TestValidDocumentPasses(t *testing.T) {
+	n, err := check(strings.NewReader(validDoc(t)))
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("got %d results, want 2", n)
+	}
+}
+
+func TestEmptyResultsStillValid(t *testing.T) {
+	out, err := analysis.SARIF([]*analysis.Analyzer{{Name: "nilspec", Doc: "guard"}}, nil)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	if n, err := check(strings.NewReader(string(out))); err != nil || n != 0 {
+		t.Fatalf("clean-run document: n=%d err=%v", n, err)
+	}
+}
+
+func TestMutationsAreRejected(t *testing.T) {
+	doc := validDoc(t)
+	cases := []struct{ name, old, new, wantErr string }{
+		{"not json", doc, "{", "not valid SARIF"},
+		{"wrong version", `"version": "2.1.0"`, `"version": "2.0.0"`, "want 2.1.0"},
+		{"unknown rule", `"ruleId": "maporder"`, `"ruleId": "ghost"`, "undeclared rule"},
+		{"bad rule index", `"ruleIndex": 1,`, `"ruleIndex": 0,`, "disagrees"},
+		{"zero line", `"startLine": 10`, `"startLine": 0`, "positive startLine"},
+		{"unknown field", `"version"`, `"verzion"`, "not valid SARIF"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mutated := strings.Replace(doc, c.old, c.new, 1)
+			if c.name == "not json" {
+				mutated = c.new
+			} else if mutated == doc {
+				t.Fatalf("mutation %q did not apply", c.old)
+			}
+			_, err := check(strings.NewReader(mutated))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("got err %v, want containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestTrailingDataRejected(t *testing.T) {
+	if _, err := check(strings.NewReader(validDoc(t) + "{}")); err == nil ||
+		!strings.Contains(err.Error(), "trailing data") {
+		t.Fatalf("trailing data not rejected: %v", err)
+	}
+}
