@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-fix lint-analyzers bench scale policy
+.PHONY: all build test race lint lint-fix lint-analyzers baselines service bench scale policy
 
 all: build test
 
@@ -26,7 +26,7 @@ race:
 # code scanning. reprolint exits 1 on findings, so the SARIF runs only
 # assert determinism and validity on a tree the text run already
 # proved clean.
-lint: lint-analyzers
+lint: lint-analyzers baselines
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
@@ -43,6 +43,25 @@ lint: lint-analyzers
 lint-fix:
 	$(GO) run ./cmd/reprolint -fix ./...
 	gofmt -w .
+
+# baselines: every committed BENCH_*.json must pass benchcheck — a
+# hand-edited or schema-stale baseline fails the lint gate, not a
+# downstream bench job hours later.
+baselines:
+	@for f in BENCH_*.json; do \
+		echo "benchcheck $$f"; \
+		$(GO) run ./internal/tools/benchcheck < $$f || exit 1; \
+	done
+
+# service: the sweep-service gate. Race-test the daemon and the
+# content-addressed store (including eviction under a size cap), then
+# drive the full cold/warm loop end to end: a warm sweeprun -cache run
+# of an unchanged grid must execute zero cells and reproduce the
+# committed BENCH_seed.json byte for byte, and a live sweepd must answer
+# a re-submitted grid entirely from cache (see scripts/service_smoke.sh).
+service:
+	$(GO) test -race ./internal/sweepd/... ./internal/cas/...
+	./scripts/service_smoke.sh
 
 # lint-analyzers: run reprolint's analyzers over their own testdata in
 # analysistest mode (every // want expectation must fire, nothing else),

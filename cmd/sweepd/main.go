@@ -1,0 +1,82 @@
+// Command sweepd serves the sweep engine over HTTP: submit grids, watch
+// per-cell results stream in, fetch BENCH documents and Perfetto
+// traces, and share the same content-addressed result store batch
+// sweeprun runs populate — an unchanged grid re-submission executes
+// zero cells. See internal/sweepd for the endpoint list.
+//
+// Usage:
+//
+//	sweepd -addr :8080 -cache /var/tmp/sweepcache
+//	sweepd -addr :8080 -cache /var/tmp/sweepcache -cache-max 256m -workers 8
+//	curl -s -X POST localhost:8080/grids -d '{"name":"smoke"}'
+//
+// SIGTERM/SIGINT drains: in-flight jobs complete, new submissions are
+// refused with 503, then the listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cas"
+	"repro/internal/cli"
+	"repro/internal/sweepd"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", cli.EnvDefault("ADDR", "localhost:8080"), "listen address (env REPRO_ADDR)")
+	cacheDir := flag.String("cache", cli.EnvDefault("CACHE", ""), "content-addressed result store directory ('' = no caching; env REPRO_CACHE)")
+	cacheMax := flag.String("cache-max", cli.EnvDefault("CACHE_MAX", "0"), "cache size cap, bytes with optional k/m/g suffix (0 = uncapped; env REPRO_CACHE_MAX)")
+	workers := flag.Int("workers", 0, "per-job worker pool size (0 = GOMAXPROCS)")
+	queueCap := flag.Int("queue", 8, "submission queue bound; a full queue refuses grids with 429")
+	benchDir := flag.String("bench-dir", cli.EnvDefault("BENCH_DIR", "."), "directory holding committed BENCH_<name>.json baselines for GET /bench/{name}")
+	flag.Parse()
+
+	cfg := sweepd.Config{Workers: *workers, QueueCap: *queueCap, BenchDir: *benchDir}
+	if *cacheDir != "" {
+		maxBytes, err := cli.ParseSize(*cacheMax)
+		if err != nil {
+			fail(err)
+		}
+		store, err := cas.Open(*cacheDir, maxBytes)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Cache = store
+	}
+
+	srv := sweepd.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	drained := make(chan struct{})
+	go func() {
+		<-sigCh
+		fmt.Fprintln(os.Stderr, "sweepd: draining")
+		if err := srv.Drain(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepd: drain: %v\n", err)
+		}
+		if err := httpSrv.Shutdown(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "sweepd: shutdown: %v\n", err)
+		}
+		close(drained)
+	}()
+
+	fmt.Fprintf(os.Stderr, "sweepd: listening on %s\n", *addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	<-drained
+}

@@ -5,7 +5,12 @@
 // -baseline and -gate it compares the run against a committed baseline
 // and exits non-zero naming every regressed cell; any cell whose run
 // fails also produces a non-zero exit naming the cell, without aborting
-// sibling cells.
+// sibling cells. With -cache the run shares a content-addressed result
+// store (the same store cmd/sweepd serves from): replicates whose key —
+// workload, machine, strategy, faults, seed, ranks, schema version and
+// the module code fingerprint — already has an entry are served from it
+// instead of executing, so a re-run of an unchanged grid executes zero
+// cells and reproduces the same deterministic bytes.
 //
 // Usage:
 //
@@ -14,6 +19,7 @@
 //	sweeprun -grid seed -baseline BENCH_seed.json -gate -tol 5
 //	sweeprun -grid @mygrid.json -trace slowest.json
 //	sweeprun -grid scale -stripped BENCH_scale.det.json
+//	sweeprun -grid seed -cache /var/tmp/sweepcache -o BENCH_seed.json
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cas"
+	"repro/internal/cli"
 	"repro/internal/node"
 	"repro/internal/sweep"
 )
@@ -41,14 +49,24 @@ func main() {
 	stripped := flag.String("stripped", "", "also write a copy with wall-clock metrics stripped — the byte-comparable deterministic view")
 	traceFlag := flag.String("trace", "", "re-run the slowest cell with tracing and write the Perfetto trace here")
 	requireBest := flag.String("require-best", "", "fail unless this strategy is best-or-tied on the primary metric in every cell group")
+	cacheDir := flag.String("cache", cli.EnvDefault("CACHE", ""), "content-addressed result store directory ('' = no caching; env REPRO_CACHE)")
+	cacheMax := flag.String("cache-max", cli.EnvDefault("CACHE_MAX", "0"), "cache size cap, bytes with optional k/m/g suffix (0 = uncapped; env REPRO_CACHE_MAX)")
 	list := flag.Bool("list", false, "list built-in grids, workloads and strategies, then exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println("grids:")
 		for _, g := range sweep.BuiltinGrids() {
-			fmt.Printf("  %-8s %d workload(s) x %d machine(s) x %d strategy(ies) x %d seed(s)\n",
-				g.Name, len(g.Workloads), len(g.Machines), len(g.Strategies), len(g.Seeds))
+			cells, runs, err := g.Counts()
+			if err != nil {
+				fail(err)
+			}
+			faults := len(g.Faults)
+			if faults == 0 {
+				faults = 1
+			}
+			fmt.Printf("  %-8s %d workload(s) x %d machine(s) x %d strategy(ies) x %d fault spec(s) x %d seed(s) = %d cell(s), %d run(s)\n",
+				g.Name, len(g.Workloads), len(g.Machines), len(g.Strategies), faults, len(g.Seeds), cells, runs)
 		}
 		fmt.Println("workloads:")
 		for _, w := range sweep.Workloads() {
@@ -73,12 +91,32 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	bench, runErrs, err := sweep.Execute(grid, sweep.Options{Workers: *workers})
+	opts := sweep.Options{Workers: *workers}
+	var execStats sweep.ExecStats
+	if *cacheDir != "" {
+		maxBytes, err := cli.ParseSize(*cacheMax)
+		if err != nil {
+			fail(err)
+		}
+		store, err := cas.Open(*cacheDir, maxBytes)
+		if err != nil {
+			fail(err)
+		}
+		opts.Cache = store
+		opts.Stats = &execStats
+	}
+	bench, runErrs, err := sweep.Execute(grid, opts)
 	if err != nil {
 		fail(err)
 	}
 	if err := bench.WriteFile(*out); err != nil {
 		fail(err)
+	}
+	if opts.Cache != nil {
+		st := opts.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "sweeprun: cache: executed=%d cached=%d failed=%d hits=%d misses=%d evictions=%d corruptions=%d entries=%d bytes=%d\n",
+			execStats.RunsExecuted, execStats.RunsCached, execStats.RunsFailed,
+			st.Hits, st.Misses, st.Evictions, st.Corruptions, st.Entries, st.Bytes)
 	}
 	if *table {
 		fmt.Fprint(os.Stderr, sweep.FormatCells(bench))

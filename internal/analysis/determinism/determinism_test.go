@@ -26,6 +26,26 @@ func TestAllowlistedPackagesAreExempt(t *testing.T) {
 	analysistest.Run(t, "testdata", determinism.Analyzer, "b")
 }
 
+// TestSweepdAllowanceIsScoped pins the sweep-service escape: the
+// repro/internal/sweepd path may read real clocks (HTTP deadlines,
+// drain timeouts), but a daemon-shaped package at any other path — the
+// simd fixture — is flagged call for call, and no simulation package
+// rode along into the set.
+func TestSweepdAllowanceIsScoped(t *testing.T) {
+	if !determinism.AllowedPkgs["repro/internal/sweepd"] {
+		t.Fatal("repro/internal/sweepd missing from AllowedPkgs")
+	}
+	for _, p := range []string{
+		"repro/internal/mpi", "repro/internal/ib", "repro/internal/node",
+		"repro/internal/sim", "repro/internal/sweep", "repro/internal/cas",
+	} {
+		if determinism.AllowedPkgs[p] {
+			t.Errorf("simulation package %s must not be allowed", p)
+		}
+	}
+	analysistest.Run(t, "testdata", determinism.Analyzer, "simd")
+}
+
 // TestSuggestedFixes applies every fix the analyzer emits on the fix
 // fixture and checks the result against the committed .golden file.
 func TestSuggestedFixes(t *testing.T) {

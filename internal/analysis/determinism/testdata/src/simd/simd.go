@@ -1,0 +1,18 @@
+// Package simd is a daemon-shaped package — deadline bookkeeping, a
+// retry jitter — living at a simulation package path. It pins that the
+// internal/sweepd allowance is scoped to that exact import path: wall
+// clocks and unseeded entropy anywhere else stay flagged.
+package simd
+
+import (
+	"math/rand"
+	"time"
+)
+
+func drainDeadline() time.Time {
+	return time.Now().Add(5 * time.Second) // want `time\.Now reads the wall clock`
+}
+
+func retryJitter() time.Duration {
+	return time.Duration(rand.Int63n(100)) * time.Millisecond // want `global rand\.Int63n draws from the shared unseeded source`
+}

@@ -19,3 +19,23 @@ func TestExemptPackagesMayUseConcurrency(t *testing.T) {
 	defer delete(schedonly.ExemptPkgs, "host")
 	analysistest.Run(t, "testdata", schedonly.Analyzer, "host")
 }
+
+// TestSweepdExemptionIsScoped pins the sweep-service escape: the
+// repro/internal/sweepd path is exempt (its queue, runner goroutine and
+// handler concurrency are host infrastructure), but a daemon-shaped
+// package at any other path — the simd fixture — is flagged construct
+// for construct, and no simulation package rode along into the set.
+func TestSweepdExemptionIsScoped(t *testing.T) {
+	if !schedonly.ExemptPkgs["repro/internal/sweepd"] {
+		t.Fatal("repro/internal/sweepd missing from ExemptPkgs")
+	}
+	for _, p := range []string{
+		"repro/internal/mpi", "repro/internal/ib", "repro/internal/node",
+		"repro/internal/sim", "repro/internal/cas",
+	} {
+		if schedonly.ExemptPkgs[p] {
+			t.Errorf("simulation package %s must not be exempt", p)
+		}
+	}
+	analysistest.Run(t, "testdata", schedonly.Analyzer, "simd")
+}

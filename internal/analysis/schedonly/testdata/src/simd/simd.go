@@ -1,0 +1,28 @@
+// Package simd is a daemon-shaped package — a job queue, a runner
+// goroutine, a select loop — living at a simulation package path. It
+// pins that the internal/sweepd exemption is scoped to that exact
+// import path: the same constructs anywhere else stay flagged.
+package simd
+
+type job struct{ id int }
+
+var queue = make(chan job, 8) // want `raw channel in simulation code`
+
+func runner() {
+	for j := range queue {
+		_ = j
+	}
+}
+
+func start() {
+	go runner() // want `go statement spawns a goroutine outside internal/sched`
+}
+
+func trySubmit(j job, done chan struct{}) bool { // want `raw channel in simulation code`
+	select { // want `select races goroutines`
+	case queue <- j:
+		return true
+	case <-done:
+		return false
+	}
+}

@@ -1,0 +1,245 @@
+package cas
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestHashFieldsCanonical(t *testing.T) {
+	a := HashFields(F("seed", "1"), F("ranks", "4"))
+	b := HashFields(F("seed", "1"), F("ranks", "4"))
+	if a != b {
+		t.Fatal("same fields hash differently")
+	}
+	// Swapped values must not collide: the name is framed with the value.
+	c := HashFields(F("seed", "4"), F("ranks", "1"))
+	if a == c {
+		t.Fatal("swapped field values collide")
+	}
+	// Embedded separators must not let two lists encode identically.
+	d := HashFields(F("x", "a,3:b"), F("y", ""))
+	e := HashFields(F("x", "a"), F("3:b,y", ""))
+	if d == e {
+		t.Fatal("netstring framing failed to separate fields")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	k := HashFields(F("a", "b"))
+	got, err := ParseKey(k.String())
+	if err != nil || got != k {
+		t.Fatalf("ParseKey(%q) = %v, %v", k, got, err)
+	}
+	if _, err := ParseKey("zz"); err == nil {
+		t.Fatal("short/garbage key accepted")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := HashFields(F("cell", "nas/cg"), F("seed", "1"))
+	if _, ok := s.Get(k); ok {
+		t.Fatal("hit on empty store")
+	}
+	payload := []byte(`{"total_ticks":123}`)
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Overwrite keeps one entry.
+	if err := s.Put(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(k); string(got) != "x" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite", s.Len())
+	}
+}
+
+func TestStoreReopenIndexesEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	k1 := HashFields(F("n", "1"))
+	k2 := HashFields(F("n", "2"))
+	s.Put(k1, []byte("one"))
+	s.Put(k2, []byte("two"))
+	// A stray temp file from a crashed write must be swept, not indexed.
+	tmp := s.path(k1) + ".tmp"
+	os.WriteFile(tmp, []byte("partial"), 0o644)
+
+	re, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", re.Len())
+	}
+	if got, ok := re.Get(k1); !ok || string(got) != "one" {
+		t.Fatalf("reopened Get(k1) = %q, %v", got, ok)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatal("crashed temp file survived reopen")
+	}
+}
+
+func TestCorruptEntrySelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	k := HashFields(F("n", "1"))
+	s.Put(k, []byte("payload"))
+	// Flip payload bytes on disk behind the store's back.
+	path := s.path(k)
+	data, _ := os.ReadFile(path)
+	data[len(data)-1] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	st := s.Stats()
+	if st.Corruptions != 1 || st.Entries != 0 {
+		t.Fatalf("stats after corruption = %+v", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not deleted")
+	}
+	// The key is writable again.
+	if err := s.Put(k, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(k); !ok || string(got) != "fresh" {
+		t.Fatalf("after heal Get = %q, %v", got, ok)
+	}
+}
+
+func TestTruncatedEntryRejectedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 0)
+	k := HashFields(F("n", "1"))
+	s.Put(k, []byte("payload"))
+	os.WriteFile(s.path(k), []byte("garbage no newline"), 0o644)
+	re, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 0 {
+		t.Fatal("garbage entry indexed")
+	}
+	if re.Stats().Corruptions != 1 {
+		t.Fatalf("stats = %+v", re.Stats())
+	}
+}
+
+// TestEvictionUnderSizeCap pins the LRU semantics: when the footprint
+// exceeds the cap, least-recently-used entries (by write order,
+// refreshed on access) are deleted first, and an access protects an
+// entry from the next eviction round.
+func TestEvictionUnderSizeCap(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 200)
+	// Each entry is ~200 bytes payload + ~140 header; cap at 3 entries' worth.
+	s, err := Open(dir, 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := func(i byte) Key { return HashFields(F("n", string('a'+i))) }
+	for i := byte(0); i < 3; i++ {
+		if err := s.Put(k(i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 || s.Stats().Evictions != 0 {
+		t.Fatalf("premature eviction: %+v", s.Stats())
+	}
+	// Touch k0 so k1 becomes LRU, then overflow with k3.
+	if _, ok := s.Get(k(0)); !ok {
+		t.Fatal("k0 missing before eviction")
+	}
+	if err := s.Put(k(3), payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k(1)); ok {
+		t.Fatal("LRU entry k1 survived the cap")
+	}
+	for _, i := range []byte{0, 2, 3} {
+		if !s.Contains(k(i)) {
+			t.Fatalf("entry k%d wrongly evicted", i)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > 1100 {
+		t.Fatalf("footprint %d exceeds cap", st.Bytes)
+	}
+	// An entry bigger than the whole cap never sticks.
+	if err := s.Put(k(4), bytes.Repeat(payload, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(k(4)) {
+		t.Fatal("over-cap entry retained")
+	}
+}
+
+func TestFingerprintDirTracksCode(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(root, rel)
+		os.MkdirAll(filepath.Dir(path), 0o755)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module demo\n")
+	write("a.go", "package demo\n")
+	write("sub/b.go", "package sub\n")
+	fp1, err := FingerprintDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, _ := FingerprintDir(root)
+	if fp1 != fp2 {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if !strings.HasPrefix(fp1, "src:") {
+		t.Fatalf("fingerprint %q missing src: prefix", fp1)
+	}
+	// Test files, docs and testdata are code-irrelevant.
+	write("a_test.go", "package demo\n")
+	write("README.md", "docs\n")
+	write("testdata/fixture.go", "package fixture\n")
+	if fp, _ := FingerprintDir(root); fp != fp1 {
+		t.Fatal("test/doc/testdata edits changed the fingerprint")
+	}
+	// Editing production code must change it.
+	write("sub/b.go", "package sub // edited\n")
+	if fp, _ := FingerprintDir(root); fp == fp1 {
+		t.Fatal("code edit did not change the fingerprint")
+	}
+}
+
+func TestModuleFingerprintStable(t *testing.T) {
+	fp := ModuleFingerprint()
+	if fp == "" {
+		t.Fatal("empty module fingerprint")
+	}
+	if fp != ModuleFingerprint() {
+		t.Fatal("module fingerprint not stable within a process")
+	}
+}

@@ -4,7 +4,10 @@
 // "tool: error" exit path and the single rendering calls for reports
 // and traces. Each tool declares which of the shared flags it takes,
 // parses once, and gets back a resolved Env; tool-specific flags stay
-// in the tool.
+// in the tool. Shared flag defaults resolve through REPRO_* environment
+// variables (see env.go): flag beats environment beats built-in
+// default, and malformed environment values fail at Parse time exactly
+// like malformed flags.
 package cli
 
 import (
@@ -59,14 +62,14 @@ func newWith(tool string, fs *flag.FlagSet, args []string) *App {
 }
 
 func (a *App) registerCommon() {
-	a.faultsFlag = a.fs.String("faults", "", "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README)")
-	a.traceFlag = a.fs.String("trace", "", "write a Perfetto trace of the run to this file ('-' = stdout)")
+	a.faultsFlag = a.fs.String("faults", EnvDefault("FAULTS", ""), "deterministic fault spec, e.g. seed=7,hugecap=8,memlock=16m (see README; env REPRO_FAULTS)")
+	a.traceFlag = a.fs.String("trace", EnvDefault("TRACE", ""), "write a Perfetto trace of the run to this file ('-' = stdout; env REPRO_TRACE)")
 }
 
 // MachineFlag registers the single-machine -machine selector with a
 // default ("opteron", "systemp", ...).
 func (a *App) MachineFlag(def string) *App {
-	a.machineFlag = a.fs.String("machine", def, "machine (opteron|xeon|systemp)")
+	a.machineFlag = a.fs.String("machine", EnvDefault("MACHINE", def), "machine (opteron|xeon|systemp; env REPRO_MACHINE)")
 	return a
 }
 
@@ -88,8 +91,8 @@ func (a *App) StatsFlag(usage string) *App {
 // the decision counters come for free while every placement decision
 // stays exactly the configured strategy's.
 func (a *App) PolicyFlag() *App {
-	a.policyFlag = a.fs.String("policy", string(policy.Static),
-		"placement policy (static|threshold|adaptive)")
+	a.policyFlag = a.fs.String("policy", EnvDefault("POLICY", string(policy.Static)),
+		"placement policy (static|threshold|adaptive; env REPRO_POLICY)")
 	return a
 }
 

@@ -66,6 +66,93 @@ func TestParseMachinesList(t *testing.T) {
 	}
 }
 
+// TestEnvProvidesDefaults pins the environment half of the plumbing:
+// with no flags given, REPRO_FAULTS / REPRO_MACHINE / REPRO_TRACE
+// become the resolved configuration.
+func TestEnvProvidesDefaults(t *testing.T) {
+	t.Setenv("REPRO_FAULTS", "seed=11,hugecap=4")
+	t.Setenv("REPRO_MACHINE", "xeon")
+	t.Setenv("REPRO_TRACE", "env.json")
+	app := newTestApp(t, "x", nil)
+	app.MachineFlag("opteron")
+	e := app.Parse()
+	if e.Spec == nil || e.Spec.Seed != 11 {
+		t.Fatalf("REPRO_FAULTS not applied: spec = %+v", e.Spec)
+	}
+	if e.Machine == nil || e.Machine.Name != "intel-xeon-infinihost-pcix" {
+		t.Fatalf("REPRO_MACHINE not applied: machine = %+v", e.Machine)
+	}
+	if e.TracePath() != "env.json" || e.Col == nil {
+		t.Fatalf("REPRO_TRACE not applied: path = %q", e.TracePath())
+	}
+}
+
+// TestFlagBeatsEnv pins the precedence order: an explicit flag wins
+// over the environment for every shared flag.
+func TestFlagBeatsEnv(t *testing.T) {
+	t.Setenv("REPRO_FAULTS", "seed=11")
+	t.Setenv("REPRO_MACHINE", "xeon")
+	app := newTestApp(t, "x", []string{"-faults", "seed=99", "-machine", "systemp"})
+	app.MachineFlag("opteron")
+	e := app.Parse()
+	if e.Spec == nil || e.Spec.Seed != 99 {
+		t.Fatalf("flag did not beat REPRO_FAULTS: spec = %+v", e.Spec)
+	}
+	if e.Machine == nil || e.Machine.Name != "ibm-systemp-ehca-gx" {
+		t.Fatalf("flag did not beat REPRO_MACHINE: machine = %+v", e.Machine)
+	}
+}
+
+func TestEnvDefaultFallsBack(t *testing.T) {
+	t.Setenv("REPRO_UNSET_PROBE", "")
+	if got := EnvDefault("UNSET_PROBE", "fallback"); got != "fallback" {
+		t.Fatalf("EnvDefault = %q, want fallback", got)
+	}
+	t.Setenv("REPRO_SET_PROBE", "value")
+	if got := EnvDefault("SET_PROBE", "fallback"); got != "value" {
+		t.Fatalf("EnvDefault = %q, want value", got)
+	}
+}
+
+func TestEnvInt(t *testing.T) {
+	t.Setenv("REPRO_WORKERS", "7")
+	if n, err := EnvInt("WORKERS", 0); err != nil || n != 7 {
+		t.Fatalf("EnvInt = %d, %v", n, err)
+	}
+	if n, err := EnvInt("WORKERS_ABSENT", 3); err != nil || n != 3 {
+		t.Fatalf("EnvInt default = %d, %v", n, err)
+	}
+	t.Setenv("REPRO_WORKERS", "seven")
+	if _, err := EnvInt("WORKERS", 0); err == nil {
+		t.Fatal("malformed REPRO_WORKERS accepted")
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"4096", 4096, true},
+		{"64k", 64 << 10, true},
+		{"256M", 256 << 20, true},
+		{"2g", 2 << 30, true},
+		{"", 0, false},
+		{"-1", 0, false},
+		{"12q", 0, false},
+		{"lots", 0, false},
+		{"9999999999g", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
 func TestTraceMetaOmitsMachineWhenUnregistered(t *testing.T) {
 	app := newTestApp(t, "x", []string{"-trace", "-"})
 	e := app.Parse()

@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/cas"
+)
+
+// Content-addressed incremental execution. Every (cell, seed) run is a
+// pure function of its inputs — PRs 5–8 made that a gated invariant
+// (byte-identical BENCH documents across worker counts, GOMAXPROCS and
+// processes) — so a run's metrics can be served from a cas.Store
+// whenever a prior execution stored them under the same key. The key
+// covers everything the run reads:
+//
+//   - the BENCH schema version (a schema bump re-executes everything),
+//   - the module code fingerprint (any production-source edit
+//     invalidates the whole store — coarse, but never stale),
+//   - the workload name, canonical machine name and the full strategy
+//     tuple (allocator, dereg policy, ATT mode, policy engine),
+//   - the seed-mixed fault spec, the replicate seed and the rank count.
+//
+// Wall-clock metrics (IsWallMetric) are excluded from stored payloads —
+// the same family Bench.StripWall excises — so a cache hit returns
+// exactly the deterministic view, and stripped documents from cached
+// and fresh executions compare byte-identical.
+
+// runKeyKind distinguishes the payload families sharing one store.
+const (
+	kindMetrics = "metrics"
+	kindTrace   = "trace"
+)
+
+// strategyID renders the full strategy tuple, not just its name, so
+// redefining what a named strategy means invalidates its entries.
+func strategyID(s Strategy) string {
+	return fmt.Sprintf("%s|%s|%t|%t|%s", s.Name, s.Allocator, s.LazyDereg, s.HugeATT, s.Policy)
+}
+
+// runKey derives the content address of one (cell, seed) replicate.
+func runKey(kind, fingerprint string, j *job) cas.Key {
+	return cas.HashFields(
+		cas.F("kind", kind),
+		cas.F("schema", strconv.Itoa(SchemaVersion)),
+		cas.F("fingerprint", fingerprint),
+		cas.F("workload", j.wl.Name),
+		cas.F("machine", j.machine.Name),
+		cas.F("strategy", strategyID(j.strat)),
+		cas.F("faults", j.spec.String()),
+		cas.F("seed", strconv.FormatUint(j.seed, 10)),
+		cas.F("ranks", strconv.Itoa(j.ranks)),
+	)
+}
+
+// encodeMetrics renders a run's metrics as the canonical cache payload:
+// wall metrics dropped, keys sorted (encoding/json maps), one compact
+// JSON object.
+func encodeMetrics(m Metrics) ([]byte, error) {
+	det := make(Metrics, len(m))
+	for name, v := range m {
+		if !IsWallMetric(name) {
+			det[name] = v
+		}
+	}
+	return json.Marshal(det)
+}
+
+// decodeMetrics strictly decodes a cached payload. A payload that does
+// not decode to a non-empty metrics map reports ok = false and the
+// caller re-executes — defense in depth behind the store's checksum.
+func decodeMetrics(payload []byte) (Metrics, bool) {
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	var m Metrics
+	if err := dec.Decode(&m); err != nil || len(m) == 0 {
+		return nil, false
+	}
+	return m, true
+}
+
+// fingerprintOr resolves the effective fingerprint for one Execute or
+// TraceCellCached call.
+func fingerprintOr(fp string) string {
+	if fp != "" {
+		return fp
+	}
+	return cas.ModuleFingerprint()
+}
+
+// TraceCellCached returns the Perfetto trace JSON for one cell, serving
+// it from the store when a prior call captured it and re-executing the
+// cell's first replicate (TraceCell) otherwise. Traces are deterministic
+// per seed like every other artifact, so the cached bytes are the bytes
+// a fresh capture would produce. store may be nil (always re-executes);
+// fingerprint "" takes cas.ModuleFingerprint.
+func TraceCellCached(g Grid, cellKey string, store *cas.Store, fingerprint string) ([]byte, error) {
+	ex, err := expand(g)
+	if err != nil {
+		return nil, err
+	}
+	var key cas.Key
+	if store != nil {
+		found := false
+		for i := range ex.jobs {
+			j := &ex.jobs[i]
+			if ex.cells[j.cell].Key() == cellKey && j.rep == 0 {
+				key = runKey(kindTrace, fingerprintOr(fingerprint), j)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sweep: no cell %s in grid %q", cellKey, g.Name)
+		}
+		if payload, ok := store.Get(key); ok {
+			return payload, nil
+		}
+	}
+	col, err := TraceCell(g, cellKey)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := col.WritePerfetto(&buf); err != nil {
+		return nil, fmt.Errorf("sweep: rendering trace for %s: %w", cellKey, err)
+	}
+	if store != nil {
+		if err := store.Put(key, buf.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}

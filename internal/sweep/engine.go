@@ -1,11 +1,14 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/cas"
 	"repro/internal/trace"
 )
 
@@ -16,6 +19,44 @@ type Options struct {
 	// bytes: runs are independent and results are indexed, not
 	// appended.
 	Workers int
+	// Cache, when non-nil, serves each (cell, seed) replicate from the
+	// content-addressed store when an entry matches its key (see
+	// cache.go for the key material) and stores fresh results back.
+	// Cached and fresh runs produce byte-identical deterministic views:
+	// stored payloads carry the wall-metric-stripped metrics, the same
+	// family Bench.StripWall removes.
+	Cache *cas.Store
+	// Fingerprint overrides the code fingerprint mixed into cache keys
+	// ("" = cas.ModuleFingerprint()). Tests use it to simulate code
+	// edits without editing code.
+	Fingerprint string
+	// Stats, when non-nil, receives the execution summary before
+	// Execute returns.
+	Stats *ExecStats
+	// OnCell, when non-nil, is called once per cell whose replicates
+	// all succeeded, with the aggregated cell and the number of its
+	// runs served from the cache. Calls are serialized but arrive in
+	// completion order, which depends on worker scheduling — stream
+	// consumers (sweepd) re-sort nothing; the canonical order lives
+	// only in the returned Bench.
+	OnCell func(c Cell, cachedRuns int)
+	// Ctx, when non-nil, cancels the run: replicates not yet started
+	// when Ctx is done fail with its error, and Execute returns
+	// Ctx.Err() alongside the Bench of the cells that did complete.
+	Ctx context.Context
+}
+
+// ExecStats summarizes how one Execute call obtained its results.
+type ExecStats struct {
+	// RunsTotal = RunsExecuted + RunsCached + RunsFailed.
+	RunsTotal    int `json:"runs_total"`
+	RunsExecuted int `json:"runs_executed"`
+	RunsCached   int `json:"runs_cached"`
+	RunsFailed   int `json:"runs_failed"`
+	CellsTotal   int `json:"cells_total"`
+	// CellsComplete counts cells whose every replicate succeeded — the
+	// cells present in the Bench.
+	CellsComplete int `json:"cells_complete"`
 }
 
 // RunError is one failed (cell, seed) replicate. The engine never
@@ -37,8 +78,8 @@ func (e RunError) Unwrap() error { return e.Err }
 // Execute expands the grid, runs every (cell, seed) replicate on a
 // worker pool, and aggregates the results into a Bench document. Cell
 // run failures come back as RunErrors (the document still carries every
-// cell that succeeded); the error return is reserved for unusable
-// grids.
+// cell that succeeded); the error return is reserved for unusable grids
+// and for cancellation through Options.Ctx.
 func Execute(g Grid, opt Options) (*Bench, []RunError, error) {
 	ex, err := expand(g)
 	if err != nil {
@@ -51,11 +92,41 @@ func Execute(g Grid, opt Options) (*Bench, []RunError, error) {
 	if workers > len(ex.jobs) {
 		workers = len(ex.jobs)
 	}
+	fingerprint := ""
+	if opt.Cache != nil {
+		fingerprint = fingerprintOr(opt.Fingerprint)
+	}
 
 	// Each worker writes only its job's dedicated slots; no two jobs
 	// share an index, so the table needs no lock and the outcome no
 	// ordering assumptions.
 	runErrs := make([]error, len(ex.jobs))
+	var executed, cached atomic.Int64
+
+	// Per-cell completion tracking for the OnCell stream: the last
+	// replicate in (any worker's) flight aggregates a copy and emits it.
+	remaining := make([]atomic.Int32, len(ex.cells))
+	cellCached := make([]atomic.Int32, len(ex.cells))
+	cellFailed := make([]atomic.Bool, len(ex.cells))
+	for ci := range ex.cells {
+		remaining[ci].Store(int32(len(ex.cells[ci].Seeds)))
+	}
+	var onCellMu sync.Mutex
+	finish := func(ci int, failed bool) {
+		if failed {
+			cellFailed[ci].Store(true)
+		}
+		if remaining[ci].Add(-1) != 0 || opt.OnCell == nil || cellFailed[ci].Load() {
+			return
+		}
+		c := ex.cells[ci]
+		c.Runs = append([]Run(nil), c.Runs...)
+		c.aggregate()
+		onCellMu.Lock()
+		opt.OnCell(c, int(cellCached[ci].Load()))
+		onCellMu.Unlock()
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -63,7 +134,23 @@ func Execute(g Grid, opt Options) (*Bench, []RunError, error) {
 		go func() {
 			defer wg.Done()
 			for ji := range jobs {
-				j := ex.jobs[ji]
+				j := &ex.jobs[ji]
+				if opt.Ctx != nil && opt.Ctx.Err() != nil {
+					runErrs[ji] = opt.Ctx.Err()
+					finish(j.cell, true)
+					continue
+				}
+				if opt.Cache != nil {
+					if payload, ok := opt.Cache.Get(runKey(kindMetrics, fingerprint, j)); ok {
+						if m, ok := decodeMetrics(payload); ok {
+							ex.cells[j.cell].Runs[j.rep] = Run{Seed: j.seed, Metrics: m}
+							cached.Add(1)
+							cellCached[j.cell].Add(1)
+							finish(j.cell, false)
+							continue
+						}
+					}
+				}
 				metrics, err := j.wl.Run(RunContext{
 					Machine:  j.machine,
 					Strategy: j.strat,
@@ -73,9 +160,24 @@ func Execute(g Grid, opt Options) (*Bench, []RunError, error) {
 				})
 				if err != nil {
 					runErrs[ji] = err
+					finish(j.cell, true)
 					continue
 				}
+				executed.Add(1)
 				ex.cells[j.cell].Runs[j.rep] = Run{Seed: j.seed, Metrics: metrics}
+				if opt.Cache != nil {
+					payload, encErr := encodeMetrics(metrics)
+					if encErr == nil {
+						encErr = opt.Cache.Put(runKey(kindMetrics, fingerprint, j), payload)
+					}
+					if encErr != nil {
+						// A store failure must not fail the sweep; the
+						// result is in hand. Surface it as a run error
+						// so operators see degraded caching.
+						runErrs[ji] = fmt.Errorf("result ok, cache store failed: %w", encErr)
+					}
+				}
+				finish(j.cell, false)
 			}
 		}()
 	}
@@ -96,15 +198,9 @@ func Execute(g Grid, opt Options) (*Bench, []RunError, error) {
 
 	// Drop cells with failed replicates from the document (their stats
 	// would silently mix successful seeds), keep every complete cell.
-	failed := make(map[int]bool)
-	for ji, err := range runErrs {
-		if err != nil {
-			failed[ex.jobs[ji].cell] = true
-		}
-	}
 	cells := make([]Cell, 0, len(ex.cells))
 	for ci := range ex.cells {
-		if failed[ci] {
+		if cellFailed[ci].Load() {
 			continue
 		}
 		c := ex.cells[ci]
@@ -113,6 +209,17 @@ func Execute(g Grid, opt Options) (*Bench, []RunError, error) {
 	}
 	sortCells(cells)
 
+	if opt.Stats != nil {
+		*opt.Stats = ExecStats{
+			RunsTotal:     len(ex.jobs),
+			RunsExecuted:  int(executed.Load()),
+			RunsCached:    int(cached.Load()),
+			RunsFailed:    len(ex.jobs) - int(executed.Load()) - int(cached.Load()),
+			CellsTotal:    len(ex.cells),
+			CellsComplete: len(cells),
+		}
+	}
+
 	b := &Bench{
 		SchemaVersion: SchemaVersion,
 		Name:          g.Name,
@@ -120,6 +227,9 @@ func Execute(g Grid, opt Options) (*Bench, []RunError, error) {
 		Cells:         cells,
 	}
 	b.Comparisons = comparisons(b)
+	if opt.Ctx != nil && opt.Ctx.Err() != nil {
+		return b, errs, opt.Ctx.Err()
+	}
 	return b, errs, nil
 }
 

@@ -77,6 +77,19 @@ func BuiltinGrids() []Grid {
 	}
 }
 
+// Counts validates and expands the grid without running anything, and
+// reports its size: distinct cells (strategy-agnostic workloads
+// collapse to one cell per machine × faults) and total runs (cells ×
+// seeds) — what sweeprun -list prints so users can estimate cost before
+// submitting, and what sweepd uses to validate submissions.
+func (g Grid) Counts() (cells, runs int, err error) {
+	ex, err := expand(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(ex.cells), len(ex.jobs), nil
+}
+
 // GridByName resolves a built-in grid.
 func GridByName(name string) (Grid, bool) {
 	for _, g := range BuiltinGrids() {

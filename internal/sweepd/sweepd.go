@@ -1,0 +1,560 @@
+// Package sweepd is the long-running sweep service: a plain net/http
+// server that accepts experiment grids, executes them on the sweep
+// engine's worker pool, streams per-cell results as they complete, and
+// serves BENCH documents, historical baselines and on-demand Perfetto
+// traces. It is the daemon face of the same determinism dividend the
+// batch tools exploit — every cell is a pure function of its inputs, so
+// the service fronts a content-addressed store (internal/cas) and an
+// unchanged grid re-submission is answered entirely from cache.
+//
+// Endpoints:
+//
+//	POST   /grids               submit a grid (inline JSON or {"name":"smoke"}); 202 + job id
+//	GET    /jobs/{id}           job status; ?wait=1 blocks until terminal
+//	DELETE /jobs/{id}           cancel a queued or running job
+//	GET    /jobs/{id}/results   NDJSON stream of per-cell results as they complete
+//	GET    /jobs/{id}/bench     the finished BENCH document; ?view=stripped for the deterministic view
+//	GET    /jobs/{id}/trace     Perfetto trace of one cell, ?cell=KEY (cached in the store)
+//	GET    /bench/{name}        committed baseline BENCH_<name>.json from the bench dir
+//	GET    /healthz             liveness ("ok")
+//	GET    /statsz              JSON counters: queue, jobs by state, cache hit/miss/evict
+//
+// Concurrency model: one runner goroutine owns job execution (jobs are
+// serialized; each job parallelizes internally over Options.Workers),
+// submissions go through a bounded queue that refuses with 429 when
+// full, and Drain stops intake, finishes the queue and the in-flight
+// job, and returns. The package is intentionally outside the
+// determinism boundary — it is infrastructure around the simulation,
+// never inside it — and is exempted from the schedonly/determinism
+// lints the simulation packages obey.
+package sweepd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+
+	"repro/internal/cas"
+	"repro/internal/sweep"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Cache is the content-addressed result store; nil runs uncached.
+	Cache *cas.Store
+	// Workers sizes each job's sweep worker pool (0 = GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the submission queue; a full queue refuses new
+	// grids with 429 (<= 0 takes 8).
+	QueueCap int
+	// BenchDir is where committed BENCH_<name>.json baselines live for
+	// GET /bench/{name} ("" disables the endpoint).
+	BenchDir string
+	// Fingerprint overrides the code fingerprint in cache keys
+	// ("" = cas.ModuleFingerprint()).
+	Fingerprint string
+}
+
+// Job states, in lifecycle order.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// jobStates is the fixed iteration order for counters (maps are
+// unordered; the rendered JSON must not be).
+var jobStates = [...]string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled}
+
+// cellResult is one NDJSON stream record: a completed cell plus how
+// many of its replicates the cache answered.
+type cellResult struct {
+	Cell       sweep.Cell `json:"cell"`
+	CachedRuns int        `json:"cached_runs"`
+}
+
+// job is one submitted grid moving through the queue.
+type job struct {
+	id   string
+	grid sweep.Grid
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  string
+	events []cellResult // grows as cells complete; never truncated
+	bench  *sweep.Bench // set in a terminal state
+	stats  sweep.ExecStats
+	errs   []string
+
+	cancel   context.CancelFunc
+	canceled bool
+}
+
+func (j *job) terminal() bool {
+	return j.state == StateDone || j.state == StateFailed || j.state == StateCanceled
+}
+
+// status is the GET /jobs/{id} document.
+type status struct {
+	ID     string          `json:"id"`
+	State  string          `json:"state"`
+	Grid   string          `json:"grid"`
+	Cells  int             `json:"cells"`
+	Runs   int             `json:"runs"`
+	Exec   sweep.ExecStats `json:"exec"`
+	Errors []string        `json:"errors,omitempty"`
+}
+
+// Server is one sweepd instance. Create with New, mount via Handler,
+// stop via Drain.
+type Server struct {
+	cfg         Config
+	fingerprint string
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // job ids in submission order
+	queue    chan *job
+	draining bool
+	nextID   int
+
+	runnerDone chan struct{}
+}
+
+// New builds a Server and starts its runner goroutine.
+func New(cfg Config) *Server {
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 8
+	}
+	fp := cfg.Fingerprint
+	if fp == "" {
+		fp = cas.ModuleFingerprint()
+	}
+	s := &Server{
+		cfg:         cfg,
+		fingerprint: fp,
+		jobs:        make(map[string]*job),
+		queue:       make(chan *job, cfg.QueueCap),
+		runnerDone:  make(chan struct{}),
+	}
+	go s.runner()
+	return s
+}
+
+// Handler mounts the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /grids", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /jobs/{id}/bench", s.handleBench)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /bench/{name}", s.handleBaseline)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+// Drain stops accepting submissions, lets queued and in-flight jobs
+// finish, and returns when the runner has exited or ctx expires (in
+// which case the in-flight job is canceled before returning).
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // submissions check draining under s.mu first
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.runnerDone:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.mu.Lock()
+			if j.cancel != nil && !j.terminal() {
+				j.cancel()
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
+		<-s.runnerDone
+		return ctx.Err()
+	}
+}
+
+// runner owns execution: one job at a time, each parallel internally.
+func (s *Server) runner() {
+	defer close(s.runnerDone)
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j.mu.Lock()
+	if j.canceled {
+		j.state = StateCanceled
+		j.cond.Broadcast()
+		j.mu.Unlock()
+		cancel()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	j.cond.Broadcast()
+	j.mu.Unlock()
+
+	opts := sweep.Options{
+		Workers:     s.cfg.Workers,
+		Cache:       s.cfg.Cache,
+		Fingerprint: s.fingerprint,
+		Stats:       &j.stats,
+		Ctx:         ctx,
+		OnCell: func(c sweep.Cell, cachedRuns int) {
+			j.mu.Lock()
+			j.events = append(j.events, cellResult{Cell: c, CachedRuns: cachedRuns})
+			j.cond.Broadcast()
+			j.mu.Unlock()
+		},
+	}
+	bench, runErrs, err := sweep.Execute(j.grid, opts)
+	cancel()
+
+	j.mu.Lock()
+	j.bench = bench
+	for _, re := range runErrs {
+		j.errs = append(j.errs, re.Error())
+	}
+	switch {
+	case err != nil && j.canceled:
+		j.state = StateCanceled
+	case err != nil:
+		j.state = StateFailed
+		j.errs = append(j.errs, err.Error())
+	case len(runErrs) > 0:
+		j.state = StateFailed
+	default:
+		j.state = StateDone
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// submitRequest is the POST /grids body: a full inline grid, or just
+// {"name":"smoke"} to run a built-in by name. Grid's own JSON shape
+// covers both (strictly decoded).
+func decodeGrid(r io.Reader) (sweep.Grid, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var g sweep.Grid
+	if err := dec.Decode(&g); err != nil {
+		return g, fmt.Errorf("bad grid: %w", err)
+	}
+	if len(g.Workloads) == 0 && len(g.Machines) == 0 && len(g.Seeds) == 0 {
+		builtin, ok := sweep.GridByName(g.Name)
+		if !ok {
+			return g, fmt.Errorf("unknown built-in grid %q", g.Name)
+		}
+		return builtin, nil
+	}
+	return g, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	grid, err := decodeGrid(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cells, runs, err := grid.Counts()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+		return
+	}
+	s.nextID++
+	j := &job{id: "job-" + strconv.Itoa(s.nextID), grid: grid, state: StateQueued}
+	j.cond = sync.NewCond(&j.mu)
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // the id was never exposed
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, fmt.Errorf("queue full (%d job(s) waiting)", cap(s.queue)))
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]any{
+		"id": j.id, "state": StateQueued, "grid": grid.Name, "cells": cells, "runs": runs,
+	})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (j *job) statusLocked() status {
+	return status{
+		ID: j.id, State: j.state, Grid: j.grid.Name,
+		Cells: j.stats.CellsComplete, Runs: j.stats.RunsTotal,
+		Exec: j.stats, Errors: j.errs,
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if r.URL.Query().Get("wait") != "" {
+		stop := context.AfterFunc(r.Context(), j.cond.Broadcast)
+		defer stop()
+		for !j.terminal() && r.Context().Err() == nil {
+			j.cond.Wait()
+		}
+	}
+	st := j.statusLocked()
+	j.mu.Unlock()
+	writeJSON(w, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	if !j.terminal() {
+		j.canceled = true
+		if j.cancel != nil {
+			j.cancel()
+		} else {
+			// Still queued: the runner will see canceled and skip it.
+			j.state = StateCanceled
+			j.cond.Broadcast()
+		}
+	}
+	st := j.statusLocked()
+	j.mu.Unlock()
+	writeJSON(w, st)
+}
+
+// handleResults streams one JSON object per completed cell (NDJSON),
+// flushing after each, until the job reaches a terminal state or the
+// client disconnects. Replaying is cheap: events are retained, so a
+// late subscriber sees the full history.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers now: subscribers attach before the first
+		// cell completes and must not block waiting for them.
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+
+	stop := context.AfterFunc(r.Context(), j.cond.Broadcast)
+	defer stop()
+	next := 0
+	for {
+		j.mu.Lock()
+		for next == len(j.events) && !j.terminal() && r.Context().Err() == nil {
+			j.cond.Wait()
+		}
+		batch := j.events[next:]
+		next = len(j.events)
+		done := j.terminal()
+		j.mu.Unlock()
+
+		for _, ev := range batch {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done || r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleBench(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	bench, state := j.bench, j.state
+	j.mu.Unlock()
+	if state != StateDone {
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s, not done", j.id, state))
+		return
+	}
+	if r.URL.Query().Get("view") == "stripped" {
+		clone, err := cloneBench(bench)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		clone.StripWall()
+		bench = clone
+	}
+	w.Header().Set("Content-Type", "application/json")
+	bench.Write(w)
+}
+
+// cloneBench deep-copies via the canonical encoding (float64 survives
+// the JSON round trip exactly), so stripping a view never mutates the
+// job's document.
+func cloneBench(b *sweep.Bench) (*sweep.Bench, error) {
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		return nil, err
+	}
+	return sweep.Load(&buf)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	cell := r.URL.Query().Get("cell")
+	if cell == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing ?cell=KEY"))
+		return
+	}
+	j.mu.Lock()
+	grid := j.grid
+	j.mu.Unlock()
+	data, err := sweep.TraceCellCached(grid, cell, s.cfg.Cache, s.fingerprint)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+var benchName = regexp.MustCompile(`^[a-zA-Z0-9_-]+$`)
+
+func (s *Server) handleBaseline(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.cfg.BenchDir == "" {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no bench dir configured"))
+		return
+	}
+	if !benchName.MatchString(name) {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad baseline name %q", name))
+		return
+	}
+	b, err := sweep.LoadFile(s.cfg.BenchDir + "/BENCH_" + name + ".json")
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b.Write(w)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	counts := make(map[string]int, len(jobStates))
+	for _, st := range jobStates {
+		counts[st] = 0
+	}
+	var agg sweep.ExecStats
+	for _, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		counts[j.state]++
+		agg.RunsTotal += j.stats.RunsTotal
+		agg.RunsExecuted += j.stats.RunsExecuted
+		agg.RunsCached += j.stats.RunsCached
+		agg.RunsFailed += j.stats.RunsFailed
+		agg.CellsTotal += j.stats.CellsTotal
+		agg.CellsComplete += j.stats.CellsComplete
+		j.mu.Unlock()
+	}
+	doc := map[string]any{
+		"draining":  s.draining,
+		"workers":   s.cfg.Workers,
+		"queue_len": len(s.queue),
+		"queue_cap": cap(s.queue),
+		"jobs":      counts,
+		"exec":      agg,
+	}
+	if s.cfg.Cache != nil {
+		doc["cache"] = s.cfg.Cache.Stats()
+	}
+	s.mu.Unlock()
+	writeJSON(w, doc)
+}
+
+// Jobs lists job ids in submission order (tests and diagnostics).
+func (s *Server) Jobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	data = append(data, '\n')
+	w.Write(data)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(map[string]string{"error": err.Error()})
+	w.Write(append(data, '\n'))
+}

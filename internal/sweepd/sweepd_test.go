@@ -1,0 +1,569 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cas"
+	"repro/internal/sweep"
+)
+
+// --- test scaffolding ---------------------------------------------------
+
+// release feeds the blocking test workload: every replicate of
+// test/block consumes one token before returning. Tests that need a job
+// to sit in-flight submit it, assert what they want, then send tokens.
+var (
+	blockOnce sync.Once
+	release   = make(chan struct{}, 128)
+)
+
+func registerBlocking(t *testing.T) {
+	t.Helper()
+	blockOnce.Do(func() {
+		err := sweep.Register(sweep.Workload{
+			Name:       "test/block",
+			Primary:    "ticks",
+			Strategied: true,
+			Run: func(sweep.RunContext) (sweep.Metrics, error) {
+				<-release
+				return sweep.Metrics{"ticks": 1}, nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func blockGrid(name string) sweep.Grid {
+	return sweep.Grid{
+		Name:       name,
+		Machines:   []string{"opteron"},
+		Workloads:  []string{"test/block"},
+		Strategies: []string{"small-lazy"},
+		Seeds:      []uint64{1},
+	}
+}
+
+// e2eGrid is a real (non-blocking) grid small enough to run repeatedly.
+func e2eGrid() sweep.Grid {
+	return sweep.Grid{
+		Name:       "e2e",
+		Machines:   []string{"opteron"},
+		Workloads:  []string{"alloc/abinit"},
+		Strategies: []string{"small-lazy"},
+		Seeds:      []uint64{1, 2},
+	}
+}
+
+type harness struct {
+	t   *testing.T
+	srv *Server
+	ts  *httptest.Server
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	if cfg.Fingerprint == "" {
+		cfg.Fingerprint = "test-fp"
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		ts.Close()
+	})
+	return &harness{t: t, srv: srv, ts: ts}
+}
+
+func (h *harness) do(method, path string, body string) (int, []byte) {
+	h.t.Helper()
+	req, err := http.NewRequest(method, h.ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// submit posts a grid and returns the job id.
+func (h *harness) submit(g sweep.Grid) string {
+	h.t.Helper()
+	body, _ := json.Marshal(g)
+	code, data := h.do("POST", "/grids", string(body))
+	if code != http.StatusAccepted {
+		h.t.Fatalf("submit: %d %s", code, data)
+	}
+	var resp struct{ ID string }
+	if err := json.Unmarshal(data, &resp); err != nil || resp.ID == "" {
+		h.t.Fatalf("submit response %q: %v", data, err)
+	}
+	return resp.ID
+}
+
+// wait blocks (?wait=1) until the job is terminal and returns its status.
+func (h *harness) wait(id string) status {
+	h.t.Helper()
+	code, data := h.do("GET", "/jobs/"+id+"?wait=1", "")
+	if code != http.StatusOK {
+		h.t.Fatalf("wait %s: %d %s", id, code, data)
+	}
+	var st status
+	if err := json.Unmarshal(data, &st); err != nil {
+		h.t.Fatalf("status %q: %v", data, err)
+	}
+	return st
+}
+
+// awaitState polls until the job reports the wanted state.
+func (h *harness) awaitState(id, want string) {
+	h.t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		code, data := h.do("GET", "/jobs/"+id, "")
+		if code != http.StatusOK {
+			h.t.Fatalf("status %s: %d %s", id, code, data)
+		}
+		var st status
+		if err := json.Unmarshal(data, &st); err != nil {
+			h.t.Fatal(err)
+		}
+		if st.State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.t.Fatalf("job %s never reached state %q", id, want)
+}
+
+// --- tests --------------------------------------------------------------
+
+// TestSubmitTwiceSecondRunFullyCached is the service half of the
+// tentpole acceptance: the same grid submitted twice against one store
+// executes zero replicates the second time and serves a byte-identical
+// stripped BENCH document.
+func TestSubmitTwiceSecondRunFullyCached(t *testing.T) {
+	store, err := cas.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, Config{Cache: store, Workers: 2})
+
+	id1 := h.submit(e2eGrid())
+	st1 := h.wait(id1)
+	if st1.State != StateDone || st1.Exec.RunsExecuted != 2 || st1.Exec.RunsCached != 0 {
+		t.Fatalf("first run: %+v", st1)
+	}
+
+	id2 := h.submit(e2eGrid())
+	st2 := h.wait(id2)
+	if st2.State != StateDone || st2.Exec.RunsExecuted != 0 || st2.Exec.RunsCached != 2 {
+		t.Fatalf("second run not fully cached: %+v", st2)
+	}
+
+	_, b1 := h.do("GET", "/jobs/"+id1+"/bench?view=stripped", "")
+	_, b2 := h.do("GET", "/jobs/"+id2+"/bench?view=stripped", "")
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("stripped BENCH documents differ between executed and cached runs")
+	}
+	if len(b1) == 0 {
+		t.Fatal("empty bench document")
+	}
+	// The full (unstripped) view is also available and validates.
+	code, full := h.do("GET", "/jobs/"+id1+"/bench", "")
+	if code != http.StatusOK {
+		t.Fatalf("bench: %d %s", code, full)
+	}
+	if b, err := sweep.Load(bytes.NewReader(full)); err != nil {
+		t.Fatalf("served bench invalid: %v", err)
+	} else if b.Name != "e2e" {
+		t.Fatalf("served bench grid = %q", b.Name)
+	}
+}
+
+// TestBuiltinGridByName: {"name":"smoke"} resolves the built-in grid.
+func TestBuiltinGridByName(t *testing.T) {
+	h := newHarness(t, Config{Workers: 2})
+	code, data := h.do("POST", "/grids", `{"name":"smoke"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit smoke: %d %s", code, data)
+	}
+	var resp struct {
+		ID   string
+		Grid string
+		Runs int
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Grid != "smoke" || resp.Runs == 0 {
+		t.Fatalf("smoke submit response: %+v", resp)
+	}
+	if st := h.wait(resp.ID); st.State != StateDone {
+		t.Fatalf("smoke run: %+v", st)
+	}
+
+	code, data = h.do("POST", "/grids", `{"name":"nope"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown grid: %d %s", code, data)
+	}
+	code, data = h.do("POST", "/grids", `{"bogus":true}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d %s", code, data)
+	}
+}
+
+// TestResultsStreamNDJSON subscribes before completion and sees one
+// NDJSON record per cell, tagged with its cached-run count.
+func TestResultsStreamNDJSON(t *testing.T) {
+	registerBlocking(t)
+	h := newHarness(t, Config{Workers: 1})
+
+	g := blockGrid("stream")
+	g.Seeds = []uint64{1, 2} // one cell, two replicates
+	id := h.submit(g)
+	h.awaitState(id, StateRunning)
+
+	resp, err := http.Get(h.ts.URL + "/jobs/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	release <- struct{}{}
+	release <- struct{}{}
+
+	var lines []cellResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev cellResult
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("streamed %d cells, want 1", len(lines))
+	}
+	if got := lines[0].Cell.Key(); got != "test/block/opteron/small-lazy" {
+		t.Fatalf("streamed cell %q", got)
+	}
+	if len(lines[0].Cell.Runs) != 2 {
+		t.Fatalf("streamed cell has %d runs", len(lines[0].Cell.Runs))
+	}
+
+	// A late subscriber replays the full history immediately.
+	h.wait(id)
+	code, data := h.do("GET", "/jobs/"+id+"/results", "")
+	if code != http.StatusOK || !bytes.Contains(data, []byte(`"cached_runs":0`)) {
+		t.Fatalf("replay: %d %s", code, data)
+	}
+}
+
+// TestBackpressure429 fills the bounded queue and expects 429 with a
+// Retry-After header; queued work still completes once released.
+func TestBackpressure429(t *testing.T) {
+	registerBlocking(t)
+	h := newHarness(t, Config{Workers: 1, QueueCap: 1})
+
+	id1 := h.submit(blockGrid("bp1")) // picked up by the runner, blocks
+	h.awaitState(id1, StateRunning)
+	id2 := h.submit(blockGrid("bp2")) // sits in the queue buffer
+
+	body, _ := json.Marshal(blockGrid("bp3"))
+	req, _ := http.NewRequest("POST", h.ts.URL+"/grids", bytes.NewReader(body))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload submit: %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	release <- struct{}{}
+	release <- struct{}{}
+	if st := h.wait(id1); st.State != StateDone {
+		t.Fatalf("job 1: %+v", st)
+	}
+	if st := h.wait(id2); st.State != StateDone {
+		t.Fatalf("job 2: %+v", st)
+	}
+}
+
+// TestGracefulDrain: draining lets the in-flight job finish, refuses
+// new submissions with 503, and Drain returns once the runner exits.
+func TestGracefulDrain(t *testing.T) {
+	registerBlocking(t)
+	store, err := cas.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1, Cache: store, Fingerprint: "drain-fp"})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	h := &harness{t: t, srv: srv, ts: ts}
+
+	id := h.submit(blockGrid("drain"))
+	h.awaitState(id, StateRunning)
+
+	drainErr := make(chan error, 1)
+	go func() { drainErr <- srv.Drain(context.Background()) }()
+
+	// Submissions are refused while draining (poll: the drain goroutine
+	// sets the flag asynchronously).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, _ := h.do("POST", "/grids", `{"name":"smoke"}`)
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining server still accepts submissions")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// The in-flight job completes rather than being killed.
+	release <- struct{}{}
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := h.wait(id); st.State != StateDone {
+		t.Fatalf("in-flight job after drain: %+v", st)
+	}
+	// Drain is idempotent.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestCancelQueuedAndRunning: DELETE cancels a queued job outright and
+// interrupts a running one via its context.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	registerBlocking(t)
+	h := newHarness(t, Config{Workers: 1, QueueCap: 2})
+
+	running := blockGrid("cancel-run")
+	running.Seeds = []uint64{1, 2} // replicate 2 is pending when we cancel
+	id1 := h.submit(running)
+	h.awaitState(id1, StateRunning)
+	id2 := h.submit(blockGrid("cancel-queue"))
+
+	// Cancel the queued job: immediate, nothing ever ran.
+	code, data := h.do("DELETE", "/jobs/"+id2, "")
+	if code != http.StatusOK {
+		t.Fatalf("cancel queued: %d %s", code, data)
+	}
+	if st := h.wait(id2); st.State != StateCanceled || st.Exec.RunsTotal != 0 {
+		t.Fatalf("queued job after cancel: %+v", st)
+	}
+
+	// Cancel the running job, then release its blocked replicate: the
+	// pending replicate fails with the context error.
+	if code, data := h.do("DELETE", "/jobs/"+id1, ""); code != http.StatusOK {
+		t.Fatalf("cancel running: %d %s", code, data)
+	}
+	release <- struct{}{}
+	st := h.wait(id1)
+	if st.State != StateCanceled {
+		t.Fatalf("running job after cancel: %+v", st)
+	}
+	if len(st.Errors) == 0 {
+		t.Fatal("canceled job reports no errors")
+	}
+
+	// Unknown job and unknown verbs.
+	if code, _ := h.do("DELETE", "/jobs/nope", ""); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown: %d", code)
+	}
+	if code, _ := h.do("GET", "/jobs/nope", ""); code != http.StatusNotFound {
+		t.Fatalf("status unknown: %d", code)
+	}
+}
+
+// TestTraceEndpointCachesInStore: the first trace renders and stores,
+// the second is served byte-identical from the store.
+func TestTraceEndpointCachesInStore(t *testing.T) {
+	store, err := cas.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, Config{Cache: store, Workers: 1})
+	id := h.submit(e2eGrid())
+	h.wait(id)
+
+	before := store.Stats().Hits
+	code, t1 := h.do("GET", "/jobs/"+id+"/trace?cell=alloc/abinit/opteron/small-lazy", "")
+	if code != http.StatusOK || len(t1) == 0 {
+		t.Fatalf("trace: %d (%d bytes)", code, len(t1))
+	}
+	code, t2 := h.do("GET", "/jobs/"+id+"/trace?cell=alloc/abinit/opteron/small-lazy", "")
+	if code != http.StatusOK || !bytes.Equal(t1, t2) {
+		t.Fatal("second trace differs")
+	}
+	if store.Stats().Hits != before+1 {
+		t.Fatalf("trace not served from store: hits %d -> %d", before, store.Stats().Hits)
+	}
+	if code, _ := h.do("GET", "/jobs/"+id+"/trace?cell=no/such/cell", ""); code != http.StatusBadRequest {
+		t.Fatalf("bad cell: %d", code)
+	}
+	if code, _ := h.do("GET", "/jobs/"+id+"/trace", ""); code != http.StatusBadRequest {
+		t.Fatalf("missing cell param: %d", code)
+	}
+}
+
+// TestBaselineEndpoint serves committed BENCH_<name>.json documents and
+// rejects traversal-shaped names.
+func TestBaselineEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	bench, errs, err := sweep.Execute(e2eGrid(), sweep.Options{})
+	if err != nil || len(errs) != 0 {
+		t.Fatalf("seed run: %v %v", errs, err)
+	}
+	if err := bench.WriteFile(filepath.Join(dir, "BENCH_e2e.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_junk.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, Config{BenchDir: dir})
+
+	code, data := h.do("GET", "/bench/e2e", "")
+	if code != http.StatusOK {
+		t.Fatalf("baseline: %d %s", code, data)
+	}
+	if b, err := sweep.Load(bytes.NewReader(data)); err != nil || b.Name != "e2e" {
+		t.Fatalf("baseline document: %v", err)
+	}
+	if code, _ := h.do("GET", "/bench/absent", ""); code != http.StatusNotFound {
+		t.Fatalf("missing baseline: %d", code)
+	}
+	if code, _ := h.do("GET", "/bench/junk", ""); code != http.StatusNotFound {
+		t.Fatalf("invalid baseline should 404: %d", code)
+	}
+	if code, _ := h.do("GET", "/bench/..%2fsecrets", ""); code == http.StatusOK {
+		t.Fatal("traversal name served")
+	}
+}
+
+// TestHealthAndStatsz: liveness and the counters document.
+func TestHealthAndStatsz(t *testing.T) {
+	store, err := cas.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newHarness(t, Config{Cache: store, Workers: 1, QueueCap: 3})
+	code, data := h.do("GET", "/healthz", "")
+	if code != http.StatusOK || string(data) != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, data)
+	}
+
+	h.wait(h.submit(e2eGrid()))
+	h.wait(h.submit(e2eGrid()))
+
+	code, data = h.do("GET", "/statsz", "")
+	if code != http.StatusOK {
+		t.Fatalf("statsz: %d %s", code, data)
+	}
+	var st struct {
+		Draining bool           `json:"draining"`
+		QueueCap int            `json:"queue_cap"`
+		Jobs     map[string]int `json:"jobs"`
+		Exec     struct {
+			RunsCached   int `json:"runs_cached"`
+			RunsExecuted int `json:"runs_executed"`
+		} `json:"exec"`
+		Cache *cas.Stats `json:"cache"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("statsz document %s: %v", data, err)
+	}
+	if st.Draining || st.QueueCap != 3 || st.Jobs[StateDone] != 2 {
+		t.Fatalf("statsz: %+v", st)
+	}
+	if st.Exec.RunsExecuted != 2 || st.Exec.RunsCached != 2 {
+		t.Fatalf("statsz exec counters: %+v", st.Exec)
+	}
+	if st.Cache == nil || st.Cache.Hits == 0 {
+		t.Fatalf("statsz cache counters: %+v", st.Cache)
+	}
+}
+
+// TestWaitReturnsOnClientDisconnect: a ?wait=1 poller whose connection
+// dies does not wedge the job's lock.
+func TestWaitReturnsOnClientDisconnect(t *testing.T) {
+	registerBlocking(t)
+	h := newHarness(t, Config{Workers: 1})
+	id := h.submit(blockGrid("discon"))
+	h.awaitState(id, StateRunning)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", h.ts.URL+"/jobs/"+id+"?wait=1", nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled waiter never returned")
+	}
+
+	release <- struct{}{}
+	if st := h.wait(id); st.State != StateDone {
+		t.Fatalf("job after disconnect: %+v", st)
+	}
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	// Drain any stray tokens so a failed test cannot leak goroutines
+	// into the race detector's exit check.
+	for {
+		select {
+		case <-release:
+		default:
+			os.Exit(code)
+		}
+	}
+}

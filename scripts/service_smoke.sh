@@ -1,0 +1,92 @@
+#!/bin/sh
+# service_smoke.sh — end-to-end proof of the content-addressed result
+# store, batch and daemon:
+#
+#   1. A cold sweeprun -cache run of the seed grid populates the store;
+#      a warm re-run executes zero replicates and reproduces both the
+#      cold output and the committed BENCH_seed.json byte for byte.
+#   2. A live sweepd answers a re-submitted smoke grid entirely from
+#      cache (runs_executed=0) with a byte-identical stripped BENCH
+#      view, refuses a baseline it does not have, and exits cleanly on
+#      SIGTERM.
+#
+# Requires: go, curl, cmp. Run from the repository root (make service).
+set -eu
+
+workdir=$(mktemp -d)
+trap 'status=$?; [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null; rm -rf "$workdir"; exit $status' EXIT INT TERM
+
+say() { echo "service_smoke: $*"; }
+
+go build -o "$workdir/sweeprun" ./cmd/sweeprun
+go build -o "$workdir/sweepd" ./cmd/sweepd
+
+# --- 1. batch: cold run populates, warm run executes nothing ---------
+
+cache="$workdir/cache"
+say "cold seed-grid run (populates $cache)"
+"$workdir/sweeprun" -grid seed -cache "$cache" \
+    -o "$workdir/cold.json" 2> "$workdir/cold.log"
+grep -q 'cached=0' "$workdir/cold.log" || {
+    say "cold run unexpectedly hit the cache:"; cat "$workdir/cold.log"; exit 1; }
+
+say "warm seed-grid run (must execute zero replicates)"
+"$workdir/sweeprun" -grid seed -cache "$cache" \
+    -o "$workdir/warm.json" 2> "$workdir/warm.log"
+grep -q 'executed=0' "$workdir/warm.log" || {
+    say "warm run executed cells:"; cat "$workdir/warm.log"; exit 1; }
+
+cmp "$workdir/cold.json" "$workdir/warm.json"
+cmp "$workdir/warm.json" BENCH_seed.json
+say "warm run reproduced committed BENCH_seed.json byte for byte"
+
+# --- 2. daemon: resubmission served from cache -----------------------
+
+addr="localhost:18473"
+"$workdir/sweepd" -addr "$addr" -cache "$workdir/dcache" -bench-dir . \
+    2> "$workdir/sweepd.log" &
+daemon_pid=$!
+
+say "waiting for sweepd on $addr"
+i=0
+until curl -sf "http://$addr/healthz" > /dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { say "sweepd never came up:"; cat "$workdir/sweepd.log"; exit 1; }
+    kill -0 "$daemon_pid" 2>/dev/null || { say "sweepd died:"; cat "$workdir/sweepd.log"; exit 1; }
+    sleep 0.1
+done
+
+submit() {
+    curl -sf -X POST "http://$addr/grids" -d '{"name":"smoke"}' |
+        sed -n 's/.*"id":"\([^"]*\)".*/\1/p'
+}
+
+job1=$(submit)
+say "submitted smoke grid as $job1"
+curl -sf "http://$addr/jobs/$job1?wait=1" > "$workdir/job1.json"
+grep -q '"state":"done"' "$workdir/job1.json" || { cat "$workdir/job1.json"; exit 1; }
+
+job2=$(submit)
+say "re-submitted smoke grid as $job2"
+curl -sf "http://$addr/jobs/$job2?wait=1" > "$workdir/job2.json"
+grep -q '"state":"done"' "$workdir/job2.json" || { cat "$workdir/job2.json"; exit 1; }
+grep -q '"runs_executed":0' "$workdir/job2.json" || {
+    say "re-submitted grid was not served from cache:"; cat "$workdir/job2.json"; exit 1; }
+
+curl -sf "http://$addr/jobs/$job1/bench?view=stripped" > "$workdir/bench1.json"
+curl -sf "http://$addr/jobs/$job2/bench?view=stripped" > "$workdir/bench2.json"
+cmp "$workdir/bench1.json" "$workdir/bench2.json"
+say "cached job served a byte-identical stripped BENCH view"
+
+curl -sf "http://$addr/bench/seed" > /dev/null || {
+    say "committed baseline endpoint failed"; exit 1; }
+if curl -sf "http://$addr/bench/absent" > /dev/null 2>&1; then
+    say "absent baseline did not 404"; exit 1
+fi
+
+say "draining sweepd (SIGTERM)"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { say "sweepd exited non-zero:"; cat "$workdir/sweepd.log"; exit 1; }
+daemon_pid=""
+
+say "ok"
