@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/cas"
 	"repro/internal/cli"
@@ -37,6 +38,10 @@ func fail(err error) {
 	fmt.Fprintf(os.Stderr, "sweeprun: %v\n", err)
 	os.Exit(1)
 }
+
+// listPad indents a grid's dimension-breakdown lines under its summary
+// row in -list output.
+const listPad = "          "
 
 func main() {
 	gridArg := flag.String("grid", "seed", "grid to run: a built-in name (see -list) or @file.json")
@@ -67,6 +72,14 @@ func main() {
 			}
 			fmt.Printf("  %-8s %d workload(s) x %d machine(s) x %d strategy(ies) x %d fault spec(s) x %d seed(s) = %d cell(s), %d run(s)\n",
 				g.Name, len(g.Workloads), len(g.Machines), len(g.Strategies), faults, len(g.Seeds), cells, runs)
+			fmt.Printf("%s workloads:  %s\n", listPad, strings.Join(g.Workloads, ", "))
+			fmt.Printf("%s strategies: %s\n", listPad, strings.Join(g.Strategies, ", "))
+			if len(g.Faults) > 0 {
+				fmt.Printf("%s faults:     %s\n", listPad, strings.Join(g.Faults, "; "))
+			}
+			if g.Ranks > 0 {
+				fmt.Printf("%s ranks:      %d\n", listPad, g.Ranks)
+			}
 		}
 		fmt.Println("workloads:")
 		for _, w := range sweep.Workloads() {

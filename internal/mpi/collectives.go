@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 
+	"repro/internal/node"
 	"repro/internal/vm"
 )
 
@@ -217,7 +218,11 @@ func (r *Rank) Alltoall(sendVA, recvVA vm.VA, block int) error {
 		sd[i] = i * block
 		rd[i] = i * block
 	}
-	return r.alltoallv(sendVA, counts, sd, recvVA, counts, rd)
+	if err := r.alltoallv(sendVA, counts, sd, recvVA, counts, rd); err != nil {
+		return err
+	}
+	r.node.AddColl(node.CollStats{Alltoalls: 1})
+	return nil
 }
 
 // Alltoallv is the variable-count variant (NAS IS key exchange).
@@ -226,7 +231,11 @@ func (r *Rank) Alltoallv(sendVA vm.VA, sendCounts, sendDispls []int,
 	start := r.clock.Now()
 	outer := r.enterMPI()
 	defer func() { r.exitMPI("Alltoallv", start, outer) }()
-	return r.alltoallv(sendVA, sendCounts, sendDispls, recvVA, recvCounts, recvDispls)
+	if err := r.alltoallv(sendVA, sendCounts, sendDispls, recvVA, recvCounts, recvDispls); err != nil {
+		return err
+	}
+	r.node.AddColl(node.CollStats{Alltoallvs: 1})
+	return nil
 }
 
 func (r *Rank) alltoallv(sendVA vm.VA, sc, sd []int, recvVA vm.VA, rc, rd []int) error {
@@ -234,6 +243,7 @@ func (r *Rank) alltoallv(sendVA vm.VA, sc, sd []int, recvVA vm.VA, rc, rd []int)
 	if len(sc) != p || len(sd) != p || len(rc) != p || len(rd) != p {
 		return fmt.Errorf("mpi: alltoallv: count/displ arrays must have %d entries", p)
 	}
+	var cs node.CollStats
 	// Local block: a memcpy.
 	if n := min(sc[r.id], rc[r.id]); n > 0 {
 		buf := make([]byte, n)
@@ -244,6 +254,7 @@ func (r *Rank) alltoallv(sendVA vm.VA, sc, sd []int, recvVA vm.VA, rc, rd []int)
 			return err
 		}
 		r.clock.Advance(r.memcpyTicks(n))
+		cs.LocalCopyBytes += int64(n)
 	}
 	// Pairwise exchange: step k talks to (id+k) and (id-k).
 	for k := 1; k < p; k++ {
@@ -254,7 +265,11 @@ func (r *Rank) alltoallv(sendVA vm.VA, sc, sd []int, recvVA vm.VA, rc, rd []int)
 			src, tagAlltoall+k, recvVA+vm.VA(rd[src]), rc[src]); err != nil {
 			return fmt.Errorf("mpi: alltoallv step %d: %w", k, err)
 		}
+		cs.PairwiseSteps++
+		cs.BytesSent += int64(sc[dst])
+		cs.BytesRecv += int64(rc[src])
 	}
+	r.node.AddColl(cs)
 	return nil
 }
 

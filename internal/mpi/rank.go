@@ -7,8 +7,11 @@ import (
 
 	"repro/internal/alloc"
 	"repro/internal/faults"
+	"repro/internal/machine"
+	"repro/internal/memtier"
 	"repro/internal/mpip"
 	"repro/internal/node"
+	"repro/internal/phys"
 	"repro/internal/regcache"
 	"repro/internal/sched"
 	"repro/internal/simtime"
@@ -275,25 +278,130 @@ func (r *Rank) ReadBytes(va vm.VA, p []byte) error {
 }
 
 // touchPages performs one DTLB access per page of [va, va+n) and charges
-// the walk penalties as application compute.
+// the walk penalties as application compute. When the node runs a tiered
+// memory model, each page touch also pays its tier's access penalty —
+// a slow-tier page costs extra latency (and streaming time) on top of
+// the TLB walk, which is how tier placement reaches virtual time.
 func (r *Rank) touchPages(va vm.VA, n uint64) {
-	if n == 0 {
-		return
-	}
 	var d simtime.Ticks
+	tiers := r.node.Tiers
 	for off := uint64(0); off < n; {
-		_, class, err := r.as.Translate(va + vm.VA(off))
+		pa, class, err := r.as.Translate(va + vm.VA(off))
 		if err != nil {
 			return // unmapped tail; the Write/Read already failed loudly
 		}
 		ps := class.Size()
 		d += r.dtlb.Access(va+vm.VA(off), class)
 		next := (uint64(va)+off)/ps*ps + ps
-		off = next - uint64(va)
+		newOff := next - uint64(va)
+		if tiers != nil {
+			touched := newOff
+			if touched > n {
+				touched = n
+			}
+			touched -= off
+			base := uint64(pa) / ps * ps
+			d += tiers.Touch(memtier.PageRef{
+				Frame: phys.Frame(base / machine.SmallPageSize),
+				Bytes: ps,
+			}, touched)
+		}
+		off = newOff
 	}
 	if d > 0 {
 		r.Compute(d)
 	}
+}
+
+// pageRefs enumerates [va, va+n) as memtier page refs (base frames).
+func (r *Rank) pageRefs(va vm.VA, n uint64) ([]memtier.PageRef, error) {
+	pages, err := r.as.Pages(va, n)
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]memtier.PageRef, len(pages))
+	for i, p := range pages {
+		refs[i] = memtier.PageRef{
+			Frame: phys.Frame(uint64(p.PA) / machine.SmallPageSize),
+			Bytes: p.Class.Size(),
+		}
+	}
+	return refs, nil
+}
+
+// TierOf reports which memory tier the page backing va resides in
+// (first-touch placing it like any access would); -1 when the node has
+// no tiered memory.
+func (r *Rank) TierOf(va vm.VA) int {
+	tiers := r.node.Tiers
+	if tiers == nil {
+		return -1
+	}
+	pa, class, err := r.as.Translate(va)
+	if err != nil {
+		return -1
+	}
+	ps := class.Size()
+	return tiers.TierOf(memtier.PageRef{
+		Frame: phys.Frame(uint64(pa) / ps * ps / machine.SmallPageSize),
+		Bytes: ps,
+	})
+}
+
+// TierAssign first-touch places the pages of [va, va+n) in the given
+// tier (spilling down-stack when full) without any copy cost — the
+// placement hint for freshly allocated data.
+func (r *Rank) TierAssign(va vm.VA, n uint64, tier int) error {
+	tiers := r.node.Tiers
+	if tiers == nil || n == 0 {
+		return nil
+	}
+	refs, err := r.pageRefs(va, n)
+	if err != nil {
+		return err
+	}
+	tiers.Assign(refs, tier)
+	return nil
+}
+
+// TierMigrate moves the pages of [va, va+n) to the given tier, charging
+// the modeled copy cost to the rank's clock as application compute.
+// It returns the pages actually moved (pages already there, or not
+// fitting a bounded destination, stay put).
+func (r *Rank) TierMigrate(va vm.VA, n uint64, tier int) (int, error) {
+	tiers := r.node.Tiers
+	if tiers == nil || n == 0 {
+		return 0, nil
+	}
+	refs, err := r.pageRefs(va, n)
+	if err != nil {
+		return 0, err
+	}
+	r.cur.Set(r.clock.Now()) // position the tier-layer instant markers
+	moved, cost := tiers.Migrate(refs, tier)
+	if cost > 0 {
+		if r.tr.Enabled() {
+			r.tctx(&r.clock).Span(trace.LTier, "migrate", cost,
+				trace.I64("tier", int64(tier)), trace.I64("pages", int64(moved)))
+		}
+		r.clock.Advance(cost)
+		r.prof.AddCompute(cost)
+	}
+	return moved, nil
+}
+
+// TierPromote moves [va, va+n) to the fast tier (tier 0).
+func (r *Rank) TierPromote(va vm.VA, n uint64) (int, error) {
+	return r.TierMigrate(va, n, 0)
+}
+
+// TierDemote moves [va, va+n) to the slowest tier.
+func (r *Rank) TierDemote(va vm.VA, n uint64) (int, error) {
+	tiers := r.node.Tiers
+	if tiers == nil {
+		return 0, nil
+	}
+	return r.TierMigrate(va, n, tiers.TierCount()-1)
 }
 
 // WriteF64 stores a float64 slice at va (little-endian).

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/memtier"
 	"repro/internal/mpip"
 	"repro/internal/node"
 	"repro/internal/sched"
@@ -54,6 +55,9 @@ type Config struct {
 	// "threshold", "adaptive"); empty builds none — the legacy fixed
 	// strategies with zero policy code on any path. See internal/policy.
 	Policy string
+	// Tiers enables the tiered-memory model on every rank's host (nil =
+	// flat DRAM, zero cost on any path). See internal/memtier.
+	Tiers *memtier.Config
 	// EagerLimit and RdmaLimit are the protocol switch points.
 	// Zero values take the MVAPICH2 defaults (8 KiB / 16 KiB).
 	EagerLimit int
@@ -95,6 +99,7 @@ func (c Config) nodeConfig() node.Config {
 		Faults:    c.Faults,
 		Trace:     c.Trace,
 		Policy:    c.Policy,
+		Tiers:     c.Tiers,
 	}
 }
 

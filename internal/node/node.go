@@ -15,6 +15,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/faults"
 	"repro/internal/machine"
+	"repro/internal/memtier"
 	"repro/internal/phys"
 	"repro/internal/policy"
 	"repro/internal/regcache"
@@ -80,6 +81,10 @@ type Config struct {
 	// strategies run with zero policy code on any path, which is what
 	// keeps the committed BENCH baselines byte-identical by construction.
 	Policy string
+	// Tiers enables the tiered-memory model over the node's physical
+	// memory (nil = flat DRAM, zero cost on every path: the pre-memtier
+	// stack, which keeps the committed BENCH baselines byte-identical).
+	Tiers *memtier.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +113,9 @@ func (c Config) Validate() error {
 			return err
 		}
 	}
+	if err := c.Tiers.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -127,6 +135,9 @@ type Node struct {
 	Alloc alloc.Allocator
 	// Cache is the pin-down registration cache over Verbs.
 	Cache *regcache.Cache
+	// Tiers is the tiered-memory manager (nil when Config.Tiers is nil;
+	// all manager methods are nil-safe and free when disabled).
+	Tiers *memtier.Manager
 
 	// inj is the node's fault injector (nil when faults are disabled).
 	inj *faults.Injector
@@ -138,6 +149,20 @@ type Node struct {
 	// phys) stamp instant events through.
 	tr  *trace.Tracer
 	cur *trace.Cursor
+	// coll accumulates the collective counters the MPI layer records
+	// through AddColl.
+	coll CollStats
+}
+
+// AddColl accumulates one collective operation's counters — the MPI
+// layer records each Alltoall/Alltoallv here as it completes.
+func (n *Node) AddColl(d CollStats) {
+	n.coll.Alltoalls += d.Alltoalls
+	n.coll.Alltoallvs += d.Alltoallvs
+	n.coll.PairwiseSteps += d.PairwiseSteps
+	n.coll.BytesSent += d.BytesSent
+	n.coll.BytesRecv += d.BytesRecv
+	n.coll.LocalCopyBytes += d.LocalCopyBytes
 }
 
 // New builds a host from a configuration. This is the single place the
@@ -229,6 +254,17 @@ func New(cfg Config) (*Node, error) {
 			h.SetPlacer(eng)
 		}
 		n.Cache.SetPolicy(eng)
+	}
+	if cfg.Tiers != nil {
+		tc := *cfg.Tiers
+		if tc.MigrateBandwidthMBs <= 0 {
+			tc.MigrateBandwidthMBs = cfg.Machine.Mem.CopyBandwidthMBs
+		}
+		mt, err := memtier.New(&tc, cur)
+		if err != nil {
+			return nil, err
+		}
+		n.Tiers = mt
 	}
 	return n, nil
 }

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"repro/internal/memtier"
 	"repro/internal/simtime"
 )
 
@@ -12,14 +13,55 @@ type Stats struct {
 	Machine   string `json:"machine"`
 	Allocator string `json:"allocator"`
 
-	TLB    TLBStats    `json:"tlb"`
-	HCA    HCAStats    `json:"hca"`
-	Reg    RegStats    `json:"reg"`
-	Cache  CacheStats  `json:"regcache"`
-	Alloc  AllocStats  `json:"alloc"`
-	Mem    MemStats    `json:"mem"`
-	Faults FaultStats  `json:"faults"`
-	Policy PolicyStats `json:"policy"`
+	TLB     TLBStats     `json:"tlb"`
+	HCA     HCAStats     `json:"hca"`
+	Reg     RegStats     `json:"reg"`
+	Cache   CacheStats   `json:"regcache"`
+	Alloc   AllocStats   `json:"alloc"`
+	Mem     MemStats     `json:"mem"`
+	Faults  FaultStats   `json:"faults"`
+	Policy  PolicyStats  `json:"policy"`
+	Memtier MemtierStats `json:"memtier"`
+	Coll    CollStats    `json:"coll"`
+}
+
+// TierStat is one memory tier's counter set within MemtierStats. A
+// capacity of 0 means unbounded.
+type TierStat struct {
+	Name          string        `json:"name,omitempty"`
+	CapacityBytes int64         `json:"capacity_bytes"`
+	UsedBytes     int64         `json:"used_bytes"` // gauge
+	PeakBytes     int64         `json:"peak_bytes"`
+	Assigns       int64         `json:"assigns"`
+	Spills        int64         `json:"spills"`
+	TouchTicks    simtime.Ticks `json:"touch_ticks"`
+}
+
+// MemtierStats surfaces the internal/memtier manager's counters. The
+// Stats surface keeps the canonical fast/slow split so the struct stays
+// comparable (statscheck compares totals with ==): Fast is tier 0 and
+// Slow aggregates every slower tier — exact for the standard two-tier
+// stack. All zeros when tiering is disabled.
+type MemtierStats struct {
+	Fast          TierStat      `json:"fast"`
+	Slow          TierStat      `json:"slow"`
+	Promotions    int64         `json:"promotions"`
+	Demotions     int64         `json:"demotions"`
+	MigratedBytes int64         `json:"migrated_bytes"`
+	MigrateTicks  simtime.Ticks `json:"migrate_ticks"`
+}
+
+// CollStats counts the scheduler-native all-to-all collectives: how
+// many completed on this rank, the pairwise exchange steps they ran,
+// and the bytes they moved (local self-block copies counted
+// separately from wire traffic).
+type CollStats struct {
+	Alltoalls      int64 `json:"alltoalls"`
+	Alltoallvs     int64 `json:"alltoallvs"`
+	PairwiseSteps  int64 `json:"pairwise_steps"`
+	BytesSent      int64 `json:"bytes_sent"`
+	BytesRecv      int64 `json:"bytes_recv"`
+	LocalCopyBytes int64 `json:"local_copy_bytes"`
 }
 
 // PolicyStats counts the placement-policy engine's decisions at its
@@ -38,6 +80,8 @@ type PolicyStats struct {
 	DemotedPages    int64         `json:"demoted_pages"`
 	DemotedBytes    int64         `json:"demoted_bytes"`
 	DemoteTicks     simtime.Ticks `json:"demote_ticks"`
+	TierMigrates    int64         `json:"tier_migrates"`
+	TierRecomputes  int64         `json:"tier_recomputes"`
 }
 
 // TLBStats is the data-TLB split by page size.
@@ -225,8 +269,42 @@ func (n *Node) Stats() Stats {
 			DemotedPages:    ps.DemotedPages,
 			DemotedBytes:    ps.DemotedBytes,
 			DemoteTicks:     ps.DemoteTicks,
+			TierMigrates:    ps.TierMigrates,
+			TierRecomputes:  ps.TierRecomputes,
 		},
+		Memtier: memtierView(n.Tiers.Stats()),
+		Coll:    n.coll,
 	}
+}
+
+// memtierView folds an N-tier memtier snapshot into the fixed fast/slow
+// stats surface: tier 0 is Fast, every slower tier aggregates into Slow
+// (exact for the standard two-tier stack; a wider stack sums its slow
+// tiers' counters and capacities, with capacity 0 still meaning
+// unbounded because the last tier always is).
+func memtierView(mt memtier.Stats) MemtierStats {
+	out := MemtierStats{
+		Promotions:    mt.Promotions,
+		Demotions:     mt.Demotions,
+		MigratedBytes: mt.MigratedBytes,
+		MigrateTicks:  mt.MigrateTicks,
+	}
+	for i, t := range mt.Tiers {
+		dst := &out.Slow
+		if i == 0 {
+			dst = &out.Fast
+		}
+		if dst.Name == "" {
+			dst.Name = t.Name
+		}
+		dst.CapacityBytes += t.CapacityBytes
+		dst.UsedBytes += t.UsedBytes //reprolint:ignore statspairing: folding another package's snapshot — aggregation, not gauge movement
+		dst.PeakBytes += t.PeakBytes
+		dst.Assigns += t.Assigns
+		dst.Spills += t.Spills
+		dst.TouchTicks += t.TouchTicks
+	}
+	return out
 }
 
 // Add accumulates other's counters into s. True counters and live
@@ -303,6 +381,35 @@ func (s *Stats) Add(other Stats) {
 	s.Policy.DemotedPages += other.Policy.DemotedPages
 	s.Policy.DemotedBytes += other.Policy.DemotedBytes
 	s.Policy.DemoteTicks += other.Policy.DemoteTicks
+	s.Policy.TierMigrates += other.Policy.TierMigrates
+	s.Policy.TierRecomputes += other.Policy.TierRecomputes
+	s.Memtier.Fast.add(other.Memtier.Fast)
+	s.Memtier.Slow.add(other.Memtier.Slow)
+	s.Memtier.Promotions += other.Memtier.Promotions
+	s.Memtier.Demotions += other.Memtier.Demotions
+	s.Memtier.MigratedBytes += other.Memtier.MigratedBytes
+	s.Memtier.MigrateTicks += other.Memtier.MigrateTicks
+	s.Coll.Alltoalls += other.Coll.Alltoalls
+	s.Coll.Alltoallvs += other.Coll.Alltoallvs
+	s.Coll.PairwiseSteps += other.Coll.PairwiseSteps
+	s.Coll.BytesSent += other.Coll.BytesSent
+	s.Coll.BytesRecv += other.Coll.BytesRecv
+	s.Coll.LocalCopyBytes += other.Coll.LocalCopyBytes
+}
+
+// add accumulates one tier's counters across nodes: counters and live
+// gauges sum (cluster-wide totals, cluster-wide capacity), the peak
+// takes the max — per-node highs need not coexist in time.
+func (t *TierStat) add(other TierStat) {
+	if t.Name == "" {
+		t.Name = other.Name
+	}
+	t.CapacityBytes += other.CapacityBytes
+	t.UsedBytes += other.UsedBytes
+	t.PeakBytes = max(t.PeakBytes, other.PeakBytes)
+	t.Assigns += other.Assigns
+	t.Spills += other.Spills
+	t.TouchTicks += other.TouchTicks
 }
 
 // Sum totals a set of per-node snapshots (empty input gives zero Stats).

@@ -75,6 +75,8 @@ type Stats struct {
 	DemotedPages    int64 // hugepages actually split
 	DemotedBytes    int64
 	DemoteTicks     simtime.Ticks // virtual time charged for the splits
+	TierMigrates    int64         // migrate-vs-recompute decisions that migrated
+	TierRecomputes  int64         // ... that recomputed in place instead
 }
 
 // Config wires an Engine to one node's live telemetry. All pointers
@@ -253,4 +255,27 @@ func (e *Engine) DecideGather(pieces int, totalBytes uint64, estGather, estPack 
 		}
 	}
 	return gather
+}
+
+// DecideMigrate chooses between promoting cold tier data (paying
+// migrateTicks of copy cost now, after which accesses run at fast-tier
+// speed) and recomputing or re-reading it in place (paying
+// recomputeTicks every time). bytes is the payload; fastFree the fast
+// tier's remaining capacity. The raw estimates decide for a nil engine
+// or the static kind; the threshold and adaptive kinds additionally
+// refuse migrations that cannot fit the fast tier — the copy would
+// be pure cost, since the pages stay slow.
+func (e *Engine) DecideMigrate(bytes uint64, fastFree int64, migrateTicks, recomputeTicks simtime.Ticks) bool {
+	migrate := migrateTicks <= recomputeTicks
+	if e != nil && e.cfg.Kind != Static && migrate && int64(bytes) > fastFree {
+		migrate = false
+	}
+	if e != nil {
+		if migrate {
+			e.stats.TierMigrates++
+		} else {
+			e.stats.TierRecomputes++
+		}
+	}
+	return migrate
 }

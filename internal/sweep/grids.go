@@ -32,6 +32,13 @@ import (
 // the threshold and adaptive policy engines, so the CI policy job can
 // gate "adaptive beats-or-ties every static strategy cell-for-cell"
 // (sweeprun -require-best adaptive).
+//
+// "modern" is the modern-workload grid behind BENCH_modern.json: MoE
+// dispatch/combine, tiered KV-cache decode and the 2-D halo exchange
+// under the four fixed strategies plus adaptive — the pack where the
+// winning placement strategy flips per workload (hugepages win MoE's
+// bulk dispatch, lose KV decode where the 2 MiB promotion unit makes
+// tier migration uneconomical).
 func BuiltinGrids() []Grid {
 	return []Grid{
 		{
@@ -71,6 +78,14 @@ func BuiltinGrids() []Grid {
 			},
 			Strategies: []string{"small", "huge", "small-lazy", "huge-lazy", "threshold", "adaptive"},
 			Faults:     []string{"seed=5,attevict=600,wr=300"},
+			Seeds:      []uint64{1, 2, 3},
+			Ranks:      4,
+		},
+		{
+			Name:       "modern",
+			Machines:   []string{"opteron"},
+			Workloads:  []string{"moe/dispatch", "kv/decode", "halo/exchange2d"},
+			Strategies: []string{"small", "huge", "small-lazy", "huge-lazy", "adaptive"},
 			Seeds:      []uint64{1, 2, 3},
 			Ranks:      4,
 		},

@@ -318,6 +318,81 @@ func builtins() []Workload {
 				}, nil
 			},
 		},
+		{
+			// The modern pack's MoE dispatch/combine: group-limited
+			// routing, scattered-row dispatch through AlltoallvPieces
+			// (SGE or pack per policy), chunked compute/comm overlap.
+			Name:           "moe/dispatch",
+			Primary:        "makespan_ticks",
+			HigherIsBetter: false,
+			Strategied:     true,
+			Run: func(c RunContext) (Metrics, error) {
+				p := workload.DefaultMoEParams()
+				p.Seed = c.Seed
+				res, err := workload.RunMoE(c.MPIConfig(modernRanks(c)), p)
+				if err != nil {
+					return nil, err
+				}
+				return Metrics{
+					"dispatch_ticks": float64(res.DispatchTicks),
+					"combine_ticks":  float64(res.CombineTicks),
+					"compute_ticks":  float64(res.ComputeTicks),
+					"routed_rows":    float64(res.RoutedRows),
+					"makespan_ticks": float64(res.Makespan),
+					VirtTicks:        float64(res.Makespan),
+				}, nil
+			},
+		},
+		{
+			// The modern pack's KV-cache decode: per-layer arenas on the
+			// two-tier memory model, best-ratio placement, and the
+			// migrate-vs-recompute decision on every retrieved token.
+			Name:           "kv/decode",
+			Primary:        "makespan_ticks",
+			HigherIsBetter: false,
+			Strategied:     true,
+			Run: func(c RunContext) (Metrics, error) {
+				p := workload.DefaultKVParams()
+				p.Seed = c.Seed
+				res, err := workload.RunKV(c.MPIConfig(modernRanks(c)), p)
+				if err != nil {
+					return nil, err
+				}
+				return Metrics{
+					"prefill_ticks":  float64(res.PrefillTicks),
+					"decode_ticks":   float64(res.DecodeTicks),
+					"migrations":     float64(res.Migrations),
+					"recomputes":     float64(res.Recomputes),
+					"demotions":      float64(res.Demotions),
+					"makespan_ticks": float64(res.Makespan),
+					VirtTicks:        float64(res.Makespan),
+				}, nil
+			},
+		},
+		{
+			// The modern pack's 2-D halo exchange + allreduce: contiguous
+			// row strips, strided column pieces (the Section 4 scenario),
+			// stencil sweeps and a rendezvous-sized residual reduction.
+			Name:           "halo/exchange2d",
+			Primary:        "makespan_ticks",
+			HigherIsBetter: false,
+			Strategied:     true,
+			Run: func(c RunContext) (Metrics, error) {
+				p := workload.DefaultHaloParams()
+				p.Seed = c.Seed
+				res, err := workload.RunHalo(c.MPIConfig(modernRanks(c)), p)
+				if err != nil {
+					return nil, err
+				}
+				return Metrics{
+					"halo_ticks":     float64(res.HaloTicks),
+					"compute_ticks":  float64(res.ComputeTicks),
+					"reduce_ticks":   float64(res.ReduceTicks),
+					"makespan_ticks": float64(res.Makespan),
+					VirtTicks:        float64(res.Makespan),
+				}, nil
+			},
+		},
 	}
 	// nasbench / repro E5: one workload per NAS kernel, so the grid can
 	// subset and the comparisons stay per-kernel (the paper's Figure 6
@@ -347,6 +422,16 @@ func builtins() []Workload {
 		})
 	}
 	return wls
+}
+
+// modernRanks is the modern-pack default rank count when the grid does
+// not set one (the workloads need at least 2 ranks; MoE's two gating
+// groups need an even count).
+func modernRanks(c RunContext) int {
+	if c.Ranks >= 2 {
+		return c.Ranks
+	}
+	return 4
 }
 
 // wrMetrics folds a work-request sweep into post/poll/total sums.

@@ -145,6 +145,95 @@ func TestCheckRejectsDemotedBytesMismatch(t *testing.T) {
 	}
 }
 
+func TestCheckAcceptsMemtierAndColl(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "hugetlbfs",
+		Memtier: node.MemtierStats{
+			Fast: node.TierStat{Name: "fast", CapacityBytes: 8 << 20, UsedBytes: 4 << 20,
+				PeakBytes: 6 << 20, Assigns: 10, Spills: 2, TouchTicks: 100},
+			Slow:       node.TierStat{Name: "slow", UsedBytes: 24 << 20, PeakBytes: 28 << 20, Assigns: 40},
+			Promotions: 3, Demotions: 1, MigratedBytes: 4 << 20, MigrateTicks: 5000},
+		Coll: node.CollStats{Alltoalls: 1, Alltoallvs: 2, PairwiseSteps: 6,
+			BytesSent: 4096, BytesRecv: 4096, LocalCopyBytes: 512}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	if _, err := check(strings.NewReader(doc)); err != nil {
+		t.Fatalf("valid memtier/coll sections rejected: %v", err)
+	}
+}
+
+func TestCheckRejectsMemtierUsedOverPeak(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Memtier: node.MemtierStats{
+			Fast: node.TierStat{Name: "fast", UsedBytes: 8 << 20, PeakBytes: 4 << 20, Assigns: 1}}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "exceeds peak_bytes") {
+		t.Fatalf("err = %v, want used-over-peak complaint", err)
+	}
+}
+
+func TestCheckRejectsMemtierPeakOverCapacity(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Memtier: node.MemtierStats{
+			Fast: node.TierStat{Name: "fast", CapacityBytes: 4 << 20,
+				UsedBytes: 2 << 20, PeakBytes: 8 << 20, Assigns: 1}}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "exceeds capacity") {
+		t.Fatalf("err = %v, want peak-over-capacity complaint", err)
+	}
+}
+
+func TestCheckRejectsMemtierSpillsOverAssigns(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Memtier: node.MemtierStats{
+			Slow: node.TierStat{Name: "slow", Assigns: 1, Spills: 2}}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "exceed assigns") {
+		t.Fatalf("err = %v, want spills-over-assigns complaint", err)
+	}
+}
+
+func TestCheckRejectsMigrationsWithoutBytes(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Memtier: node.MemtierStats{Promotions: 2}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "no migrated bytes") {
+		t.Fatalf("err = %v, want migrations-without-bytes complaint", err)
+	}
+}
+
+func TestCheckRejectsNegativeCollCounter(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Coll: node.CollStats{Alltoallvs: 1, BytesSent: -5}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("err = %v, want negative-counter complaint", err)
+	}
+}
+
+func TestCheckRejectsCollTrafficWithoutCall(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Coll: node.CollStats{BytesSent: 4096, BytesRecv: 4096, PairwiseSteps: 3}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "without a collective call") {
+		t.Fatalf("err = %v, want traffic-without-call complaint", err)
+	}
+}
+
+func TestCheckRejectsNegativeTierPolicyCounter(t *testing.T) {
+	ns := []node.Stats{{Machine: "opteron", Allocator: "libc",
+		Policy: node.PolicyStats{Kind: "adaptive", TierMigrates: -1}}}
+	doc := render(t, []node.Report{node.NewReport("repro", "w", "opteron", "", ns)})
+	_, err := check(strings.NewReader(doc))
+	if err == nil || !strings.Contains(err.Error(), "tier_migrates") {
+		t.Fatalf("err = %v, want negative tier_migrates complaint", err)
+	}
+}
+
 // A total that is not Sum(nodes) — e.g. a document produced by the old
 // peak-gauge-summing aggregation — must be rejected.
 func TestCheckRejectsStaleTotal(t *testing.T) {

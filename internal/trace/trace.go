@@ -44,6 +44,7 @@ const (
 	LHCA      Layer = "hca"      // WR post/poll, DMA gather/scatter, ATT
 	LVM       Layer = "vm"       // address-space map/unmap/fallback
 	LPhys     Layer = "phys"     // hugepage pool pressure
+	LTier     Layer = "tier"     // memory-tier placement and migration
 )
 
 // Conventional track (Perfetto thread) ids within one traced process.
